@@ -1,0 +1,356 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/owner"
+	"repro/internal/storage"
+	"repro/internal/technique"
+	"repro/internal/wire"
+)
+
+// Technique selects the cryptographic search mechanism QB is layered over.
+type Technique int
+
+const (
+	// TechNoInd (default): non-deterministic AES-GCM with owner-side
+	// attribute decryption — the strongest at-rest story without special
+	// hardware, and the search procedure the paper used on the commercial
+	// systems A/B.
+	TechNoInd Technique = iota
+	// TechDetIndex: deterministic encryption with a cloud-side index.
+	// Fast, but leaks the value-frequency histogram at rest; include it
+	// only to reproduce the attacks.
+	TechDetIndex
+	// TechArx: Arx-style per-occurrence tokens (indexable, non-repeating
+	// ciphertexts) — the §VI integration target.
+	TechArx
+	// TechShamir: Shamir secret-sharing linear scan across three
+	// non-colluding clouds (access-pattern hiding, γ >> 1).
+	TechShamir
+	// TechSimOpaque and TechSimJana: calibrated cost models of the SGX and
+	// MPC systems of Table VI; real crypto plus virtual time.
+	TechSimOpaque
+	TechSimJana
+	// TechDPFPIR: two-server private information retrieval over
+	// distributed point functions — full access-pattern hiding at linear
+	// scan cost.
+	TechDPFPIR
+)
+
+// String names the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechNoInd:
+		return "NoInd"
+	case TechDetIndex:
+		return "DetIndex"
+	case TechArx:
+		return "Arx"
+	case TechShamir:
+		return "ShamirScan"
+	case TechSimOpaque:
+		return "SimOpaque"
+	case TechSimJana:
+		return "SimJana"
+	case TechDPFPIR:
+		return "DPF-PIR"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Config configures a Client.
+type Config struct {
+	// MasterKey is the owner's root secret; all sub-keys are derived from
+	// it. Required.
+	MasterKey []byte
+	// Attr is the searchable attribute name. Required.
+	Attr string
+	// Technique picks the cryptographic mechanism (default TechNoInd).
+	Technique Technique
+	// Seed, when non-nil, makes the secret bin permutation deterministic
+	// (tests and reproducible experiments only — production should leave
+	// it nil for a cryptographically random permutation).
+	Seed *uint64
+	// DisableFakePadding turns off §IV-B volume equalisation (attack
+	// demonstrations only).
+	DisableFakePadding bool
+	// DisableNearestSquare forces unmodified Algorithm 1 factorisation.
+	DisableNearestSquare bool
+	// CloudAddr, when non-empty, connects to a remote qbcloud process at
+	// this address instead of hosting the cloud stores in-process. Only
+	// store-backed techniques (NoInd, DetIndex, Arx) support remote mode.
+	CloudAddr string
+}
+
+// Client is the trusted DB owner side of the system: it partitions,
+// encrypts, outsources and queries through QB.
+type Client struct {
+	owner  *owner.Owner
+	cfg    Config
+	remote *wire.Client // non-nil when CloudAddr is set
+}
+
+// NewClient validates the configuration and builds the client.
+func NewClient(cfg Config) (*Client, error) {
+	if len(cfg.MasterKey) == 0 {
+		return nil, errors.New("repro: Config.MasterKey is required")
+	}
+	if cfg.Attr == "" {
+		return nil, errors.New("repro: Config.Attr is required")
+	}
+	keys := crypto.DeriveKeys(cfg.MasterKey)
+
+	var remote *wire.Client
+	if cfg.CloudAddr != "" {
+		var err error
+		remote, err = wire.Dial(cfg.CloudAddr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	encStore := func() technique.EncStore {
+		if remote != nil {
+			return remote
+		}
+		return storage.NewEncryptedStore()
+	}
+
+	var (
+		tech technique.Technique
+		err  error
+	)
+	switch cfg.Technique {
+	case TechNoInd:
+		tech, err = technique.NewNoIndOn(keys, encStore())
+	case TechDetIndex:
+		tech, err = technique.NewDetIndexOn(keys, encStore())
+	case TechArx:
+		tech, err = technique.NewArxOn(keys, encStore())
+	case TechShamir:
+		tech, err = technique.NewShamirScan(keys, 3, 2)
+	case TechSimOpaque:
+		tech, err = technique.NewSimOpaque(keys)
+	case TechSimJana:
+		tech, err = technique.NewSimJana(keys)
+	case TechDPFPIR:
+		tech, err = technique.NewDPFPIR(keys)
+	default:
+		return nil, fmt.Errorf("repro: unknown technique %v", cfg.Technique)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if remote != nil {
+		switch cfg.Technique {
+		case TechNoInd, TechDetIndex, TechArx:
+			// Store-backed techniques run remote.
+		default:
+			return nil, fmt.Errorf("repro: technique %v does not support a remote cloud", cfg.Technique)
+		}
+	}
+	o := owner.New(tech, cfg.Attr)
+	if remote != nil {
+		o.SetCloudBackend(remote)
+	}
+	return &Client{owner: o, cfg: cfg, remote: remote}, nil
+}
+
+// SaveMetadata persists the owner-side state (bins, value counts, fake
+// ledger) after Outsource. Store it as securely as the master key: it
+// contains plaintext values and frequencies.
+func (c *Client) SaveMetadata(w io.Writer) error {
+	if err := c.flushRemote(); err != nil {
+		return err
+	}
+	return c.owner.SaveMetadata(w)
+}
+
+// Resume restores a previously saved owner state against the already-
+// populated remote cloud of Config.CloudAddr, skipping Outsource entirely.
+// The configuration (master key, technique, attribute) must match the
+// session that saved the metadata.
+func (c *Client) Resume(r io.Reader) error {
+	if c.remote == nil {
+		return errors.New("repro: Resume requires Config.CloudAddr (the cloud must outlive the owner)")
+	}
+	return c.owner.LoadMetadata(r, c.remote)
+}
+
+func (c *Client) binOptions() core.Options {
+	opts := core.Options{
+		DisableFakePadding:   c.cfg.DisableFakePadding,
+		DisableNearestSquare: c.cfg.DisableNearestSquare,
+	}
+	if c.cfg.Seed != nil {
+		opts.Rand = mrand.New(mrand.NewPCG(*c.cfg.Seed, *c.cfg.Seed^0x6a09e667f3bcc908))
+	}
+	return opts
+}
+
+// Outsource partitions r by the sensitivity predicate and uploads both
+// partitions: the non-sensitive one in clear-text, the sensitive one
+// through the configured technique with fake-tuple padding. It also builds
+// the QB bins from the value-frequency metadata.
+func (c *Client) Outsource(r *Relation, sensitive func(Tuple) bool) error {
+	if err := c.owner.Outsource(r, sensitive, c.binOptions()); err != nil {
+		return err
+	}
+	return c.flushRemote()
+}
+
+// flushRemote pushes buffered encrypted uploads to a remote cloud so the
+// outsourced state is durable there.
+func (c *Client) flushRemote() error {
+	if c.remote == nil {
+		return nil
+	}
+	return c.remote.Flush()
+}
+
+// Query runs SELECT * WHERE attr = w through QB and returns exactly the
+// matching tuples (fakes and bin co-residents are filtered owner-side).
+func (c *Client) Query(w Value) ([]Tuple, error) {
+	ts, _, err := c.owner.Query(w)
+	return ts, err
+}
+
+// QueryWithStats is Query plus the cost breakdown.
+func (c *Client) QueryWithStats(w Value) ([]Tuple, *QueryStats, error) {
+	return c.owner.Query(w)
+}
+
+// QueryNaive executes the insecure non-binned strawman of Example 2; it
+// exists so that the attack examples can demonstrate the leak QB prevents.
+func (c *Client) QueryNaive(w Value) ([]Tuple, error) {
+	ts, _, err := c.owner.QueryNaive(w)
+	return ts, err
+}
+
+// QueryRange runs SELECT * WHERE lo <= attr <= hi through bin-cover
+// rewriting (full-version extension).
+func (c *Client) QueryRange(lo, hi Value) ([]Tuple, error) {
+	ts, _, err := c.owner.QueryRange(lo, hi)
+	return ts, err
+}
+
+// Insert adds one tuple after outsourcing, re-binning if its searchable
+// value is new and rebalancing fake padding (full-version extension).
+func (c *Client) Insert(t Tuple, sensitive bool) error {
+	if err := c.owner.Insert(t, sensitive); err != nil {
+		return err
+	}
+	return c.flushRemote()
+}
+
+// AggOp re-exports the aggregation operators.
+type AggOp = owner.AggOp
+
+// Aggregation operators for QueryAggregate.
+const (
+	AggCount = owner.AggCount
+	AggSum   = owner.AggSum
+	AggMin   = owner.AggMin
+	AggMax   = owner.AggMax
+)
+
+// QueryAggregate computes COUNT/SUM/MIN/MAX(col) over the selection
+// attr = w; the adversarial view is identical to a plain selection.
+func (c *Client) QueryAggregate(w Value, col string, op AggOp) (int64, error) {
+	return c.owner.QueryAggregate(w, col, op)
+}
+
+// Join equi-joins this client's relation with other's on their searchable
+// attributes, entirely through QB retrievals (full-version extension).
+func (c *Client) Join(other *Client) ([]JoinPair, error) {
+	return c.owner.Join(other.owner)
+}
+
+// AdversarialViews returns everything the honest-but-curious cloud has
+// observed so far — the input to the attack suite.
+func (c *Client) AdversarialViews() []AdversarialView {
+	if c.owner.Server() == nil {
+		return nil
+	}
+	return c.owner.Server().Views()
+}
+
+// VerticalClient handles relations with column-level sensitivity on top of
+// row-level sensitivity (Figure 2 of the paper): the named sensitive
+// columns are carved into an always-encrypted side relation keyed by the
+// searchable attribute, while the remaining columns flow through the usual
+// QB row partitioning. Queries return reassembled full-schema tuples.
+type VerticalClient struct {
+	v    *owner.VerticalOwner
+	main *Client
+}
+
+// NewVerticalClient builds a vertical client: cfg configures the
+// row-partitioned residual (as in NewClient), and sensitiveCols names the
+// columns that must never appear in clear-text regardless of row
+// sensitivity.
+func NewVerticalClient(cfg Config, sensitiveCols []string) (*VerticalClient, error) {
+	main, err := NewClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	colsCfg := cfg
+	colsCfg.MasterKey = append(append([]byte(nil), cfg.MasterKey...), []byte("/columns")...)
+	colsClient, err := NewClient(colsCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &VerticalClient{
+		v:    owner.NewVertical(main.owner.Technique(), colsClient.owner.Technique(), cfg.Attr, sensitiveCols),
+		main: main,
+	}, nil
+}
+
+// Outsource splits r by column and row sensitivity and uploads all three
+// parts.
+func (c *VerticalClient) Outsource(r *Relation, rowSensitive func(Tuple) bool) error {
+	return c.v.Outsource(r, rowSensitive, c.main.binOptions())
+}
+
+// Query returns full original-schema tuples with attr = w.
+func (c *VerticalClient) Query(w Value) ([]Tuple, error) { return c.v.Query(w) }
+
+// AdversarialViews exposes the main cloud's view log.
+func (c *VerticalClient) AdversarialViews() []AdversarialView {
+	if c.v.Main().Server() == nil {
+		return nil
+	}
+	return c.v.Main().Server().Views()
+}
+
+// BinningSummary describes the current bin layout.
+type BinningSummary struct {
+	SensitiveBins    int
+	NonSensitiveBins int
+	FakeTuples       int
+	TargetVolume     int
+	MetadataBytes    int
+	Reversed         bool
+}
+
+// Binning reports the current bin layout (zero value before Outsource).
+func (c *Client) Binning() BinningSummary {
+	b := c.owner.Bins()
+	if b == nil {
+		return BinningSummary{}
+	}
+	return BinningSummary{
+		SensitiveBins:    b.SensitiveBinCount(),
+		NonSensitiveBins: b.NonSensitiveBinCount(),
+		FakeTuples:       b.TotalFakeTuples(),
+		TargetVolume:     b.TargetVolume,
+		MetadataBytes:    b.MetadataBytes(),
+		Reversed:         b.Reversed,
+	}
+}

@@ -1,0 +1,82 @@
+// Command qbcloud runs the untrusted public cloud as a standalone process:
+// it hosts the clear-text store for the non-sensitive partition and the
+// encrypted store for the sensitive partition, serving owners over the
+// wire protocol.
+//
+// Usage:
+//
+//	qbcloud -addr :7040
+//
+// Point a client at it with repro.Config{CloudAddr: "host:7040"}.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7040", "listen address")
+	state := flag.String("state", "", "state file: restored at start if present, saved on SIGINT/SIGTERM")
+	flag.Parse()
+	if err := run(*addr, *state); err != nil {
+		fmt.Fprintln(os.Stderr, "qbcloud:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, state string) error {
+	cloud := wire.NewCloud()
+	if state != "" {
+		f, err := os.Open(state)
+		switch {
+		case err == nil:
+			restoreErr := cloud.Restore(f)
+			f.Close()
+			if restoreErr != nil {
+				return restoreErr
+			}
+			fmt.Printf("qbcloud: restored state from %s\n", state)
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh start; the file will be created on shutdown.
+		default:
+			return err
+		}
+	}
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qbcloud: serving on %s\n", lis.Addr())
+
+	if state != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			f, err := os.Create(state)
+			if err == nil {
+				err = cloud.Save(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qbcloud: saving state:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("qbcloud: state saved to %s\n", state)
+			os.Exit(0)
+		}()
+	}
+	return cloud.Serve(lis)
+}

@@ -1,0 +1,91 @@
+// Command qbdemo walks through the paper's running example (the Employee
+// relation of Figure 1): it partitions the relation by sensitivity, shows
+// the bins QB builds, then contrasts the adversarial view of naive
+// partitioned execution (Example 2 / Table II) with QB's (Table III).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/adversary"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Employee relation (Figure 1):")
+	emp := workload.Employee()
+	for _, t := range emp.Tuples {
+		sens := ""
+		if workload.EmployeeSensitive(t) {
+			sens = "   <- sensitive (Defense)"
+		}
+		fmt.Printf("  t%d: %v%s\n", t.ID+1, t.Values, sens)
+	}
+
+	seed := uint64(42)
+	mk := func() (*repro.Client, error) {
+		c, err := repro.NewClient(repro.Config{
+			MasterKey: []byte("demo master key"),
+			Attr:      "EId",
+			Seed:      &seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c, c.Outsource(workload.Employee(), workload.EmployeeSensitive)
+	}
+
+	client, err := mk()
+	if err != nil {
+		return err
+	}
+	b := client.Binning()
+	fmt.Printf("\nQB binning: %d sensitive bins x %d non-sensitive bins, %d fake tuples, metadata %d bytes\n",
+		b.SensitiveBins, b.NonSensitiveBins, b.FakeTuples, b.MetadataBytes)
+
+	queries := []string{"E259", "E101", "E199"}
+
+	fmt.Println("\n--- Naive partitioned execution (Example 2) ---")
+	naive, err := mk()
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		ts, err := naive.QueryNaive(repro.Str(q))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  query %s -> %d tuples\n", q, len(ts))
+	}
+	res := adversary.InferenceAttack(naive.AdversarialViews())
+	fmt.Println("  adversary's inference attack concludes:")
+	for _, q := range queries {
+		fmt.Printf("    %s: %v\n", q, res.ByValue[repro.Str(q).Key()])
+	}
+
+	fmt.Println("\n--- Query binning (Table III) ---")
+	for _, q := range queries {
+		ts, err := client.Query(repro.Str(q))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  query %s -> %d tuples\n", q, len(ts))
+	}
+	res = adversary.InferenceAttack(client.AdversarialViews())
+	fmt.Printf("  adversary's inference attack concludes: %d classifications, %d ambiguous views\n",
+		len(res.ByValue), res.Ambiguous)
+	for i, sz := range adversary.AnonymitySetSizes(client.AdversarialViews()) {
+		fmt.Printf("    view %d: query value hides among %d clear-text candidates (plus the encrypted bin)\n", i, sz)
+	}
+	fmt.Println("\nQB answers every query correctly while the cloud learns nothing it did not already know.")
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package repro is a from-scratch reproduction of "Partitioned Data
+// Security on Outsourced Sensitive and Non-sensitive Data" (Mehrotra,
+// Sharma, Ullman, Mishra — ICDE 2019): the query binning (QB) technique for
+// executing selection queries over a relation split into an encrypted
+// sensitive partition and a clear-text non-sensitive partition, both hosted
+// by one untrusted cloud, without the joint processing leaking which
+// encrypted tuple corresponds to which plaintext one.
+//
+// The top-level package is the public API: a Client that partitions,
+// outsources and queries a relation through QB over a pluggable
+// cryptographic technique. The building blocks live under internal/ (see
+// DESIGN.md for the system inventory) and are re-exported here as type
+// aliases where downstream code needs them.
+//
+// Quick start:
+//
+//	rel := repro.NewRelation(repro.MustSchema("Employee",
+//		repro.Column{Name: "EId", Kind: repro.KindString},
+//		repro.Column{Name: "Dept", Kind: repro.KindString},
+//	))
+//	rel.MustInsert(repro.Str("E101"), repro.Str("Defense"))
+//	rel.MustInsert(repro.Str("E259"), repro.Str("Design"))
+//
+//	client, err := repro.NewClient(repro.Config{
+//		MasterKey: []byte("32-byte master secret ........."),
+//		Attr:      "EId",
+//	})
+//	// handle err
+//	err = client.Outsource(rel, func(t repro.Tuple) bool {
+//		return t.Values[1].Str() == "Defense" // row-level sensitivity
+//	})
+//	// handle err
+//	tuples, err := client.Query(repro.Str("E101"))
+//
+// Every query is rewritten by Algorithm 2 into one sensitive bin (sent
+// encrypted) and one non-sensitive bin (sent in clear-text), so the cloud's
+// view never pins the queried value down to fewer than a bin's worth of
+// candidates, and fake-tuple padding keeps every sensitive retrieval the
+// same size.
+package repro

@@ -1,0 +1,109 @@
+// Attacks: demonstrates the inference, size, and workload-skew attacks of
+// the paper against naive partitioned execution, and shows QB defeating
+// them — the §II/§VI narrative as a runnable program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/adversary"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildRelation creates a skewed dataset: patient IDs 0..15, ID 0 being a
+// heavy hitter (a frequent clinic visitor), every patient also having one
+// public (non-sensitive) billing row.
+func buildRelation() (*repro.Relation, func(repro.Tuple) bool) {
+	schema := repro.MustSchema("Visits",
+		repro.Column{Name: "PatientID", Kind: repro.KindInt},
+		repro.Column{Name: "Code", Kind: repro.KindInt},
+	)
+	rel := repro.NewRelation(schema)
+	sensitive := make(map[int]bool)
+	for p := 0; p < 16; p++ {
+		visits := 1
+		if p == 0 {
+			visits = 60 // the heavy hitter
+		}
+		for i := 0; i < visits; i++ {
+			id := rel.MustInsert(repro.Int(int64(p)), repro.Int(int64(i)))
+			sensitive[id] = true // visit records are sensitive
+		}
+		rel.MustInsert(repro.Int(int64(p)), repro.Int(-1)) // public billing row
+	}
+	return rel, func(t repro.Tuple) bool { return sensitive[t.ID] }
+}
+
+func client(padding bool) (*repro.Client, error) {
+	seed := uint64(7)
+	return repro.NewClient(repro.Config{
+		MasterKey:          []byte("attack demo key"),
+		Attr:               "PatientID",
+		Seed:               &seed,
+		DisableFakePadding: !padding,
+	})
+}
+
+func run() error {
+	rel, sensPred := buildRelation()
+
+	// --- Naive execution: every attack lands. ---
+	naive, err := client(false)
+	if err != nil {
+		return err
+	}
+	if err := naive.Outsource(rel.Clone(), sensPred); err != nil {
+		return err
+	}
+	for p := 0; p < 16; p++ {
+		if _, err := naive.QueryNaive(repro.Int(int64(p))); err != nil {
+			return err
+		}
+	}
+	views := naive.AdversarialViews()
+	inf := adversary.InferenceAttack(views)
+	size := adversary.SizeAttack(views)
+	ws := adversary.WorkloadSkewAttack(views, 16)
+	fmt.Println("naive partitioned execution:")
+	fmt.Printf("  inference attack classified %d of 16 patients\n", len(inf.ByValue))
+	fmt.Printf("  size attack distinguishes bins: %v (max/min volume ratio %.1f)\n",
+		size.Distinguishable, size.MaxOverMin)
+	fmt.Printf("  workload-skew attack anonymity set: %d (1 = hot patient pinned exactly)\n",
+		ws.AnonymitySet)
+
+	// --- QB: the same attacks come up empty. ---
+	qb, err := client(true)
+	if err != nil {
+		return err
+	}
+	if err := qb.Outsource(rel.Clone(), sensPred); err != nil {
+		return err
+	}
+	for p := 0; p < 16; p++ {
+		if _, err := qb.Query(repro.Int(int64(p))); err != nil {
+			return err
+		}
+	}
+	views = qb.AdversarialViews()
+	inf = adversary.InferenceAttack(views)
+	size = adversary.SizeAttack(views)
+	ws = adversary.WorkloadSkewAttack(views, 16)
+	g := adversary.AnalyzeViews(views)
+	fmt.Println("\nquery binning:")
+	fmt.Printf("  inference attack classified %d patients (%d ambiguous bin-level views)\n",
+		len(inf.ByValue), inf.Ambiguous)
+	fmt.Printf("  size attack distinguishes bins: %v (every retrieval returns %d tuples)\n",
+		size.Distinguishable, qb.Binning().TargetVolume)
+	fmt.Printf("  workload-skew attack anonymity set: %d\n", ws.AnonymitySet)
+	fmt.Printf("  surviving matches: complete bipartite = %v (%d sensitive x %d non-sensitive footprints)\n",
+		g.IsCompleteBipartite(), len(g.SensGroups), len(g.NSGroups))
+	fmt.Printf("  cost of the defence: %d fake tuples outsourced\n", qb.Binning().FakeTuples)
+	return nil
+}

@@ -1,0 +1,57 @@
+// Columnsplit: reproduces the full Example 1 / Figure 2 storage layout —
+// SSNs are column-level sensitive (always encrypted, Employee1), Defense
+// rows are row-level sensitive (encrypted, Employee2), and everything else
+// is outsourced in clear-text (Employee3). Queries reassemble complete
+// rows, SSN included, without the cloud ever seeing an SSN or learning who
+// works in Defense.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	emp := workload.Employee()
+	fmt.Println("Employee relation (Figure 1) — SSN column-sensitive, Defense rows row-sensitive")
+
+	seed := uint64(9)
+	client, err := repro.NewVerticalClient(repro.Config{
+		MasterKey: []byte("columnsplit demo key"),
+		Attr:      "EId",
+		Seed:      &seed,
+	}, []string{"SSN"})
+	if err != nil {
+		return err
+	}
+	if err := client.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		return err
+	}
+
+	for _, eid := range []string{"E259", "E101", "E199"} {
+		tuples, err := client.Query(repro.Str(eid))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nquery %s -> %d full tuples (SSN reattached owner-side):\n", eid, len(tuples))
+		for _, t := range tuples {
+			fmt.Printf("  %v\n", t.Values)
+		}
+	}
+
+	fmt.Println("\ncloud-side views (clear-text predicates only, always bin-shaped):")
+	for i, v := range client.AdversarialViews() {
+		fmt.Printf("  view %d: %d clear-text predicates, %d encrypted predicates\n",
+			i, len(v.PlainValues), v.EncPredicates)
+	}
+	return nil
+}

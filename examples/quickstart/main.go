@@ -1,0 +1,71 @@
+// Quickstart: outsource a relation with mixed sensitive/non-sensitive rows
+// and run selection queries through query binning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A personnel table. SSNs of Defense staff make their whole rows
+	// sensitive; everyone else is public directory data.
+	schema := repro.MustSchema("Employee",
+		repro.Column{Name: "EId", Kind: repro.KindString},
+		repro.Column{Name: "Name", Kind: repro.KindString},
+		repro.Column{Name: "Dept", Kind: repro.KindString},
+	)
+	rel := repro.NewRelation(schema)
+	rows := [][3]string{
+		{"E101", "Adam Smith", "Defense"},
+		{"E259", "John Williams", "Design"},
+		{"E199", "Eve Smith", "Design"},
+		{"E259", "John Williams", "Defense"}, // John works in both
+		{"E152", "Clark Cook", "Defense"},
+		{"E254", "David Watts", "Design"},
+		{"E159", "Lisa Ross", "Defense"},
+		{"E152", "Clark Cook", "Design"},
+	}
+	for _, r := range rows {
+		rel.MustInsert(repro.Str(r[0]), repro.Str(r[1]), repro.Str(r[2]))
+	}
+
+	client, err := repro.NewClient(repro.Config{
+		MasterKey: []byte("replace me with a real 32-byte secret"),
+		Attr:      "EId", // the searchable attribute
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Row-level sensitivity: Defense rows are encrypted, the rest is
+	// outsourced in clear-text. The client builds the QB bins from the
+	// value-frequency metadata automatically.
+	deptIdx, _ := schema.ColumnIndex("Dept")
+	err = client.Outsource(rel, func(t repro.Tuple) bool {
+		return t.Values[deptIdx].Str() == "Defense"
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b := client.Binning()
+	fmt.Printf("binning: %d sensitive x %d non-sensitive bins, %d fake tuples\n",
+		b.SensitiveBins, b.NonSensitiveBins, b.FakeTuples)
+
+	// Queries look like plain selections; under the hood each one fetches
+	// one encrypted bin and one clear-text bin and merges owner-side.
+	for _, eid := range []string{"E259", "E101", "E199"} {
+		tuples, stats, err := client.QueryWithStats(repro.Str(eid))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %s: %d tuples (fetched %d plaintext, discarded %d fakes + %d bin co-residents)\n",
+			eid, len(tuples), stats.PlainTuples, stats.FakeDiscarded, stats.BinDiscarded)
+		for _, t := range tuples {
+			fmt.Printf("  %v\n", t.Values)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package adversary_test
+
+import (
+	mrand "math/rand/v2"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/owner"
+	"repro/internal/relation"
+	"repro/internal/technique"
+	"repro/internal/workload"
+)
+
+func seededOpts(seed uint64) core.Options {
+	return core.Options{Rand: mrand.New(mrand.NewPCG(seed, seed+1))}
+}
+
+func newOwner(t *testing.T, tech technique.Technique, attr string) *owner.Owner {
+	t.Helper()
+	return owner.New(tech, attr)
+}
+
+func noind(t *testing.T) technique.Technique {
+	t.Helper()
+	tech, err := technique.NewNoInd(crypto.DeriveKeys([]byte("adv test")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tech
+}
+
+// TestInferenceAttackExample2 reproduces Table II: naive partitioned
+// execution of the three queries lets the adversary classify each employee.
+func TestInferenceAttackExample2(t *testing.T) {
+	o := newOwner(t, noind(t), "EId")
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, eid := range []string{"E259", "E101", "E199"} {
+		if _, _, err := o.QueryNaive(relation.Str(eid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := adversary.InferenceAttack(o.Server().Views())
+	want := map[string]adversary.Exposure{
+		relation.Str("E259").Key(): adversary.ExposureBoth,
+		relation.Str("E101").Key(): adversary.ExposureSensitiveOnly,
+		relation.Str("E199").Key(): adversary.ExposureNonSensitiveOnly,
+	}
+	for k, exp := range want {
+		if res.ByValue[k] != exp {
+			t.Errorf("exposure[%s] = %v, want %v", k, res.ByValue[k], exp)
+		}
+	}
+	if res.LinkedPairs != 1 {
+		t.Errorf("LinkedPairs = %d, want 1 (E259)", res.LinkedPairs)
+	}
+}
+
+// TestInferenceAttackDefeatedByQB reproduces Table III: under QB the same
+// three queries give the adversary only bin-level ambiguity.
+func TestInferenceAttackDefeatedByQB(t *testing.T) {
+	o := newOwner(t, noind(t), "EId")
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, eid := range []string{"E259", "E101", "E199"} {
+		if _, _, err := o.Query(relation.Str(eid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := adversary.InferenceAttack(o.Server().Views())
+	if len(res.ByValue) != 0 {
+		t.Errorf("QB leaked classifications: %v", res.ByValue)
+	}
+	if res.Ambiguous != 3 {
+		t.Errorf("Ambiguous = %d, want 3", res.Ambiguous)
+	}
+	for _, sz := range adversary.AnonymitySetSizes(o.Server().Views()) {
+		if sz < 2 {
+			t.Errorf("anonymity set of size %d under QB", sz)
+		}
+	}
+}
+
+// pairRelation builds the paper's base case: n values, each with exactly
+// one sensitive and one non-sensitive tuple (a 1:1 association), so NS bins
+// fill exactly and the Figure 4a guarantee applies.
+func pairRelation(t *testing.T, n int) (*relation.Relation, relation.Predicate, []relation.Value) {
+	t.Helper()
+	s := relation.MustSchema("Pairs",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+		relation.Column{Name: "P", Kind: relation.KindInt},
+	)
+	r := relation.New(s)
+	sens := make(map[int]bool)
+	var values []relation.Value
+	for v := 0; v < n; v++ {
+		values = append(values, relation.Int(int64(v)))
+		id := r.MustInsert(relation.Int(int64(v)), relation.Int(0))
+		sens[id] = true
+		r.MustInsert(relation.Int(int64(v)), relation.Int(1))
+	}
+	return r, func(tp relation.Tuple) bool { return sens[tp.ID] }, values
+}
+
+// TestSurvivingMatchesCompleteUnderQB checks the Figure 4a condition: after
+// querying every value, the bin-association graph is complete bipartite.
+func TestSurvivingMatchesCompleteUnderQB(t *testing.T) {
+	rel, pred, values := pairRelation(t, 36) // 36 = 6x6 exact square
+	o := newOwner(t, noind(t), "K")
+	if err := o.Outsource(rel, pred, seededOpts(3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if _, _, err := o.Query(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := adversary.AnalyzeViews(o.Server().Views())
+	if len(g.SensGroups) == 0 || len(g.NSGroups) == 0 {
+		t.Fatalf("degenerate groups: %d sens, %d ns", len(g.SensGroups), len(g.NSGroups))
+	}
+	if !g.IsCompleteBipartite() {
+		t.Errorf("QB dropped %d surviving matches (%d sens x %d ns, %d edges)",
+			g.DroppedMatches(), len(g.SensGroups), len(g.NSGroups), g.Edges())
+	}
+}
+
+// TestSurvivingMatchesDroppedByNaive is the Figure 4b counterpart: naive
+// execution produces per-value footprints whose association graph is far
+// from complete.
+func TestSurvivingMatchesDroppedByNaive(t *testing.T) {
+	rel, pred, values := pairRelation(t, 36)
+	o := newOwner(t, noind(t), "K")
+	if err := o.Outsource(rel, pred, seededOpts(3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if _, _, err := o.QueryNaive(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := adversary.AnalyzeViews(o.Server().Views())
+	if g.IsCompleteBipartite() {
+		t.Error("naive execution unexpectedly preserved all surviving matches")
+	}
+	if g.DroppedMatches() == 0 {
+		t.Error("naive execution dropped no matches")
+	}
+}
+
+// TestSizeAttackAblation: without padding, a skewed dataset makes sensitive
+// bins distinguishable by output size; QB's padding equalises them.
+func TestSizeAttackAblation(t *testing.T) {
+	// The §IV-B scenario: one heavy-hitter sensitive value (s1 with many
+	// tuples) among singletons; each value also has one associated
+	// non-sensitive tuple.
+	s := relation.MustSchema("Skewed",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+		relation.Column{Name: "P", Kind: relation.KindInt},
+	)
+	rel := relation.New(s)
+	sens := make(map[int]bool)
+	var values []relation.Value
+	for v := 0; v < 16; v++ {
+		values = append(values, relation.Int(int64(v)))
+		n := 1
+		if v == 0 {
+			n = 100 // the heavy hitter
+		}
+		for i := 0; i < n; i++ {
+			id := rel.MustInsert(relation.Int(int64(v)), relation.Int(int64(i)))
+			sens[id] = true
+		}
+		rel.MustInsert(relation.Int(int64(v)), relation.Int(-1)) // associated ns tuple
+	}
+	pred := func(tp relation.Tuple) bool { return sens[tp.ID] }
+
+	run := func(opts core.Options) adversary.SizeAttackResult {
+		o := newOwner(t, noind(t), "K")
+		if err := o.Outsource(rel.Clone(), pred, opts); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range values {
+			if _, _, err := o.Query(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return adversary.SizeAttack(o.Server().Views())
+	}
+
+	unpadded := seededOpts(9)
+	unpadded.DisableFakePadding = true
+	if res := run(unpadded); !res.Distinguishable {
+		t.Error("size attack failed against unpadded skewed bins (positive control)")
+	}
+	if res := run(seededOpts(9)); res.Distinguishable {
+		t.Errorf("size attack succeeded despite padding: sizes %v", res.GroupSizes)
+	}
+}
+
+// TestFrequencyAttackAblation: the rank-matching frequency attack recovers
+// most values from a deterministic store on skewed data, and nothing from a
+// probabilistic or Arx store.
+func TestFrequencyAttackAblation(t *testing.T) {
+	ks := crypto.DeriveKeys([]byte("freq"))
+	det, err := technique.NewDetIndex(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct, well-separated counts so frequency ranks are unambiguous.
+	var rows []technique.Row
+	var aux []relation.ValueCount
+	truth := make(map[string]relation.Value)
+	detCipher, err := crypto.NewDeterministic(ks.Det, ks.Nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 12; v++ {
+		val := relation.Int(int64(v))
+		count := (v + 1) * 3
+		aux = append(aux, relation.ValueCount{Value: val, Count: count})
+		truth[string(detCipher.Encrypt(val.Encode()))] = val
+		for i := 0; i < count; i++ {
+			rows = append(rows, technique.Row{Payload: []byte{byte(v)}, Attr: val})
+		}
+	}
+	if _, err := det.Outsource(rows); err != nil {
+		t.Fatal(err)
+	}
+	guesses := adversary.FrequencyAttack(det.Store(), aux)
+	if acc := adversary.ScoreFrequencyAttack(guesses, truth); acc < 0.99 {
+		t.Errorf("frequency attack accuracy %v against deterministic store, want ~1", acc)
+	}
+
+	// Arx store: tokens are unique, the histogram is flat, rank matching is
+	// pure chance.
+	arx, err := technique.NewArx(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arx.Outsource(rows); err != nil {
+		t.Fatal(err)
+	}
+	guesses = adversary.FrequencyAttack(arx.Store(), aux)
+	if acc := adversary.ScoreFrequencyAttack(guesses, truth); acc > 0.01 {
+		t.Errorf("frequency attack accuracy %v against Arx store, want ~0", acc)
+	}
+}
+
+// TestWorkloadSkewAblation: under naive execution each value has its own
+// encrypted footprint, so the adversary pins hot values exactly; under QB
+// the anonymity set is the bin size.
+func TestWorkloadSkewAblation(t *testing.T) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 200, DistinctValues: 36, Alpha: 1.0, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.QueryStream(ds, workload.QuerySpec{Queries: 150, ZipfS: 1.6, Seed: 14})
+
+	run := func(naive bool) adversary.WorkloadSkewResult {
+		o := newOwner(t, noind(t), workload.Attr)
+		if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(15)); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			var err error
+			if naive {
+				_, _, err = o.QueryNaive(q)
+			} else {
+				_, _, err = o.Query(q)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return adversary.WorkloadSkewAttack(o.Server().Views(), len(ds.Values))
+	}
+
+	naiveRes := run(true)
+	if naiveRes.AnonymitySet > 2 {
+		t.Errorf("naive anonymity set %d, want ~1", naiveRes.AnonymitySet)
+	}
+	qbRes := run(false)
+	if qbRes.AnonymitySet < 3 {
+		t.Errorf("QB anonymity set %d, want >= bin size", qbRes.AnonymitySet)
+	}
+	if qbRes.Footprints >= naiveRes.Footprints {
+		t.Errorf("QB footprints %d not fewer than naive %d", qbRes.Footprints, naiveRes.Footprints)
+	}
+}
+
+// TestAnalyzeViewsEmptySides covers views with missing components.
+func TestAnalyzeViewsEmptySides(t *testing.T) {
+	views := []cloud.View{
+		{PlainValues: []relation.Value{relation.Int(1)}}, // plain only
+		{EncPredicates: 2, EncResultAddrs: []int{1, 2}},  // enc only
+		{}, // nothing
+	}
+	g := adversary.AnalyzeViews(views)
+	if len(g.NSGroups) != 1 || len(g.SensGroups) != 1 {
+		t.Fatalf("groups = %d/%d", len(g.SensGroups), len(g.NSGroups))
+	}
+	if g.Edges() != 0 {
+		t.Errorf("edges = %d, want 0", g.Edges())
+	}
+	if g.IsCompleteBipartite() {
+		t.Error("incomplete graph reported complete")
+	}
+}
+
+func TestSizeAttackEmptyViews(t *testing.T) {
+	res := adversary.SizeAttack(nil)
+	if res.Distinguishable || res.MaxOverMin != 1 {
+		t.Errorf("empty views result = %+v", res)
+	}
+}

@@ -1,0 +1,82 @@
+package adversary
+
+import (
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// FrequencyGuess is one (ciphertext group → plaintext value) hypothesis
+// produced by the frequency-count attack.
+type FrequencyGuess struct {
+	TokenKey string
+	Value    relation.Value
+}
+
+// FrequencyAttack mounts the Naveed-et-al-style frequency analysis against
+// a deterministically encrypted store: identical plaintexts yield identical
+// tokens, so the ciphertext histogram can be matched against an auxiliary
+// plaintext histogram (here: the known value counts) by rank. It returns
+// the guessed assignment ordered by descending frequency; the caller scores
+// it against ground truth.
+//
+// Probabilistic and Arx-style stores have all-distinct tokens, so the
+// ciphertext histogram is flat and the attack returns no usable guesses.
+//
+// TokenStore is the at-rest view the adversary reads; any encrypted store
+// (local or remote) satisfies it.
+func FrequencyAttack(store interface{ Rows() []storage.EncRow }, aux []relation.ValueCount) []FrequencyGuess {
+	hist := make(map[string]int)
+	for _, row := range store.Rows() {
+		if row.Token != nil {
+			hist[string(row.Token)]++
+		}
+	}
+	type group struct {
+		key string
+		n   int
+	}
+	groups := make([]group, 0, len(hist))
+	for k, n := range hist {
+		groups = append(groups, group{key: k, n: n})
+	}
+	// Rank both histograms by frequency (ties broken deterministically).
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].n != groups[j].n {
+			return groups[i].n > groups[j].n
+		}
+		return groups[i].key < groups[j].key
+	})
+	ranked := append([]relation.ValueCount(nil), aux...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Count != ranked[j].Count {
+			return ranked[i].Count > ranked[j].Count
+		}
+		return ranked[i].Value.Less(ranked[j].Value)
+	})
+	n := len(groups)
+	if len(ranked) < n {
+		n = len(ranked)
+	}
+	out := make([]FrequencyGuess, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, FrequencyGuess{TokenKey: groups[i].key, Value: ranked[i].Value})
+	}
+	return out
+}
+
+// ScoreFrequencyAttack computes the fraction of guesses that match the
+// ground-truth token→value assignment (keyed by token bytes).
+func ScoreFrequencyAttack(guesses []FrequencyGuess, truth map[string]relation.Value) float64 {
+	if len(guesses) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, g := range guesses {
+		if v, ok := truth[g.TokenKey]; ok && v.Equal(g.Value) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(guesses))
+}

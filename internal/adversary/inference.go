@@ -1,0 +1,99 @@
+package adversary
+
+import (
+	"repro/internal/cloud"
+)
+
+// Exposure classifies what the adversary learned about a queried value from
+// a naive partitioned execution (Example 2): whether it exists only among
+// the sensitive tuples, only among the non-sensitive tuples, or in both.
+type Exposure int
+
+const (
+	// ExposureNone means the view did not let the adversary classify the
+	// value.
+	ExposureNone Exposure = iota
+	// ExposureSensitiveOnly: the plaintext side returned nothing while the
+	// encrypted side returned tuples (Q2 in Example 2 — "E101 works only
+	// in a sensitive department").
+	ExposureSensitiveOnly
+	// ExposureNonSensitiveOnly: only the plaintext side answered (Q3 —
+	// "E199 works only in a non-sensitive department").
+	ExposureNonSensitiveOnly
+	// ExposureBoth: both sides answered (Q1 — "E259 works in both"), which
+	// additionally links an encrypted tuple to a plaintext one.
+	ExposureBoth
+)
+
+// String renders the exposure class.
+func (e Exposure) String() string {
+	switch e {
+	case ExposureSensitiveOnly:
+		return "sensitive-only"
+	case ExposureNonSensitiveOnly:
+		return "non-sensitive-only"
+	case ExposureBoth:
+		return "both"
+	default:
+		return "none"
+	}
+}
+
+// InferenceResult is the outcome of the Example 2 attack over a view log.
+type InferenceResult struct {
+	// ByValue maps the plaintext query predicate (by Value.Key) to what the
+	// adversary concluded. Only views whose plaintext predicate set pins
+	// down a single value contribute.
+	ByValue map[string]Exposure
+	// Ambiguous counts views whose plaintext predicate set contained more
+	// than one value, so the adversary could not single out the query value
+	// — the QB case.
+	Ambiguous int
+	// LinkedPairs counts views that associated a specific encrypted tuple
+	// address set with a specific plaintext value (the KPA-style leak).
+	LinkedPairs int
+}
+
+// InferenceAttack replays Example 2: for every view whose clear-text
+// predicate is a single value, classify that value by which sides returned
+// results. Under QB every view carries a whole non-sensitive bin, so the
+// attack degrades to bin-level ambiguity.
+func InferenceAttack(views []cloud.View) *InferenceResult {
+	res := &InferenceResult{ByValue: make(map[string]Exposure)}
+	for _, v := range views {
+		if len(v.PlainValues) != 1 {
+			if len(v.PlainValues) > 1 {
+				res.Ambiguous++
+			}
+			continue
+		}
+		key := v.PlainValues[0].Key()
+		gotPlain := len(v.PlainResults) > 0
+		gotEnc := len(v.EncResultAddrs) > 0
+		switch {
+		case gotPlain && gotEnc:
+			res.ByValue[key] = ExposureBoth
+			res.LinkedPairs++
+		case gotEnc:
+			res.ByValue[key] = ExposureSensitiveOnly
+		case gotPlain:
+			res.ByValue[key] = ExposureNonSensitiveOnly
+		default:
+			res.ByValue[key] = ExposureNone
+		}
+	}
+	return res
+}
+
+// AnonymitySetSizes returns, for each view with a plaintext component, how
+// many clear-text candidate predicates the true query value hides among —
+// 1 for naive execution, the non-sensitive bin size under QB.
+func AnonymitySetSizes(views []cloud.View) []int {
+	var out []int
+	for _, v := range views {
+		if len(v.PlainValues) > 0 {
+			out = append(out, len(v.PlainValues))
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package adversary
+
+import (
+	"sort"
+
+	"repro/internal/cloud"
+)
+
+// SizeAttackResult reports whether output sizes distinguish sensitive bins
+// (§IV-B's size-attack scenario: a heavy-hitter value makes its bin's
+// retrieval visibly larger).
+type SizeAttackResult struct {
+	// GroupSizes maps each observed sensitive footprint to the number of
+	// encrypted tuples it returns.
+	GroupSizes []int
+	// Distinguishable is true when at least two sensitive footprints return
+	// different tuple counts, giving the adversary a frequency signal.
+	Distinguishable bool
+	// MaxOverMin is the ratio of the largest to the smallest footprint, a
+	// measure of how strong the signal is (1.0 = perfectly uniform).
+	MaxOverMin float64
+}
+
+// SizeAttack inspects the view log: it groups views by sensitive footprint
+// and compares result sizes. QB's fake-tuple padding forces all groups to
+// the same size, defeating the attack; without padding, skewed data makes
+// bins distinguishable.
+func SizeAttack(views []cloud.View) SizeAttackResult {
+	sizes := make(map[string]int)
+	for _, v := range views {
+		if v.EncPredicates == 0 {
+			continue
+		}
+		sizes[addrKey(v.EncResultAddrs)] = len(v.EncResultAddrs)
+	}
+	res := SizeAttackResult{}
+	for _, n := range sizes {
+		res.GroupSizes = append(res.GroupSizes, n)
+	}
+	sort.Ints(res.GroupSizes)
+	if len(res.GroupSizes) == 0 {
+		res.MaxOverMin = 1
+		return res
+	}
+	minSz := res.GroupSizes[0]
+	maxSz := res.GroupSizes[len(res.GroupSizes)-1]
+	res.Distinguishable = minSz != maxSz
+	if minSz > 0 {
+		res.MaxOverMin = float64(maxSz) / float64(minSz)
+	} else if maxSz > 0 {
+		res.MaxOverMin = float64(maxSz)
+	} else {
+		res.MaxOverMin = 1
+	}
+	return res
+}

@@ -1,0 +1,58 @@
+package adversary
+
+import (
+	"sort"
+
+	"repro/internal/cloud"
+)
+
+// WorkloadSkewResult quantifies the workload-skew attack: an adversary who
+// knows which predicates are popular watches how often each encrypted
+// footprint is retrieved and tries to pin the popular values to encrypted
+// tuples.
+type WorkloadSkewResult struct {
+	// Footprints is the number of distinct encrypted retrieval footprints
+	// observed. When every value produces its own footprint (no binning),
+	// ranking footprints by hit count identifies the hot values exactly.
+	Footprints int
+	// Queries is the number of observed queries with an encrypted part.
+	Queries int
+	// HitCounts are the per-footprint retrieval counts, descending.
+	HitCounts []int
+	// AnonymitySet is the adversary's best-case ambiguity when pinning the
+	// hottest predicate to encrypted tuples: the number of candidate
+	// predicates mapped to the hottest footprint. It is computed as
+	// totalPredicates / footprints (at least 1); QB makes it the sensitive
+	// bin size, naive execution makes it 1.
+	AnonymitySet int
+}
+
+// WorkloadSkewAttack groups the encrypted side of the views by footprint
+// and ranks footprints by how often they were retrieved. totalPredicates is
+// the adversary's auxiliary knowledge of how many distinct sensitive
+// predicates exist.
+func WorkloadSkewAttack(views []cloud.View, totalPredicates int) WorkloadSkewResult {
+	hits := make(map[string]int)
+	queries := 0
+	for _, v := range views {
+		if v.EncPredicates == 0 {
+			continue
+		}
+		queries++
+		hits[addrKey(v.EncResultAddrs)]++
+	}
+	res := WorkloadSkewResult{Footprints: len(hits), Queries: queries}
+	for _, n := range hits {
+		res.HitCounts = append(res.HitCounts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(res.HitCounts)))
+	if len(hits) > 0 {
+		res.AnonymitySet = totalPredicates / len(hits)
+		if res.AnonymitySet < 1 {
+			res.AnonymitySet = 1
+		}
+	} else {
+		res.AnonymitySet = totalPredicates
+	}
+	return res
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand/v2"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// Options tunes bin creation.
+type Options struct {
+	// Rand supplies the secret permutation of sensitive values (footnote 4
+	// of the paper: the permutation prevents the adversary from recreating
+	// the bins). If nil, a cryptographically seeded source is used.
+	Rand *mrand.Rand
+	// DisableNearestSquare turns off the "simple extension of the base
+	// case" and always uses the exact approximately-square factors of the
+	// larger side, as in unmodified Algorithm 1.
+	DisableNearestSquare bool
+	// DisableFakePadding skips the §IV-B fake-tuple equalisation. Only the
+	// base case (all value counts equal) is then secure against size
+	// attacks; the attack ablation benchmarks use this switch.
+	DisableFakePadding bool
+	// ForcedBinCount, when > 0, overrides the computed number of bins on
+	// the small side; the Figure 6c experiment sweeps it to measure the
+	// cost of unbalanced |SB| vs |NSB|.
+	ForcedBinCount int
+}
+
+type position struct{ bin, slot int }
+
+// Bins is the owner-side binning metadata produced by Algorithm 1 (plus the
+// §IV-B general case). It maps every distinct value of the searchable
+// attribute to exactly one bin on its side and answers Algorithm 2
+// retrievals.
+type Bins struct {
+	// Sensitive bins; each entry carries the value and its (real) tuple
+	// count.
+	Sensitive [][]relation.ValueCount
+	// NonSensitive bins.
+	NonSensitive [][]relation.ValueCount
+	// FakePerBin[i] is the number of encrypted fake tuples added to
+	// sensitive bin i so that all sensitive bins answer with TargetVolume
+	// tuples (§IV-B).
+	FakePerBin []int
+	// TargetVolume is the padded tuple volume of every sensitive bin.
+	TargetVolume int
+	// Reversed records that |S| > |NS| and Algorithm 1 was applied "in a
+	// reverse way", factorising |S|.
+	Reversed bool
+
+	sensPos map[string]position
+	nsPos   map[string]position
+}
+
+// CreateBins runs Algorithm 1 (with the §IV-B general case when value
+// counts differ) over the owner's metadata: the distinct sensitive values
+// with their tuple counts and the distinct non-sensitive values with
+// theirs. A value may appear on both sides (an "associated" value).
+func CreateBins(sens, nonsens []relation.ValueCount, opts Options) (*Bins, error) {
+	if err := checkSide("sensitive", sens); err != nil {
+		return nil, err
+	}
+	if err := checkSide("non-sensitive", nonsens); err != nil {
+		return nil, err
+	}
+	rnd := opts.Rand
+	if rnd == nil {
+		rnd = mrand.New(mrand.NewPCG(cryptoSeed(), cryptoSeed()))
+	}
+
+	b := &Bins{
+		sensPos: make(map[string]position, len(sens)),
+		nsPos:   make(map[string]position, len(nonsens)),
+	}
+
+	switch {
+	case len(sens) == 0 && len(nonsens) == 0:
+		return b, nil
+	case len(nonsens) == 0:
+		// Purely sensitive data: bin by the nearest square of |S| so that
+		// each query still hides among ~sqrt(|S|) values.
+		x := NearestSquareRoot(len(sens))
+		if opts.ForcedBinCount > 0 {
+			x = opts.ForcedBinCount
+		}
+		b.Sensitive = assignSensitive(sens, x, capFor(len(sens), x), rnd, b.sensPos)
+		b.pad(opts.DisableFakePadding)
+		return b, nil
+	case len(sens) == 0:
+		// Purely non-sensitive data: nothing sensitive to protect; each
+		// value forms its own singleton bin (exact plaintext queries).
+		b.NonSensitive = make([][]relation.ValueCount, len(nonsens))
+		for i, vc := range nonsens {
+			b.NonSensitive[i] = []relation.ValueCount{vc}
+			b.nsPos[vc.Value.Key()] = position{bin: i, slot: 0}
+		}
+		return b, nil
+	}
+
+	b.Reversed = len(sens) > len(nonsens)
+
+	// small is the side with fewer distinct values; Algorithm 1 factorises
+	// the large side. In the paper's presentation small = sensitive.
+	small, big := sens, nonsens
+	if b.Reversed {
+		small, big = nonsens, sens
+	}
+	x := chooseSensitiveBinCount(len(small), len(big), opts.DisableNearestSquare)
+	if opts.ForcedBinCount > 0 {
+		x = opts.ForcedBinCount
+		if x > len(small) {
+			x = len(small)
+		}
+	}
+	smallCap := capFor(len(small), x) // values per small-side bin
+	bigCount := ceilDiv(len(big), x)  // number of big-side bins
+	if smallCap > bigCount {
+		// Cannot happen for |small| <= |big|, but guard the invariant the
+		// retrieval mapping depends on.
+		return nil, fmt.Errorf("core: internal invariant violated: smallCap %d > bigCount %d", smallCap, bigCount)
+	}
+
+	smallPos := b.sensPos
+	bigPos := b.nsPos
+	if b.Reversed {
+		smallPos, bigPos = b.nsPos, b.sensPos
+	}
+
+	var smallBins [][]relation.ValueCount
+	if !opts.DisableFakePadding && !uniformCounts(small) && !b.Reversed {
+		// §IV-B greedy allocation: minimise the fake tuples needed to
+		// equalise sensitive bins.
+		smallBins = assignGreedy(small, x, smallCap, rnd, smallPos)
+	} else {
+		smallBins = assignSensitive(small, x, smallCap, rnd, smallPos)
+	}
+
+	bigBins := assignBig(big, smallBins, x, bigCount, rnd, bigPos)
+
+	if b.Reversed {
+		b.Sensitive, b.NonSensitive = bigBins, smallBins
+	} else {
+		b.Sensitive, b.NonSensitive = smallBins, bigBins
+	}
+	b.pad(opts.DisableFakePadding)
+	return b, nil
+}
+
+func checkSide(side string, vals []relation.ValueCount) error {
+	seen := make(map[string]bool, len(vals))
+	for _, vc := range vals {
+		if vc.Count < 0 {
+			return fmt.Errorf("core: %s value %v has negative count %d", side, vc.Value, vc.Count)
+		}
+		k := vc.Value.Key()
+		if seen[k] {
+			return fmt.Errorf("core: duplicate %s value %v", side, vc.Value)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+func capFor(n, bins int) int {
+	c := ceilDiv(n, bins)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// assignSensitive permutes vals secretly and deals them round-robin over x
+// bins (Lines 2 and 5 of Algorithm 1). Bin capacity is cap values.
+func assignSensitive(vals []relation.ValueCount, x, capacity int, rnd *mrand.Rand, pos map[string]position) [][]relation.ValueCount {
+	perm := permute(vals, rnd)
+	bins := make([][]relation.ValueCount, x)
+	for i, vc := range perm {
+		bin := i % x
+		if len(bins[bin]) >= capacity {
+			// Capacity guard; with round-robin this triggers only in
+			// degenerate configurations, spill to the least-filled bin.
+			bin = leastFilled(bins, capacity)
+		}
+		pos[vc.Value.Key()] = position{bin: bin, slot: len(bins[bin])}
+		bins[bin] = append(bins[bin], vc)
+	}
+	return bins
+}
+
+// assignGreedy implements the §IV-B strategy: sort values by tuple count
+// descending, seed each bin with one of the x largest, then repeatedly give
+// the next value to the bin currently holding the fewest tuples (among bins
+// with spare value slots). This minimises the fake tuples required to
+// equalise bins (Figure 5b vs Figure 5a).
+func assignGreedy(vals []relation.ValueCount, x, capacity int, rnd *mrand.Rand, pos map[string]position) [][]relation.ValueCount {
+	perm := permute(vals, rnd) // secret tie-break order
+	sort.SliceStable(perm, func(i, j int) bool { return perm[i].Count > perm[j].Count })
+	bins := make([][]relation.ValueCount, x)
+	volumes := make([]int, x)
+	for _, vc := range perm {
+		best := -1
+		for b := 0; b < x; b++ {
+			if len(bins[b]) >= capacity {
+				continue
+			}
+			if best == -1 || volumes[b] < volumes[best] {
+				best = b
+			}
+		}
+		if best == -1 {
+			best = leastFilled(bins, capacity+1) // should not happen; degrade gracefully
+		}
+		pos[vc.Value.Key()] = position{bin: best, slot: len(bins[best])}
+		bins[best] = append(bins[best], vc)
+		volumes[best] += vc.Count
+	}
+	return bins
+}
+
+// assignBig places the big side (Lines 6 and 7 of Algorithm 1): the value
+// associated with small bin i slot j lands at big bin j slot i; the
+// remaining values fill empty slots up to x per bin.
+func assignBig(big []relation.ValueCount, smallBins [][]relation.ValueCount, x, bigCount int, rnd *mrand.Rand, pos map[string]position) [][]relation.ValueCount {
+	bigByKey := make(map[string]relation.ValueCount, len(big))
+	for _, vc := range big {
+		bigByKey[vc.Value.Key()] = vc
+	}
+	type slotVal struct {
+		vc relation.ValueCount
+		ok bool
+	}
+	grid := make([][]slotVal, bigCount)
+	for j := range grid {
+		grid[j] = make([]slotVal, x)
+	}
+	placed := make(map[string]bool, len(big))
+	for i, bin := range smallBins {
+		for j, vc := range bin {
+			k := vc.Value.Key()
+			if bvc, assoc := bigByKey[k]; assoc {
+				grid[j][i] = slotVal{vc: bvc, ok: true}
+				placed[k] = true
+			}
+		}
+	}
+	// Fill the unassociated values into empty slots (Line 7).
+	rest := make([]relation.ValueCount, 0, len(big))
+	for _, vc := range big {
+		if !placed[vc.Value.Key()] {
+			rest = append(rest, vc)
+		}
+	}
+	rest = permute(rest, rnd)
+	ri := 0
+	for j := 0; j < bigCount && ri < len(rest); j++ {
+		for i := 0; i < x && ri < len(rest); i++ {
+			if !grid[j][i].ok {
+				grid[j][i] = slotVal{vc: rest[ri], ok: true}
+				ri++
+			}
+		}
+	}
+	bins := make([][]relation.ValueCount, bigCount)
+	for j := 0; j < bigCount; j++ {
+		for i := 0; i < x; i++ {
+			if grid[j][i].ok {
+				pos[grid[j][i].vc.Value.Key()] = position{bin: j, slot: i}
+				bins[j] = append(bins[j], grid[j][i].vc)
+			}
+		}
+	}
+	return bins
+}
+
+// pad computes the fake-tuple padding that equalises sensitive bin volumes.
+func (b *Bins) pad(disabled bool) {
+	b.FakePerBin = make([]int, len(b.Sensitive))
+	if disabled || len(b.Sensitive) == 0 {
+		return
+	}
+	maxVol := 0
+	for _, bin := range b.Sensitive {
+		v := 0
+		for _, vc := range bin {
+			v += vc.Count
+		}
+		if v > maxVol {
+			maxVol = v
+		}
+	}
+	b.TargetVolume = maxVol
+	for i, bin := range b.Sensitive {
+		v := 0
+		for _, vc := range bin {
+			v += vc.Count
+		}
+		b.FakePerBin[i] = maxVol - v
+	}
+}
+
+func leastFilled(bins [][]relation.ValueCount, capacity int) int {
+	best := 0
+	for i := range bins {
+		if len(bins[i]) < len(bins[best]) {
+			best = i
+		}
+	}
+	_ = capacity
+	return best
+}
+
+func uniformCounts(vals []relation.ValueCount) bool {
+	for i := 1; i < len(vals); i++ {
+		if vals[i].Count != vals[0].Count {
+			return false
+		}
+	}
+	return true
+}
+
+func permute(vals []relation.ValueCount, rnd *mrand.Rand) []relation.ValueCount {
+	out := make([]relation.ValueCount, len(vals))
+	copy(out, vals)
+	rnd.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func cryptoSeed() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("core: seeding permutation: %v", err))
+	}
+	return binary.BigEndian.Uint64(b[:])
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	mrand "math/rand/v2"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func seededOpts(seed uint64) Options {
+	return Options{Rand: mrand.New(mrand.NewPCG(seed, seed^0x9e3779b9))}
+}
+
+func vcs(prefix string, n, count int) []relation.ValueCount {
+	out := make([]relation.ValueCount, n)
+	for i := range out {
+		out[i] = relation.ValueCount{Value: relation.Str(prefix + string(rune('A'+i/26)) + string(rune('a'+i%26))), Count: count}
+	}
+	return out
+}
+
+func intVCs(lo, n, count int) []relation.ValueCount {
+	out := make([]relation.ValueCount, n)
+	for i := range out {
+		out[i] = relation.ValueCount{Value: relation.Int(int64(lo + i)), Count: count}
+	}
+	return out
+}
+
+// checkCover asserts every input value appears in exactly one bin of its
+// side.
+func checkCover(t *testing.T, b *Bins, sens, nonsens []relation.ValueCount) {
+	t.Helper()
+	seen := make(map[string]int)
+	for _, bin := range b.Sensitive {
+		for _, vc := range bin {
+			seen[vc.Value.Key()]++
+		}
+	}
+	for _, vc := range sens {
+		if seen[vc.Value.Key()] != 1 {
+			t.Fatalf("sensitive value %v appears %d times in bins", vc.Value, seen[vc.Value.Key()])
+		}
+	}
+	total := 0
+	for _, bin := range b.Sensitive {
+		total += len(bin)
+	}
+	if total != len(sens) {
+		t.Fatalf("sensitive bins hold %d values, want %d", total, len(sens))
+	}
+	seen = make(map[string]int)
+	for _, bin := range b.NonSensitive {
+		for _, vc := range bin {
+			seen[vc.Value.Key()]++
+		}
+	}
+	for _, vc := range nonsens {
+		if seen[vc.Value.Key()] != 1 {
+			t.Fatalf("non-sensitive value %v appears %d times in bins", vc.Value, seen[vc.Value.Key()])
+		}
+	}
+	total = 0
+	for _, bin := range b.NonSensitive {
+		total += len(bin)
+	}
+	if total != len(nonsens) {
+		t.Fatalf("non-sensitive bins hold %d values, want %d", total, len(nonsens))
+	}
+}
+
+// checkRetrieval asserts Algorithm 2's guarantees for every value.
+func checkRetrieval(t *testing.T, b *Bins, sens, nonsens []relation.ValueCount) {
+	t.Helper()
+	nsSet := make(map[string]bool, len(nonsens))
+	for _, vc := range nonsens {
+		nsSet[vc.Value.Key()] = true
+	}
+	contains := func(vals []relation.Value, w relation.Value) bool {
+		for _, v := range vals {
+			if v.Equal(w) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, vc := range sens {
+		ret, ok := b.Retrieve(vc.Value)
+		if !ok {
+			t.Fatalf("Retrieve(%v) (sensitive) not found", vc.Value)
+		}
+		if !contains(ret.SensValues, vc.Value) {
+			t.Fatalf("sensitive bin for %v does not contain it", vc.Value)
+		}
+		// If the value is associated, the retrieved NS bin must cover it
+		// too (the completeness condition w ∈ Wns ∩ Ws).
+		if nsSet[vc.Value.Key()] && !contains(ret.NSValues, vc.Value) {
+			t.Fatalf("associated value %v missing from its non-sensitive bin", vc.Value)
+		}
+	}
+	for _, vc := range nonsens {
+		ret, ok := b.Retrieve(vc.Value)
+		if !ok {
+			t.Fatalf("Retrieve(%v) (non-sensitive) not found", vc.Value)
+		}
+		if !contains(ret.NSValues, vc.Value) {
+			t.Fatalf("non-sensitive bin for %v does not contain it", vc.Value)
+		}
+	}
+	if _, ok := b.Retrieve(relation.Str("definitely-not-a-value")); ok {
+		t.Fatal("Retrieve of unknown value reported found")
+	}
+}
+
+// checkPadding asserts all sensitive bins answer with equal volume.
+func checkPadding(t *testing.T, b *Bins) {
+	t.Helper()
+	vols := b.SensitiveVolumes()
+	for i, v := range vols {
+		if v != b.TargetVolume {
+			t.Fatalf("bin %d volume %d != target %d (volumes %v)", i, v, b.TargetVolume, vols)
+		}
+	}
+}
+
+func TestCreateBinsExample3(t *testing.T) {
+	// §IV-A Example 3: 10 sensitive and 10 non-sensitive values, 5
+	// associated. Expect 5 sensitive bins of 2 and 2 non-sensitive bins of
+	// 5.
+	sens := intVCs(0, 10, 1)
+	nonsens := append(intVCs(0, 5, 1), intVCs(100, 5, 1)...) // 0..4 associated
+	b, err := CreateBins(sens, nonsens, seededOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.SensitiveBinCount(); got != 5 {
+		t.Errorf("sensitive bins = %d, want 5", got)
+	}
+	if got := b.NonSensitiveBinCount(); got != 2 {
+		t.Errorf("non-sensitive bins = %d, want 2", got)
+	}
+	for i, bin := range b.Sensitive {
+		if len(bin) != 2 {
+			t.Errorf("sensitive bin %d holds %d values, want 2", i, len(bin))
+		}
+	}
+	for i, bin := range b.NonSensitive {
+		if len(bin) != 5 {
+			t.Errorf("non-sensitive bin %d holds %d values, want 5", i, len(bin))
+		}
+	}
+	checkCover(t, b, sens, nonsens)
+	checkRetrieval(t, b, sens, nonsens)
+	checkPadding(t, b)
+}
+
+func TestCreateBins4x4Matrix(t *testing.T) {
+	// The §IV walkthrough: 16 values, all associated — a 4x4 matrix.
+	sens := intVCs(0, 16, 1)
+	nonsens := intVCs(0, 16, 1)
+	b, err := CreateBins(sens, nonsens, seededOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SensitiveBinCount() != 4 || b.NonSensitiveBinCount() != 4 {
+		t.Fatalf("bins = %dx%d, want 4x4", b.SensitiveBinCount(), b.NonSensitiveBinCount())
+	}
+	checkCover(t, b, sens, nonsens)
+	checkRetrieval(t, b, sens, nonsens)
+}
+
+// TestCompleteBipartiteAssociation verifies the security core: after
+// querying every value, each sensitive bin has been retrieved together with
+// each non-sensitive bin, so no surviving match is dropped (Figure 4a).
+func TestCompleteBipartiteAssociation(t *testing.T) {
+	configs := []struct {
+		nSens, nNS int
+	}{
+		{10, 10}, {16, 16}, {5, 25}, {30, 100}, {36, 36},
+	}
+	for _, c := range configs {
+		sens := intVCs(0, c.nSens, 1)
+		nonsens := intVCs(0, c.nNS, 1) // full association on the overlap
+		b, err := CreateBins(sens, nonsens, seededOpts(uint64(c.nSens*1000+c.nNS)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := make(map[[2]int]bool)
+		for _, vc := range append(append([]relation.ValueCount{}, sens...), nonsens...) {
+			ret, ok := b.Retrieve(vc.Value)
+			if !ok {
+				t.Fatalf("config %+v: value %v not retrievable", c, vc.Value)
+			}
+			if ret.SensBin >= 0 && ret.NSBin >= 0 {
+				pairs[[2]int{ret.SensBin, ret.NSBin}] = true
+			}
+		}
+		want := b.SensitiveBinCount() * b.NonSensitiveBinCount()
+		if len(pairs) != want {
+			t.Errorf("config %+v: %d of %d bin associations observed", c, len(pairs), want)
+		}
+	}
+}
+
+func TestCreateBinsGeneralCaseFigure5(t *testing.T) {
+	// §IV-B Example 5: 9 sensitive values with 10..90 tuples, 9
+	// non-sensitive values, 3 bins. The greedy allocation must equalise
+	// volumes with few fakes (the naive contiguous split needs 270).
+	sens := make([]relation.ValueCount, 9)
+	for i := range sens {
+		sens[i] = relation.ValueCount{Value: relation.Int(int64(i + 1)), Count: 10 * (i + 1)}
+	}
+	nonsens := intVCs(100, 9, 1)
+	b, err := CreateBins(sens, nonsens, seededOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SensitiveBinCount() != 3 {
+		t.Fatalf("sensitive bins = %d, want 3", b.SensitiveBinCount())
+	}
+	checkPadding(t, b)
+	if fakes := b.TotalFakeTuples(); fakes > 30 {
+		t.Errorf("greedy allocation needed %d fakes, want <= 30 (naive needs 90-270)", fakes)
+	}
+	checkCover(t, b, sens, nonsens)
+	checkRetrieval(t, b, sens, nonsens)
+}
+
+func TestCreateBinsSkewWithoutPadding(t *testing.T) {
+	sens := []relation.ValueCount{
+		{Value: relation.Int(1), Count: 1000},
+		{Value: relation.Int(2), Count: 1},
+		{Value: relation.Int(3), Count: 1},
+		{Value: relation.Int(4), Count: 1},
+	}
+	nonsens := intVCs(10, 4, 1)
+	b, err := CreateBins(sens, nonsens, Options{
+		Rand:               mrand.New(mrand.NewPCG(1, 2)),
+		DisableFakePadding: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalFakeTuples() != 0 {
+		t.Errorf("padding disabled but %d fakes", b.TotalFakeTuples())
+	}
+	vols := b.SensitiveVolumes()
+	equal := true
+	for _, v := range vols {
+		if v != vols[0] {
+			equal = false
+		}
+	}
+	if equal {
+		t.Error("skewed bins unexpectedly uniform without padding")
+	}
+}
+
+func TestCreateBinsReversed(t *testing.T) {
+	// |S| > |NS|: Algorithm 1 applied in reverse.
+	sens := intVCs(0, 50, 1)
+	nonsens := intVCs(0, 10, 1)
+	b, err := CreateBins(sens, nonsens, seededOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Reversed {
+		t.Error("Reversed not set for |S| > |NS|")
+	}
+	checkCover(t, b, sens, nonsens)
+	checkRetrieval(t, b, sens, nonsens)
+	checkPadding(t, b)
+}
+
+func TestCreateBinsDegenerate(t *testing.T) {
+	// Empty both sides.
+	b, err := CreateBins(nil, nil, seededOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Retrieve(relation.Int(1)); ok {
+		t.Error("empty bins retrieved something")
+	}
+
+	// Only sensitive values.
+	sens := intVCs(0, 9, 2)
+	b, err = CreateBins(sens, nil, seededOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, b, sens, nil)
+	checkPadding(t, b)
+	ret, ok := b.Retrieve(relation.Int(4))
+	if !ok || ret.SensBin < 0 || ret.NSBin != -1 {
+		t.Errorf("sensitive-only retrieval = %+v, %v", ret, ok)
+	}
+
+	// Only non-sensitive values: singleton bins, exact queries.
+	nonsens := intVCs(0, 7, 1)
+	b, err = CreateBins(nil, nonsens, seededOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, ok = b.Retrieve(relation.Int(3))
+	if !ok || ret.SensBin != -1 || len(ret.NSValues) != 1 {
+		t.Errorf("non-sensitive-only retrieval = %+v, %v", ret, ok)
+	}
+}
+
+func TestCreateBinsValidation(t *testing.T) {
+	dup := []relation.ValueCount{
+		{Value: relation.Int(1), Count: 1},
+		{Value: relation.Int(1), Count: 2},
+	}
+	if _, err := CreateBins(dup, nil, seededOpts(1)); err == nil {
+		t.Error("duplicate sensitive values accepted")
+	}
+	if _, err := CreateBins(nil, dup, seededOpts(1)); err == nil {
+		t.Error("duplicate non-sensitive values accepted")
+	}
+	neg := []relation.ValueCount{{Value: relation.Int(1), Count: -1}}
+	if _, err := CreateBins(neg, nil, seededOpts(1)); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestCreateBinsForcedBinCount(t *testing.T) {
+	sens := intVCs(0, 20, 1)
+	nonsens := intVCs(0, 20, 1)
+	for _, forced := range []int{1, 2, 5, 10, 20} {
+		opts := seededOpts(uint64(forced))
+		opts.ForcedBinCount = forced
+		b, err := CreateBins(sens, nonsens, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.SensitiveBinCount() != forced {
+			t.Errorf("forced %d produced %d sensitive bins", forced, b.SensitiveBinCount())
+		}
+		checkCover(t, b, sens, nonsens)
+		checkRetrieval(t, b, sens, nonsens)
+	}
+}
+
+func TestCreateBinsPermutationIsSeedDependent(t *testing.T) {
+	sens := intVCs(0, 30, 1)
+	nonsens := intVCs(0, 30, 1)
+	b1, err := CreateBins(sens, nonsens, seededOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := CreateBins(sens, nonsens, seededOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := CreateBins(sens, nonsens, seededOpts(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(b *Bins) string {
+		s := ""
+		for _, bin := range b.Sensitive {
+			for _, vc := range bin {
+				s += vc.Value.Key() + ","
+			}
+			s += ";"
+		}
+		return s
+	}
+	if key(b1) != key(b2) {
+		t.Error("same seed produced different bins")
+	}
+	if key(b1) == key(b3) {
+		t.Error("different seeds produced identical bins (permutation not applied)")
+	}
+}
+
+func TestMetadataBytesPositive(t *testing.T) {
+	b, err := CreateBins(intVCs(0, 10, 1), intVCs(0, 10, 1), seededOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MetadataBytes() <= 0 {
+		t.Error("metadata size not positive")
+	}
+}

@@ -1,0 +1,95 @@
+// Package core implements query binning (QB), the central contribution of
+// "Partitioned Data Security on Outsourced Sensitive and Non-sensitive
+// Data" (Mehrotra et al., ICDE 2019, §IV).
+//
+// Bin creation (Algorithm 1) arranges the distinct values of the searchable
+// attribute into sensitive bins SB and non-sensitive bins NSB such that
+// retrieving one bin of each side per query (Algorithm 2) (i) covers the
+// queried value on both sides and (ii) preserves every "surviving match"
+// between sensitive and non-sensitive values, which yields partitioned data
+// security (§III). The general case (§IV-B) additionally equalises the
+// number of tuples per sensitive bin with encrypted fake tuples, defeating
+// size and frequency-count attacks.
+package core
+
+import "math"
+
+// ApproxSquareFactors returns the pair (x, y) with x*y == n, x >= y, and
+// |x-y| minimal — the "approximately square factors" of §IV-A. n must be
+// positive; for n == 1 it returns (1, 1).
+func ApproxSquareFactors(n int) (x, y int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	for d := int(math.Sqrt(float64(n))); d >= 1; d-- {
+		if n%d == 0 {
+			return n / d, d
+		}
+	}
+	return n, 1 // unreachable: d=1 always divides
+}
+
+// NearestSquareRoot returns the integer s minimising |s*s - n|, preferring
+// the smaller s on ties. It backs the "simple extension of the base case":
+// when |NS| is prime or has very skewed factors, binning by the nearest
+// square is far cheaper (§IV-A, the 82-values example).
+func NearestSquareRoot(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	lo := int(math.Sqrt(float64(n)))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lo + 1
+	if n-lo*lo <= hi*hi-n {
+		return lo
+	}
+	return hi
+}
+
+// retrievalCost estimates the per-query retrieval cost (number of values
+// fetched across both bins) of using x sensitive bins over nSens sensitive
+// and nNS non-sensitive values: each query fetches one non-sensitive bin of
+// at most x values and one sensitive bin of at most ceil(nSens/x) values.
+func retrievalCost(x, nSens, nNS int) int {
+	if x <= 0 {
+		return math.MaxInt
+	}
+	sensPerBin := ceilDiv(nSens, x)
+	nsPerBin := x
+	if nNS < x {
+		nsPerBin = nNS
+	}
+	return sensPerBin + nsPerBin
+}
+
+// chooseSensitiveBinCount picks the number of sensitive bins: Algorithm 1
+// uses the larger approximately-square factor of nNS, and the extension
+// also considers the nearest square root, keeping whichever yields the
+// lower per-query retrieval cost.
+func chooseSensitiveBinCount(nSens, nNS int, disableNearestSquare bool) int {
+	x, _ := ApproxSquareFactors(nNS)
+	if !disableNearestSquare {
+		if s := NearestSquareRoot(nNS); s > 0 &&
+			retrievalCost(s, nSens, nNS) < retrievalCost(x, nSens, nNS) {
+			x = s
+		}
+	}
+	// The paper assumes |S| >= x; with fewer sensitive values, extra bins
+	// would sit empty, so cap the bin count.
+	if nSens > 0 && x > nSens {
+		x = nSens
+	}
+	if x < 1 {
+		x = 1
+	}
+	return x
+}
+
+func ceilDiv(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

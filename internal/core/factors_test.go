@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestApproxSquareFactors(t *testing.T) {
+	cases := []struct {
+		n, x, y int
+	}{
+		{1, 1, 1},
+		{2, 2, 1},
+		{4, 2, 2},
+		{12, 4, 3},
+		{16, 4, 4},
+		{17, 17, 1}, // prime
+		{82, 41, 2},
+		{100, 10, 10},
+		{0, 0, 0},
+		{-3, 0, 0},
+	}
+	for _, c := range cases {
+		x, y := ApproxSquareFactors(c.n)
+		if x != c.x || y != c.y {
+			t.Errorf("ApproxSquareFactors(%d) = (%d,%d), want (%d,%d)", c.n, x, y, c.x, c.y)
+		}
+	}
+}
+
+func TestApproxSquareFactorsProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(1 + r.Intn(100000))
+		},
+	}
+	prop := func(n int) bool {
+		x, y := ApproxSquareFactors(n)
+		if x*y != n || x < y {
+			return false
+		}
+		// y is the largest divisor <= sqrt(n): no better pair exists.
+		for d := y + 1; d*d <= n; d++ {
+			if n%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestSquareRoot(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 2}, {7, 3}, {8, 3},
+		{82, 9}, {100, 10}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := NearestSquareRoot(c.n); got != c.want {
+			t.Errorf("NearestSquareRoot(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestChooseSensitiveBinCountPrefersNearSquare(t *testing.T) {
+	// The §IV-A example: 41 sensitive / 82 non-sensitive values. Exact
+	// factorisation would give 41 bins (cost 41+1); the nearest-square
+	// extension gives 9 (cost 9+5).
+	x := chooseSensitiveBinCount(41, 82, false)
+	if x != 9 {
+		t.Errorf("extension chose %d bins, want 9", x)
+	}
+	xNoExt := chooseSensitiveBinCount(41, 82, true)
+	if xNoExt != 41 {
+		t.Errorf("plain Algorithm 1 chose %d bins, want 41", xNoExt)
+	}
+}
+
+func TestChooseSensitiveBinCountCapsAtSensitiveValues(t *testing.T) {
+	if x := chooseSensitiveBinCount(3, 100, false); x > 3 {
+		t.Errorf("bin count %d exceeds |S| = 3", x)
+	}
+	if x := chooseSensitiveBinCount(10, 16, false); x < 1 {
+		t.Errorf("bin count %d", x)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "repro/internal/relation"
+
+// BinsSnapshot is the serialisable form of Bins (all fields exported for
+// encoding/gob). It captures the complete owner-side binning metadata —
+// bin contents, value positions, padding — so an owner can persist and
+// restore its state without re-creating (and re-permuting) the bins.
+type BinsSnapshot struct {
+	Sensitive     [][]relation.ValueCount
+	NonSensitive  [][]relation.ValueCount
+	FakePerBin    []int
+	TargetVolume  int
+	Reversed      bool
+	SensPositions map[string][2]int
+	NSPositions   map[string][2]int
+}
+
+// Snapshot extracts the serialisable state.
+func (b *Bins) Snapshot() BinsSnapshot {
+	s := BinsSnapshot{
+		Sensitive:     b.Sensitive,
+		NonSensitive:  b.NonSensitive,
+		FakePerBin:    b.FakePerBin,
+		TargetVolume:  b.TargetVolume,
+		Reversed:      b.Reversed,
+		SensPositions: make(map[string][2]int, len(b.sensPos)),
+		NSPositions:   make(map[string][2]int, len(b.nsPos)),
+	}
+	for k, p := range b.sensPos {
+		s.SensPositions[k] = [2]int{p.bin, p.slot}
+	}
+	for k, p := range b.nsPos {
+		s.NSPositions[k] = [2]int{p.bin, p.slot}
+	}
+	return s
+}
+
+// FromSnapshot reconstructs Bins from a snapshot.
+func FromSnapshot(s BinsSnapshot) *Bins {
+	b := &Bins{
+		Sensitive:    s.Sensitive,
+		NonSensitive: s.NonSensitive,
+		FakePerBin:   s.FakePerBin,
+		TargetVolume: s.TargetVolume,
+		Reversed:     s.Reversed,
+		sensPos:      make(map[string]position, len(s.SensPositions)),
+		nsPos:        make(map[string]position, len(s.NSPositions)),
+	}
+	for k, p := range s.SensPositions {
+		b.sensPos[k] = position{bin: p[0], slot: p[1]}
+	}
+	for k, p := range s.NSPositions {
+		b.nsPos[k] = position{bin: p[0], slot: p[1]}
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	mrandv2 "math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// binConfig is a randomly drawn CreateBins input for property testing.
+type binConfig struct {
+	nSens, nNS int
+	assoc      int // number of associated values (on both sides)
+	maxCount   int
+	seed       uint64
+}
+
+func randomConfig(r *rand.Rand) binConfig {
+	return binConfig{
+		nSens:    r.Intn(60),
+		nNS:      r.Intn(120),
+		assoc:    r.Intn(40),
+		maxCount: 1 + r.Intn(20),
+		seed:     r.Uint64(),
+	}
+}
+
+func (c binConfig) build(r *rand.Rand) (sens, nonsens []relation.ValueCount) {
+	assoc := c.assoc
+	if assoc > c.nSens {
+		assoc = c.nSens
+	}
+	if assoc > c.nNS {
+		assoc = c.nNS
+	}
+	// Associated values 0..assoc-1 appear on both sides; the rest are
+	// disjoint.
+	for i := 0; i < c.nSens; i++ {
+		v := relation.Int(int64(i))
+		if i >= assoc {
+			v = relation.Int(int64(1000 + i))
+		}
+		sens = append(sens, relation.ValueCount{Value: v, Count: 1 + r.Intn(c.maxCount)})
+	}
+	for i := 0; i < c.nNS; i++ {
+		v := relation.Int(int64(i))
+		if i >= assoc {
+			v = relation.Int(int64(2000 + i))
+		}
+		nonsens = append(nonsens, relation.ValueCount{Value: v, Count: 1 + r.Intn(c.maxCount)})
+	}
+	return sens, nonsens
+}
+
+// TestBinInvariantsProperty fuzzes CreateBins across sizes, skews and
+// association structures and asserts the core invariants: exact cover,
+// retrievability of every value with completeness on associated values,
+// equalised padded volumes, and in-range bin coordinates.
+func TestBinInvariantsProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomConfig(r))
+		},
+	}
+	prop := func(c binConfig) bool {
+		r := rand.New(rand.NewSource(int64(c.seed)))
+		sens, nonsens := c.build(r)
+		b, err := CreateBins(sens, nonsens, Options{
+			Rand: mrandv2.New(mrandv2.NewPCG(c.seed, ^c.seed)),
+		})
+		if err != nil {
+			t.Logf("CreateBins(%+v): %v", c, err)
+			return false
+		}
+		// Cover: every value in exactly one bin.
+		if !coversExactly(b.Sensitive, sens) || !coversExactly(b.NonSensitive, nonsens) {
+			t.Logf("cover violated for %+v", c)
+			return false
+		}
+		// Padding: equal volumes.
+		vols := b.SensitiveVolumes()
+		for _, v := range vols {
+			if v != b.TargetVolume {
+				t.Logf("padding violated for %+v: %v target %d", c, vols, b.TargetVolume)
+				return false
+			}
+		}
+		// Retrieval correctness.
+		nsSet := make(map[string]bool)
+		for _, vc := range nonsens {
+			nsSet[vc.Value.Key()] = true
+		}
+		for _, vc := range append(append([]relation.ValueCount{}, sens...), nonsens...) {
+			ret, ok := b.Retrieve(vc.Value)
+			if !ok {
+				t.Logf("value %v unretrievable for %+v", vc.Value, c)
+				return false
+			}
+			if ret.SensBin >= len(b.Sensitive) || ret.NSBin >= len(b.NonSensitive) {
+				t.Logf("out-of-range bins %+v for %+v", ret, c)
+				return false
+			}
+			inSens := containsValue(ret.SensValues, vc.Value)
+			inNS := containsValue(ret.NSValues, vc.Value)
+			if !inSens && !inNS {
+				t.Logf("value %v missing from both retrieved bins for %+v", vc.Value, c)
+				return false
+			}
+			// Completeness: if associated, both bins must cover it.
+			if b.ContainsSensitive(vc.Value) && b.ContainsNonSensitive(vc.Value) && (!inSens || !inNS) {
+				t.Logf("associated value %v only partially covered for %+v", vc.Value, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func coversExactly(bins [][]relation.ValueCount, vals []relation.ValueCount) bool {
+	seen := make(map[string]int)
+	total := 0
+	for _, bin := range bins {
+		for _, vc := range bin {
+			seen[vc.Value.Key()]++
+			total++
+		}
+	}
+	if total != len(vals) {
+		return false
+	}
+	for _, vc := range vals {
+		if seen[vc.Value.Key()] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func containsValue(vals []relation.Value, w relation.Value) bool {
+	for _, v := range vals {
+		if v.Equal(w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/relation"
+)
+
+// Retrieval is the output of Algorithm 2: the pair of bins whose values the
+// owner must query to answer q(w) without leakage. A bin index of -1 means
+// that side has no bins (degenerate datasets).
+type Retrieval struct {
+	SensBin int
+	NSBin   int
+	// SensValues are the values of the sensitive bin; the owner encrypts
+	// them (the set Ws) before sending.
+	SensValues []relation.Value
+	// NSValues are the plaintext values of the non-sensitive bin (Wns).
+	NSValues []relation.Value
+	// Fake is the number of fake tuples expected back from the sensitive
+	// bin; the owner discards them after decryption.
+	Fake int
+}
+
+// Retrieve implements Algorithm 2 for a query value w. The second return is
+// false when w appears in neither side's bins, in which case nothing needs
+// to be fetched ("if the value w is neither in a sensitive or a
+// non-sensitive bin, then there is no need to retrieve any bin").
+//
+// Rule R1: if w = SB_i[j], fetch sensitive bin i and non-sensitive bin j.
+// Rule R2: if w = NSB_i[j], fetch non-sensitive bin i and sensitive bin j.
+// When w is on both sides the two rules select the same pair.
+func (b *Bins) Retrieve(w relation.Value) (Retrieval, bool) {
+	k := w.Key()
+	if p, ok := b.sensPos[k]; ok {
+		return b.buildRetrieval(p.bin, b.otherIndex(p.slot, len(b.NonSensitive))), true
+	}
+	if p, ok := b.nsPos[k]; ok {
+		return b.buildRetrieval(b.otherIndex(p.slot, len(b.Sensitive)), p.bin), true
+	}
+	return Retrieval{SensBin: -1, NSBin: -1}, false
+}
+
+// otherIndex maps a slot position to the bin index on the opposite side,
+// guarding degenerate sides with no bins.
+func (b *Bins) otherIndex(slot, otherBins int) int {
+	if otherBins == 0 {
+		return -1
+	}
+	if slot >= otherBins {
+		// Cannot occur when the Algorithm 1 invariants hold; clamp rather
+		// than panic so that degenerate hand-built bins stay usable.
+		return otherBins - 1
+	}
+	return slot
+}
+
+func (b *Bins) buildRetrieval(sensBin, nsBin int) Retrieval {
+	r := Retrieval{SensBin: sensBin, NSBin: nsBin}
+	if sensBin >= 0 && sensBin < len(b.Sensitive) {
+		for _, vc := range b.Sensitive[sensBin] {
+			r.SensValues = append(r.SensValues, vc.Value)
+		}
+		if sensBin < len(b.FakePerBin) {
+			r.Fake = b.FakePerBin[sensBin]
+		}
+	} else {
+		r.SensBin = -1
+	}
+	if nsBin >= 0 && nsBin < len(b.NonSensitive) {
+		for _, vc := range b.NonSensitive[nsBin] {
+			r.NSValues = append(r.NSValues, vc.Value)
+		}
+	} else {
+		r.NSBin = -1
+	}
+	return r
+}
+
+// SensitiveBinCount returns |SB|, the number of sensitive bins.
+func (b *Bins) SensitiveBinCount() int { return len(b.Sensitive) }
+
+// NonSensitiveBinCount returns |NSB|, the number of non-sensitive bins.
+func (b *Bins) NonSensitiveBinCount() int { return len(b.NonSensitive) }
+
+// SensitiveVolumes returns the padded tuple volume of each sensitive bin
+// (real + fake); under §IV-B padding all entries are equal.
+func (b *Bins) SensitiveVolumes() []int {
+	out := make([]int, len(b.Sensitive))
+	for i, bin := range b.Sensitive {
+		v := 0
+		for _, vc := range bin {
+			v += vc.Count
+		}
+		if i < len(b.FakePerBin) {
+			v += b.FakePerBin[i]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TotalFakeTuples returns the total padding cost of the binning.
+func (b *Bins) TotalFakeTuples() int {
+	total := 0
+	for _, f := range b.FakePerBin {
+		total += f
+	}
+	return total
+}
+
+// ContainsSensitive reports whether w was binned as a sensitive value.
+func (b *Bins) ContainsSensitive(w relation.Value) bool {
+	_, ok := b.sensPos[w.Key()]
+	return ok
+}
+
+// ContainsNonSensitive reports whether w was binned as a non-sensitive
+// value.
+func (b *Bins) ContainsNonSensitive(w relation.Value) bool {
+	_, ok := b.nsPos[w.Key()]
+	return ok
+}
+
+// MetadataBytes estimates the owner-side storage for the binning metadata
+// (searchable values and their bin coordinates), the quantity reported for
+// the TPC-H attributes in §V-B.
+func (b *Bins) MetadataBytes() int {
+	total := 0
+	for _, bin := range b.Sensitive {
+		for _, vc := range bin {
+			total += len(vc.Value.Encode()) + 2*8 // value + position + count
+		}
+	}
+	for _, bin := range b.NonSensitive {
+		for _, vc := range bin {
+			total += len(vc.Value.Encode()) + 2*8
+		}
+	}
+	return total
+}

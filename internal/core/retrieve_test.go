@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestRetrieveClampsDegenerateBins exercises the defensive clamping in
+// otherIndex for hand-built bins that violate the Algorithm 1 invariants
+// (cannot arise from CreateBins, but Bins is a plain struct).
+func TestRetrieveClampsDegenerateBins(t *testing.T) {
+	b := &Bins{
+		Sensitive:    [][]relation.ValueCount{{{Value: relation.Int(1), Count: 1}}},
+		NonSensitive: [][]relation.ValueCount{{{Value: relation.Int(2), Count: 1}}},
+		FakePerBin:   []int{0},
+		sensPos:      map[string]position{relation.Int(1).Key(): {bin: 0, slot: 9}}, // slot out of range
+		nsPos:        map[string]position{relation.Int(2).Key(): {bin: 0, slot: 9}},
+	}
+	ret, ok := b.Retrieve(relation.Int(1))
+	if !ok || ret.NSBin != 0 {
+		t.Fatalf("clamped retrieval = %+v, %v", ret, ok)
+	}
+	ret, ok = b.Retrieve(relation.Int(2))
+	if !ok || ret.SensBin != 0 {
+		t.Fatalf("clamped retrieval = %+v, %v", ret, ok)
+	}
+}
+
+func TestRetrieveEmptyOtherSide(t *testing.T) {
+	b := &Bins{
+		Sensitive:  [][]relation.ValueCount{{{Value: relation.Int(1), Count: 1}}},
+		FakePerBin: []int{2},
+		sensPos:    map[string]position{relation.Int(1).Key(): {bin: 0, slot: 0}},
+		nsPos:      map[string]position{},
+	}
+	ret, ok := b.Retrieve(relation.Int(1))
+	if !ok || ret.NSBin != -1 || ret.SensBin != 0 {
+		t.Fatalf("retrieval = %+v, %v", ret, ok)
+	}
+	if ret.Fake != 2 {
+		t.Errorf("Fake = %d, want 2", ret.Fake)
+	}
+}
+
+func TestVolumesAndFakesAccessors(t *testing.T) {
+	sens := []relation.ValueCount{
+		{Value: relation.Int(1), Count: 5},
+		{Value: relation.Int(2), Count: 1},
+		{Value: relation.Int(3), Count: 1},
+		{Value: relation.Int(4), Count: 1},
+	}
+	nonsens := intVCs(10, 4, 1)
+	b, err := CreateBins(sens, nonsens, seededOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := b.SensitiveVolumes()
+	if len(vols) != b.SensitiveBinCount() {
+		t.Fatalf("volumes %v vs %d bins", vols, b.SensitiveBinCount())
+	}
+	total := 0
+	for i, bin := range b.Sensitive {
+		real := 0
+		for _, vc := range bin {
+			real += vc.Count
+		}
+		if vols[i] != real+b.FakePerBin[i] {
+			t.Errorf("bin %d volume %d != real %d + fake %d", i, vols[i], real, b.FakePerBin[i])
+		}
+		total += b.FakePerBin[i]
+	}
+	if b.TotalFakeTuples() != total {
+		t.Errorf("TotalFakeTuples = %d, want %d", b.TotalFakeTuples(), total)
+	}
+}
+
+func TestDisableNearestSquareChangesShape(t *testing.T) {
+	sens := intVCs(0, 40, 1)
+	nonsens := intVCs(0, 82, 1) // 82 = 41*2, the §IV-A worked example
+	withExt, err := CreateBins(sens, nonsens, seededOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := seededOpts(3)
+	opts.DisableNearestSquare = true
+	without, err := CreateBins(sens, nonsens, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withExt.SensitiveBinCount() >= without.SensitiveBinCount() {
+		t.Errorf("extension bins %d, plain %d: extension should use fewer, squarer bins",
+			withExt.SensitiveBinCount(), without.SensitiveBinCount())
+	}
+	// Both still satisfy cover and retrieval invariants.
+	for _, b := range []*Bins{withExt, without} {
+		checkCover(t, b, sens, nonsens)
+		checkRetrieval(t, b, sens, nonsens)
+	}
+}
+
+func TestRetrievalCostGuards(t *testing.T) {
+	if got := retrievalCost(0, 10, 10); got <= 0 {
+		t.Errorf("retrievalCost(0,...) = %d, want max", got)
+	}
+	if got := retrievalCost(3, 9, 2); got != 3+2 {
+		t.Errorf("retrievalCost small-NS = %d, want 5", got)
+	}
+}

@@ -1,0 +1,127 @@
+// Package costmodel implements the analytical performance model of §V-A:
+// the parameters α (sensitivity), β (encrypted/plaintext search cost
+// ratio), γ (encrypted search / communication cost ratio) and ρ (query
+// selectivity), the plaintext and cryptographic query cost functions, and
+// the ratio η comparing QB against encrypting the entire dataset. η < 1
+// means QB wins.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the model inputs.
+type Params struct {
+	// Alpha is |S| / (|S| + |NS|): the fraction of the data that is
+	// sensitive.
+	Alpha float64
+	// Beta is Ce/Cp: how much slower one encrypted predicate search is
+	// than a plaintext one.
+	Beta float64
+	// Gamma is Ce/Ccom: encrypted search cost over per-tuple transfer
+	// cost. Strong cryptography has γ in the thousands (the paper estimates
+	// γ ≈ 25000 for secret sharing on the TPC-H Customer table).
+	Gamma float64
+	// Rho is the query selectivity (fraction of tuples matching one
+	// predicate).
+	Rho float64
+	// D is the total number of tuples.
+	D int
+	// SB and NSB are the number of values per sensitive and non-sensitive
+	// bin respectively (the per-query predicate counts).
+	SB, NSB int
+}
+
+// Validate checks the parameters are in range.
+func (p Params) Validate() error {
+	switch {
+	case p.Alpha < 0 || p.Alpha > 1:
+		return fmt.Errorf("costmodel: alpha %v outside [0,1]", p.Alpha)
+	case p.Beta <= 0:
+		return fmt.Errorf("costmodel: beta %v must be positive", p.Beta)
+	case p.Gamma <= 0:
+		return fmt.Errorf("costmodel: gamma %v must be positive", p.Gamma)
+	case p.Rho < 0 || p.Rho > 1:
+		return fmt.Errorf("costmodel: rho %v outside [0,1]", p.Rho)
+	case p.D <= 0:
+		return fmt.Errorf("costmodel: D %d must be positive", p.D)
+	case p.SB < 0 || p.NSB < 0:
+		return fmt.Errorf("costmodel: bin sizes must be non-negative")
+	}
+	return nil
+}
+
+// CostPlain is Cost_plain(x, D): processing x plaintext selection
+// predicates over D tuples plus transferring the matching tuples, in units
+// of Ccom (per-tuple transfer cost). Cp = Ce/(β·γ) · Ccom.
+func (p Params) CostPlain(x, d int) float64 {
+	cp := p.Gamma / p.Beta // Cp in Ccom units: Ce=γ·Ccom, Cp=Ce/β
+	return float64(x)*math.Log2(float64(d)+1)*cp + float64(x)*p.Rho*float64(d)
+}
+
+// CostCrypt is Cost_crypt(x, D): one amortised encrypted scan of D tuples
+// (the x predicates share the scan, §V-A) plus transferring the matches, in
+// Ccom units.
+func (p Params) CostCrypt(x, d int) float64 {
+	return p.Gamma*float64(d) + float64(x)*p.Rho*float64(d)
+}
+
+// Eta computes the full ratio of §V-A:
+//
+//	η = Cost_crypt(|SB|, S)/Cost_crypt(1, D) + Cost_plain(|NSB|, NS)/Cost_crypt(1, D)
+//
+// with S = α·D and NS = (1-α)·D.
+func (p Params) Eta() float64 {
+	s := int(math.Round(p.Alpha * float64(p.D)))
+	ns := p.D - s
+	denom := p.CostCrypt(1, p.D)
+	if denom == 0 {
+		return math.Inf(1)
+	}
+	return (p.CostCrypt(p.SB, s) + p.CostPlain(p.NSB, ns)) / denom
+}
+
+// EtaSimplified is the closed form the paper reduces to after dropping the
+// negligible terms: η = α + ρ(|SB| + |NSB|)/γ.
+func (p Params) EtaSimplified() float64 {
+	return p.Alpha + p.Rho*float64(p.SB+p.NSB)/p.Gamma
+}
+
+// BreakEvenAlpha returns the sensitivity threshold below which QB beats
+// full encryption (η < 1): α < 1 − 2ρ√|NS|/γ, using |SB| ≈ |NSB| ≈ √|NS|.
+func BreakEvenAlpha(rho, gamma float64, nNonSensitiveValues int) float64 {
+	return 1 - 2*rho*math.Sqrt(float64(nNonSensitiveValues))/gamma
+}
+
+// BinSizesFor returns the √|NS| bin-size estimate used throughout §V.
+func BinSizesFor(nNonSensitiveValues int) (sb, nsb int) {
+	s := int(math.Round(math.Sqrt(float64(nNonSensitiveValues))))
+	if s < 1 {
+		s = 1
+	}
+	return s, s
+}
+
+// SeriesPoint is one (x, y) sample of a figure series.
+type SeriesPoint struct {
+	X float64
+	Y float64
+}
+
+// Figure6aSeries reproduces Figure 6a: η as a function of γ for each α,
+// using the simplified model with ρ fixed (10% in the paper) and bin sizes
+// √|NS|.
+func Figure6aSeries(alphas, gammas []float64, rho float64, nNonSensitiveValues int) map[float64][]SeriesPoint {
+	sb, nsb := BinSizesFor(nNonSensitiveValues)
+	out := make(map[float64][]SeriesPoint, len(alphas))
+	for _, a := range alphas {
+		series := make([]SeriesPoint, 0, len(gammas))
+		for _, g := range gammas {
+			p := Params{Alpha: a, Rho: rho, Gamma: g, SB: sb, NSB: nsb}
+			series = append(series, SeriesPoint{X: g, Y: p.EtaSimplified()})
+		}
+		out[a] = series
+	}
+	return out
+}

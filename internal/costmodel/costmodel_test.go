@@ -1,0 +1,132 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func validParams() Params {
+	return Params{Alpha: 0.3, Beta: 1000, Gamma: 25000, Rho: 0.1, D: 1_000_000, SB: 100, NSB: 100}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Alpha = -0.1 },
+		func(p *Params) { p.Alpha = 1.1 },
+		func(p *Params) { p.Beta = 0 },
+		func(p *Params) { p.Gamma = -1 },
+		func(p *Params) { p.Rho = 2 },
+		func(p *Params) { p.D = 0 },
+		func(p *Params) { p.SB = -1 },
+	}
+	for i, mut := range bad {
+		p := validParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestEtaSimplifiedFormula(t *testing.T) {
+	p := Params{Alpha: 0.3, Rho: 0.1, Gamma: 1000, SB: 50, NSB: 50}
+	want := 0.3 + 0.1*100/1000
+	if got := p.EtaSimplified(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EtaSimplified = %v, want %v", got, want)
+	}
+}
+
+func TestEtaMonotoneInAlpha(t *testing.T) {
+	prev := -1.0
+	for _, a := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		p := validParams()
+		p.Alpha = a
+		got := p.Eta()
+		if got <= prev {
+			t.Fatalf("eta not increasing in alpha: %v at alpha=%v", got, a)
+		}
+		prev = got
+	}
+}
+
+func TestEtaBelowOneForStrongCrypto(t *testing.T) {
+	// §V-A: with γ ≈ 25000 QB wins for almost any α < 1.
+	p := validParams()
+	p.Alpha = 0.5
+	if got := p.Eta(); got >= 1 {
+		t.Errorf("eta = %v, want < 1 for strong crypto", got)
+	}
+	if got := p.EtaSimplified(); got >= 1 {
+		t.Errorf("eta simplified = %v, want < 1", got)
+	}
+}
+
+func TestEtaApproachesAlphaAsGammaGrows(t *testing.T) {
+	p := validParams()
+	p.Gamma = 1e9
+	if math.Abs(p.EtaSimplified()-p.Alpha) > 1e-3 {
+		t.Errorf("eta(γ→∞) = %v, want ≈ α = %v", p.EtaSimplified(), p.Alpha)
+	}
+}
+
+func TestFullEtaTracksSimplified(t *testing.T) {
+	// For large D and β, the dropped terms are negligible: the two forms
+	// must agree within a few percent.
+	p := Params{Alpha: 0.4, Beta: 10000, Gamma: 25000, Rho: 0.01, D: 4_500_000, SB: 1000, NSB: 1000}
+	full, simp := p.Eta(), p.EtaSimplified()
+	if math.Abs(full-simp) > 0.05*simp+0.01 {
+		t.Errorf("full eta %v vs simplified %v diverge", full, simp)
+	}
+}
+
+func TestBreakEvenAlpha(t *testing.T) {
+	// γ = 25000, ρ = 1/|NS| (uniform), |NS| = 1e6: α* ≈ 1 - 2*1e-6*1000/25000 ≈ 1.
+	got := BreakEvenAlpha(1e-6, 25000, 1_000_000)
+	if got < 0.999 {
+		t.Errorf("break-even alpha = %v, want ≈ 1", got)
+	}
+	// Cheap crypto (γ = 1) with broad queries: QB should rarely win.
+	got = BreakEvenAlpha(0.5, 1, 10000)
+	if got > 0 {
+		t.Errorf("break-even alpha = %v, want <= 0 for cheap crypto", got)
+	}
+}
+
+func TestBinSizesFor(t *testing.T) {
+	sb, nsb := BinSizesFor(100)
+	if sb != 10 || nsb != 10 {
+		t.Errorf("BinSizesFor(100) = %d,%d", sb, nsb)
+	}
+	sb, _ = BinSizesFor(0)
+	if sb != 1 {
+		t.Errorf("BinSizesFor(0) = %d, want 1", sb)
+	}
+}
+
+func TestFigure6aSeries(t *testing.T) {
+	alphas := []float64{0.3, 0.6, 0.9, 1}
+	gammas := []float64{100, 10000, 50000}
+	series := Figure6aSeries(alphas, gammas, 0.1, 1_000_000)
+	if len(series) != 4 {
+		t.Fatalf("series count = %d", len(series))
+	}
+	for _, a := range alphas {
+		pts := series[a]
+		if len(pts) != len(gammas) {
+			t.Fatalf("alpha %v has %d points", a, len(pts))
+		}
+		// η decreases in γ and tends to α.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Y > pts[i-1].Y {
+				t.Errorf("alpha %v: eta increased with gamma", a)
+			}
+		}
+		last := pts[len(pts)-1].Y
+		if last < a || last > a+0.5 {
+			t.Errorf("alpha %v: eta(γ=50000) = %v", a, last)
+		}
+	}
+}

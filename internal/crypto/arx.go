@@ -1,0 +1,41 @@
+package crypto
+
+import "encoding/binary"
+
+// ArxTokenizer implements the indexable encoding of Arx (Poddar et al.)
+// described in §VI: the i-th occurrence of a value v is encrypted as the
+// concatenated string <v, i>, so no two occurrences share a ciphertext, yet
+// the owner — who tracks the occurrence histogram — can regenerate every
+// token for v and probe a cloud-side index.
+//
+// On its own this scheme leaks output sizes, value frequencies (through the
+// number of trapdoors issued), and the query workload; QB removes those
+// leaks.
+type ArxTokenizer struct {
+	key []byte
+}
+
+// NewArxTokenizer builds a tokenizer over the given PRF key.
+func NewArxTokenizer(key []byte) *ArxTokenizer {
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &ArxTokenizer{key: k}
+}
+
+// Token produces the deterministic index token for the i-th occurrence
+// (0-based) of the encoded value.
+func (a *ArxTokenizer) Token(value []byte, i uint32) []byte {
+	var ctr [4]byte
+	binary.BigEndian.PutUint32(ctr[:], i)
+	return PRF2(a.key, value, ctr[:])
+}
+
+// Tokens produces all n occurrence tokens for a value, i.e. the trapdoor
+// set the owner sends to retrieve every tuple with that value.
+func (a *ArxTokenizer) Tokens(value []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = a.Token(value, uint32(i))
+	}
+	return out
+}

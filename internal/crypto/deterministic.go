@@ -1,0 +1,53 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+)
+
+// Deterministic is a synthetic-IV cipher: the nonce is a PRF of the
+// plaintext, so equal plaintexts yield equal ciphertexts. This is exactly
+// the property that makes deterministic encryption indexable by the cloud —
+// and exactly what the frequency-count attacks of Naveed et al. exploit. It
+// exists here as the weak baseline that QB is shown to harden (§VI).
+type Deterministic struct {
+	aead     cipher.AEAD
+	nonceKey []byte
+}
+
+// NewDeterministic builds the cipher from an AES key and an independent
+// nonce-derivation key.
+func NewDeterministic(encKey, nonceKey []byte) (*Deterministic, error) {
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: deterministic cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: deterministic cipher: %w", err)
+	}
+	nk := make([]byte, len(nonceKey))
+	copy(nk, nonceKey)
+	return &Deterministic{aead: aead, nonceKey: nk}, nil
+}
+
+// Encrypt seals pt under the synthetic IV PRF(nonceKey, pt)[:12]. Identical
+// plaintexts produce identical ciphertexts.
+func (d *Deterministic) Encrypt(pt []byte) []byte {
+	nonce := PRF(d.nonceKey, pt)[:d.aead.NonceSize()]
+	return d.aead.Seal(append([]byte(nil), nonce...), nonce, pt, nil)
+}
+
+// Decrypt opens nonce || ct.
+func (d *Deterministic) Decrypt(ct []byte) ([]byte, error) {
+	ns := d.aead.NonceSize()
+	if len(ct) < ns {
+		return nil, ErrDecrypt
+	}
+	pt, err := d.aead.Open(nil, ct[:ns], ct[ns:], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}

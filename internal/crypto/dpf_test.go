@@ -1,0 +1,130 @@
+package crypto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDPFPointFunction(t *testing.T) {
+	const bits = 6
+	const n = 1 << bits
+	for _, alpha := range []uint64{0, 1, 31, 63} {
+		k0, k1, err := DPFGen(alpha, bits, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := uint64(0); x < n; x++ {
+			b0, err := DPFEval(k0, x, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := DPFEval(k1, x, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := byte(0)
+			if x == alpha {
+				want = 1
+			}
+			if b0^b1 != want {
+				t.Fatalf("alpha=%d x=%d: shares %d^%d != %d", alpha, x, b0, b1, want)
+			}
+		}
+	}
+}
+
+func TestDPFProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			bits := 1 + r.Intn(10)
+			args[0] = reflect.ValueOf(bits)
+			args[1] = reflect.ValueOf(uint64(r.Intn(1 << uint(bits))))
+		},
+	}
+	prop := func(bits int, alpha uint64) bool {
+		k0, k1, err := DPFGen(alpha, bits, nil)
+		if err != nil {
+			return false
+		}
+		n := 1 << uint(bits)
+		v0, err := DPFEvalAll(k0, n, bits)
+		if err != nil {
+			return false
+		}
+		v1, err := DPFEvalAll(k1, n, bits)
+		if err != nil {
+			return false
+		}
+		for x := 0; x < n; x++ {
+			want := byte(0)
+			if uint64(x) == alpha {
+				want = 1
+			}
+			if v0[x]^v1[x] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDPFKeysLookIndependent(t *testing.T) {
+	// A single key's evaluation must not reveal alpha: compare the share
+	// vector of two different alphas under fresh keys — both should be
+	// non-constant, and knowing only one share vector should not pinpoint
+	// alpha (weak sanity check: the share at alpha is not always 1).
+	const bits = 8
+	onesAtAlpha := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		alpha := uint64(i % (1 << bits))
+		k0, _, err := DPFGen(alpha, bits, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DPFEval(k0, alpha, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == 1 {
+			onesAtAlpha++
+		}
+	}
+	if onesAtAlpha == 0 || onesAtAlpha == trials {
+		t.Fatalf("single share at alpha is constant (%d/%d): key leaks the point", onesAtAlpha, trials)
+	}
+}
+
+func TestDPFValidation(t *testing.T) {
+	if _, _, err := DPFGen(5, 0, nil); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, _, err := DPFGen(4, 2, nil); err == nil {
+		t.Error("alpha outside domain accepted")
+	}
+	k0, _, err := DPFGen(1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DPFEval(k0, 9, 3); err == nil {
+		t.Error("x outside domain accepted")
+	}
+	if _, err := DPFEval(k0, 1, 4); err == nil {
+		t.Error("bits mismatch accepted")
+	}
+}
+
+func TestDPFDomainBits(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1000, 10}}
+	for _, c := range cases {
+		if got := DPFDomainBits(c.n); got != c.want {
+			t.Errorf("DPFDomainBits(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Probabilistic is a non-deterministic authenticated cipher (AES-256-GCM
+// with a random nonce). Two encryptions of the same plaintext produce
+// unrelated ciphertexts, giving the ciphertext indistinguishability the
+// partitioned-computation model assumes for the sensitive relation
+// ("the two occurrences of E152 have two different ciphertexts", §II).
+type Probabilistic struct {
+	aead cipher.AEAD
+	rand io.Reader
+}
+
+// NewProbabilistic builds a probabilistic cipher from a 16/24/32-byte key.
+func NewProbabilistic(key []byte) (*Probabilistic, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: probabilistic cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: probabilistic cipher: %w", err)
+	}
+	return &Probabilistic{aead: aead, rand: rand.Reader}, nil
+}
+
+// SetRand overrides the nonce source; tests use it for determinism.
+func (p *Probabilistic) SetRand(r io.Reader) { p.rand = r }
+
+// Encrypt seals pt under a fresh random nonce. The result is nonce || ct.
+func (p *Probabilistic) Encrypt(pt []byte) ([]byte, error) {
+	nonce := make([]byte, p.aead.NonceSize())
+	if _, err := io.ReadFull(p.rand, nonce); err != nil {
+		return nil, fmt.Errorf("crypto: nonce: %w", err)
+	}
+	return p.aead.Seal(nonce, nonce, pt, nil), nil
+}
+
+// ErrDecrypt is returned when a ciphertext fails authentication.
+var ErrDecrypt = errors.New("crypto: decryption failed")
+
+// Decrypt opens nonce || ct.
+func (p *Probabilistic) Decrypt(ct []byte) ([]byte, error) {
+	ns := p.aead.NonceSize()
+	if len(ct) < ns {
+		return nil, ErrDecrypt
+	}
+	pt, err := p.aead.Open(nil, ct[:ns], ct[ns:], nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// Overhead returns the ciphertext expansion in bytes (nonce + tag).
+func (p *Probabilistic) Overhead() int { return p.aead.NonceSize() + p.aead.Overhead() }

@@ -1,0 +1,184 @@
+package crypto
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// Shamir secret sharing over the Mersenne prime field GF(2^61 - 1),
+// following Shamir (1979) as used by the secret-sharing-based outsourcing
+// baselines the paper cites (Emekçi et al.). A secret is split into n
+// shares of which any k reconstruct it; fewer than k shares are
+// information-theoretically independent of the secret.
+
+// ShamirPrime is the field modulus 2^61 - 1.
+const ShamirPrime uint64 = 1<<61 - 1
+
+// Share is one point (X, Y) on the sharing polynomial.
+type Share struct {
+	X uint64
+	Y uint64
+}
+
+// modReduce reduces a 128-bit value (hi, lo) modulo 2^61-1 using Mersenne
+// folding: 2^61 ≡ 1.
+func modReduce(hi, lo uint64) uint64 {
+	const m = ShamirPrime
+	// Split the 128-bit number into 61-bit limbs.
+	c0 := lo & m
+	c1 := (lo>>61 | hi<<3) & m
+	c2 := hi >> 58
+	s := c0 + c1 + c2 // < 3 * 2^61, fits in 64 bits
+	s = (s & m) + (s >> 61)
+	if s >= m {
+		s -= m
+	}
+	return s
+}
+
+// MulMod returns a*b mod 2^61-1.
+func MulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return modReduce(hi, lo)
+}
+
+// AddMod returns a+b mod 2^61-1 for a, b < 2^61-1.
+func AddMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= ShamirPrime {
+		s -= ShamirPrime
+	}
+	return s
+}
+
+// SubMod returns a-b mod 2^61-1.
+func SubMod(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return ShamirPrime - b + a
+}
+
+// PowMod returns a^e mod 2^61-1 by square-and-multiply.
+func PowMod(a, e uint64) uint64 {
+	r := uint64(1)
+	base := a % ShamirPrime
+	for e > 0 {
+		if e&1 == 1 {
+			r = MulMod(r, base)
+		}
+		base = MulMod(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// InvMod returns the multiplicative inverse of a in the field (a != 0),
+// via Fermat's little theorem.
+func InvMod(a uint64) (uint64, error) {
+	if a%ShamirPrime == 0 {
+		return 0, errors.New("crypto: no inverse of zero")
+	}
+	return PowMod(a, ShamirPrime-2), nil
+}
+
+// randField draws a uniform field element from r.
+func randField(r io.Reader) (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		v := binary.BigEndian.Uint64(b[:]) & (1<<61 - 1)
+		if v < ShamirPrime {
+			return v, nil
+		}
+	}
+}
+
+// SplitSecret shares secret into n shares with threshold k using randomness
+// from rnd (crypto/rand if nil). Shares are evaluated at x = 1..n.
+func SplitSecret(secret uint64, n, k int, rnd io.Reader) ([]Share, error) {
+	if secret >= ShamirPrime {
+		return nil, fmt.Errorf("crypto: secret %d outside field", secret)
+	}
+	if k < 1 || n < k {
+		return nil, fmt.Errorf("crypto: invalid sharing parameters n=%d k=%d", n, k)
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	// coeffs[0] = secret; coeffs[1..k-1] random.
+	coeffs := make([]uint64, k)
+	coeffs[0] = secret
+	for i := 1; i < k; i++ {
+		c, err := randField(rnd)
+		if err != nil {
+			return nil, fmt.Errorf("crypto: sharing randomness: %w", err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := uint64(i + 1)
+		// Horner evaluation.
+		y := uint64(0)
+		for j := k - 1; j >= 0; j-- {
+			y = AddMod(MulMod(y, x), coeffs[j])
+		}
+		shares[i] = Share{X: x, Y: y}
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret from at least k shares by Lagrange
+// interpolation at x = 0. Shares must have distinct X coordinates.
+func Reconstruct(shares []Share) (uint64, error) {
+	if len(shares) == 0 {
+		return 0, errors.New("crypto: no shares")
+	}
+	seen := make(map[uint64]bool, len(shares))
+	for _, s := range shares {
+		if seen[s.X] {
+			return 0, fmt.Errorf("crypto: duplicate share x=%d", s.X)
+		}
+		seen[s.X] = true
+	}
+	secret := uint64(0)
+	for i, si := range shares {
+		num, den := uint64(1), uint64(1)
+		for j, sj := range shares {
+			if i == j {
+				continue
+			}
+			num = MulMod(num, sj.X%ShamirPrime)
+			den = MulMod(den, SubMod(sj.X%ShamirPrime, si.X%ShamirPrime))
+		}
+		inv, err := InvMod(den)
+		if err != nil {
+			return 0, err
+		}
+		secret = AddMod(secret, MulMod(si.Y, MulMod(num, inv)))
+	}
+	return secret, nil
+}
+
+// AddShares adds two share vectors pointwise (same X layout), exploiting the
+// additive homomorphism of Shamir sharing.
+func AddShares(a, b []Share) ([]Share, error) {
+	if len(a) != len(b) {
+		return nil, errors.New("crypto: share vectors of different length")
+	}
+	out := make([]Share, len(a))
+	for i := range a {
+		if a[i].X != b[i].X {
+			return nil, fmt.Errorf("crypto: share x mismatch at %d", i)
+		}
+		out[i] = Share{X: a[i].X, Y: AddMod(a[i].Y, b[i].Y)}
+	}
+	return out, nil
+}

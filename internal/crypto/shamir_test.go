@@ -1,0 +1,167 @@
+package crypto
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldOps(t *testing.T) {
+	p := ShamirPrime
+	if AddMod(p-1, 1) != 0 {
+		t.Error("AddMod wrap")
+	}
+	if SubMod(0, 1) != p-1 {
+		t.Error("SubMod wrap")
+	}
+	if MulMod(2, p/2) != p-1 {
+		t.Errorf("MulMod(2, p/2) = %d", MulMod(2, p/2))
+	}
+	if PowMod(3, 0) != 1 || PowMod(3, 1) != 3 || PowMod(3, 2) != 9 {
+		t.Error("PowMod small cases")
+	}
+	inv, err := InvMod(12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MulMod(inv, 12345) != 1 {
+		t.Error("InvMod not inverse")
+	}
+	if _, err := InvMod(0); err == nil {
+		t.Error("inverse of zero accepted")
+	}
+}
+
+func TestMulModMatchesBigIntSemantics(t *testing.T) {
+	// a*(b+c) == a*b + a*c — distributivity catches reduction bugs.
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(r.Uint64() % ShamirPrime)
+			}
+		},
+	}
+	prop := func(a, b, c uint64) bool {
+		return MulMod(a, AddMod(b, c)) == AddMod(MulMod(a, b), MulMod(a, c))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitReconstructRoundTrip(t *testing.T) {
+	secrets := []uint64{0, 1, 42, ShamirPrime - 1}
+	for _, s := range secrets {
+		shares, err := SplitSecret(s, 5, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shares) != 5 {
+			t.Fatalf("got %d shares", len(shares))
+		}
+		got, err := Reconstruct(shares[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != s {
+			t.Errorf("reconstruct(%d) = %d", s, got)
+		}
+		// Any k-subset works.
+		got2, err := Reconstruct([]Share{shares[4], shares[1], shares[2]})
+		if err != nil || got2 != s {
+			t.Errorf("subset reconstruct = %d, %v", got2, err)
+		}
+	}
+}
+
+func TestSplitParamsValidation(t *testing.T) {
+	if _, err := SplitSecret(ShamirPrime, 3, 2, nil); err == nil {
+		t.Error("secret outside field accepted")
+	}
+	if _, err := SplitSecret(1, 2, 3, nil); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := SplitSecret(1, 3, 0, nil); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	if _, err := Reconstruct(nil); err == nil {
+		t.Error("no shares accepted")
+	}
+	if _, err := Reconstruct([]Share{{X: 1, Y: 2}, {X: 1, Y: 3}}); err == nil {
+		t.Error("duplicate x accepted")
+	}
+}
+
+func TestFewerThanThresholdIsIndependent(t *testing.T) {
+	// With k-1 shares, any candidate secret remains possible: reconstruct
+	// with a forged extra share and confirm we can hit arbitrary values.
+	shares, err := SplitSecret(777, 3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Using only 2 of 3 shares plus a guessed third point changes the
+	// result — 2 shares alone do not pin the secret.
+	a, err := Reconstruct([]Share{shares[0], shares[1], {X: 3, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reconstruct([]Share{shares[0], shares[1], {X: 3, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("threshold-1 shares determined the secret")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	s1, err := SplitSecret(100, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SplitSecret(23, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := AddShares(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(sum[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 123 {
+		t.Fatalf("homomorphic sum = %d, want 123", got)
+	}
+	if _, err := AddShares(s1, s2[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSplitReconstructProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(r.Uint64() % ShamirPrime)
+			args[1] = reflect.ValueOf(2 + r.Intn(5)) // k in [2,6]
+			args[2] = reflect.ValueOf(r.Intn(4))     // extra shares
+		},
+	}
+	prop := func(secret uint64, k, extra int) bool {
+		shares, err := SplitSecret(secret, k+extra, k, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Reconstruct(shares[:k])
+		return err == nil && got == secret
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFigure6aShape(t *testing.T) {
+	tab := Figure6a()
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Column per alpha; eta decreases down each column (gamma grows) and
+	// approaches alpha.
+	for col, alpha := range []float64{0.3, 0.6, 0.9, 1.0} {
+		var prev float64 = 1e9
+		for _, row := range tab.Rows {
+			v, err := strconv.ParseFloat(row[col+1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > prev {
+				t.Errorf("alpha %v: eta not decreasing in gamma", alpha)
+			}
+			prev = v
+		}
+		if prev < alpha || prev > alpha+0.1 {
+			t.Errorf("alpha %v: final eta %v", alpha, prev)
+		}
+	}
+}
+
+func TestFigure6bSmall(t *testing.T) {
+	tab, err := Figure6b(Fig6bSpec{
+		Sizes: []int{3000}, Alphas: []float64{0.2, 0.5}, Queries: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		eta, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// QB over a half-sensitive dataset must clearly beat full
+		// encryption (generous bound for timing noise).
+		if eta >= 1.0 {
+			t.Errorf("alpha %s: measured eta %v >= 1", row[1], eta)
+		}
+	}
+}
+
+func TestFigure6cSmall(t *testing.T) {
+	tab, err := Figure6c(Fig6cSpec{Tuples: 4000, DistinctValues: 400, Queries: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	sawBalanced := false
+	for _, row := range tab.Rows {
+		if row[3] == "0" {
+			sawBalanced = true
+		}
+	}
+	if !sawBalanced {
+		t.Error("no balanced (imbalance 0) configuration swept")
+	}
+}
+
+func TestTablesIIandIII(t *testing.T) {
+	naive, qb, err := TablesIIandIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive.Rows) != 3 || len(qb.Rows) != 3 {
+		t.Fatalf("rows = %d/%d", len(naive.Rows), len(qb.Rows))
+	}
+	// Table II semantics: E259 hits both sides, E101 only encrypted, E199
+	// only plaintext.
+	if naive.Rows[0][2] == "null" || naive.Rows[0][3] == "null" {
+		t.Errorf("E259 naive row = %v", naive.Rows[0])
+	}
+	if naive.Rows[1][2] == "null" || naive.Rows[1][3] != "null" {
+		t.Errorf("E101 naive row = %v", naive.Rows[1])
+	}
+	if naive.Rows[2][2] != "null" || naive.Rows[2][3] == "null" {
+		t.Errorf("E199 naive row = %v", naive.Rows[2])
+	}
+	// Table III: every QB view queries multiple plaintext predicates and
+	// returns non-null results on both sides.
+	for _, row := range qb.Rows {
+		if !strings.Contains(row[1], ",") {
+			t.Errorf("QB view with singleton predicate set: %v", row)
+		}
+		if row[2] == "null" || row[3] == "null" {
+			t.Errorf("QB view with empty side: %v", row)
+		}
+	}
+}
+
+func TestTableIVandFigure4(t *testing.T) {
+	tab, err := TableIVandFigure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][4] != "true" {
+		t.Errorf("QB row not complete bipartite: %v", tab.Rows[0])
+	}
+	if tab.Rows[1][5] == "0" {
+		t.Errorf("naive row dropped no matches: %v", tab.Rows[1])
+	}
+}
+
+func TestFigureV(t *testing.T) {
+	tab := FigureV()
+	get := func(i int) int {
+		n, err := strconv.Atoi(tab.Rows[i][1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	contiguous, roundRobin, greedy := get(0), get(1), get(2)
+	if contiguous != 270 {
+		t.Errorf("contiguous fakes = %d, want 270 (Figure 5a)", contiguous)
+	}
+	if roundRobin != 90 {
+		t.Errorf("round-robin fakes = %d, want 90", roundRobin)
+	}
+	if greedy > 30 || greedy >= roundRobin {
+		t.Errorf("greedy fakes = %d, want <= 30", greedy)
+	}
+}
+
+func TestTableVIMatchesPaperShape(t *testing.T) {
+	tab, err := TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: our Opaque numbers; row 1: paper's. Cells must be close.
+	paperOpaque := []float64{11, 15, 26, 42, 59, 89}
+	for i, want := range paperOpaque {
+		got, err := strconv.ParseFloat(tab.Rows[0][i+1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < want*0.8-2 || got > want*1.2+2 {
+			t.Errorf("Opaque col %d: got %v, paper %v", i, got, want)
+		}
+	}
+	// Jana: the published series is super-linear in alpha; our linear model
+	// must keep ordering and rough magnitude (within 2x).
+	paperJana := []float64{22, 80, 270, 505, 749, 1051}
+	prev := 0.0
+	for i, want := range paperJana {
+		got, err := strconv.ParseFloat(tab.Rows[2][i+1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Errorf("Jana column %d not increasing", i)
+		}
+		prev = got
+		if got < want/2.5 || got > want*2.5 {
+			t.Errorf("Jana col %d: got %v, paper %v", i, got, want)
+		}
+	}
+}
+
+func TestSecurityAblation(t *testing.T) {
+	tab, err := SecurityAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	byKey := make(map[string][]string)
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = row
+	}
+	// Size attack: succeeds naive, fails under QB, for both techniques.
+	for _, tech := range []string{"DetIndex", "Arx"} {
+		if byKey[tech+"/naive"][2] != "yes" {
+			t.Errorf("%s naive: size attack should succeed", tech)
+		}
+		if byKey[tech+"/QB"][2] != "no" {
+			t.Errorf("%s QB: size attack should fail", tech)
+		}
+		// Inference attack exposures: all 16 naive, none under QB.
+		if byKey[tech+"/naive"][5] == "0" {
+			t.Errorf("%s naive: inference attack found nothing", tech)
+		}
+		if byKey[tech+"/QB"][5] != "0" {
+			t.Errorf("%s QB: inference attack leaked %s values", tech, byKey[tech+"/QB"][5])
+		}
+	}
+	// Frequency attack at rest: succeeds against deterministic tokens
+	// (with or without QB — re-encoding, as in Arx, is required), fails
+	// against Arx tokens.
+	detNaive, _ := strconv.ParseFloat(byKey["DetIndex/naive"][3], 64)
+	if detNaive < 0.9 {
+		t.Errorf("frequency attack on naive DetIndex = %v, want ~1", detNaive)
+	}
+	arxQB, _ := strconv.ParseFloat(byKey["Arx/QB"][3], 64)
+	if arxQB > 0.05 {
+		t.Errorf("frequency attack on Arx = %v, want ~0", arxQB)
+	}
+	// Workload skew: anonymity 1 naive, >= 4 under QB.
+	for _, tech := range []string{"DetIndex", "Arx"} {
+		naiveAnon, _ := strconv.Atoi(byKey[tech+"/naive"][4])
+		qbAnon, _ := strconv.Atoi(byKey[tech+"/QB"][4])
+		if naiveAnon > 1 {
+			t.Errorf("%s naive anonymity = %d, want 1", tech, naiveAnon)
+		}
+		if qbAnon < 4 {
+			t.Errorf("%s QB anonymity = %d, want >= 4", tech, qbAnon)
+		}
+	}
+}
+
+func TestMetadataSizes(t *testing.T) {
+	tab, err := MetadataSizes(3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	part, _ := strconv.Atoi(tab.Rows[0][2])
+	supp, _ := strconv.Atoi(tab.Rows[1][2])
+	if part <= supp {
+		t.Errorf("L_PARTKEY metadata (%d) should exceed L_SUPPKEY (%d): larger domain", part, supp)
+	}
+}
+
+func TestInsertCost(t *testing.T) {
+	tab, err := InsertCost(2000, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestBinShapeFor(t *testing.T) {
+	s, err := BinShapeFor(1000, 100, 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "sensitive bins") {
+		t.Errorf("shape = %q", s)
+	}
+}
+
+func TestDefaultSpecsAreSane(t *testing.T) {
+	b := DefaultFig6b()
+	if len(b.Sizes) == 0 || len(b.Alphas) == 0 || b.Queries <= 0 {
+		t.Errorf("DefaultFig6b = %+v", b)
+	}
+	c := DefaultFig6c()
+	if c.Tuples <= 0 || c.DistinctValues <= 0 || c.Queries <= 0 {
+		t.Errorf("DefaultFig6c = %+v", c)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Notes:  "n",
+	}
+	tab.AddRow("1", "2")
+	out := tab.String()
+	for _, want := range []string{"== T ==", "a", "bb", "1", "2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

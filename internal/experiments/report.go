@@ -1,0 +1,77 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§II examples, §IV-B Figure 5, §V Figures 6a-6c and
+// Table VI, §VI security ablation). Each runner returns a Table that prints
+// the same rows or series the paper reports, so the whole evaluation can be
+// regenerated with cmd/qbbench or the root benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// Title names the paper artifact being reproduced.
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes carries caveats (substitutions, units, seeds).
+	Notes string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,107 @@
+package owner
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// TestConcurrentQueries hammers one owner from many goroutines; run with
+// -race to validate the serialisation (exported owner methods are
+// documented as safe for concurrent use).
+func TestConcurrentQueries(t *testing.T) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 400, DistinctValues: 40, Alpha: 0.4, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(newNoInd(t), workload.Attr)
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(22)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				v := ds.Values[(g*8+i)%len(ds.Values)]
+				got, _, err := o.Query(v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := groundTruth(t, ds.Relation, workload.Attr, v)
+				if !reflect.DeepEqual(relation.IDs(got), want) {
+					errs <- &mismatchError{v: v}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type mismatchError struct{ v relation.Value }
+
+func (e *mismatchError) Error() string { return "concurrent query mismatch for " + e.v.String() }
+
+// TestConcurrentMixedOps interleaves queries, range queries, and inserts.
+func TestConcurrentMixedOps(t *testing.T) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 200, DistinctValues: 20, Alpha: 0.5, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(newNoInd(t), workload.Attr)
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(24)); err != nil {
+		t.Fatal(err)
+	}
+	schema := ds.Relation.Schema
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if _, _, err := o.Query(ds.Values[i%len(ds.Values)]); err != nil {
+						errs <- err
+					}
+				case 1:
+					if _, _, err := o.QueryRange(relation.Int(2), relation.Int(8)); err != nil {
+						errs <- err
+					}
+				case 2:
+					vals := make([]relation.Value, schema.Arity())
+					for j := range vals {
+						vals[j] = relation.Int(0)
+					}
+					vals[0] = relation.Int(int64(i % 10))
+					if err := o.Insert(relation.Tuple{ID: 10000 + g*100 + i, Values: vals}, g%2 == 0); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+package owner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/technique"
+)
+
+// This file implements the extensions the conference paper defers to the
+// full version: inserts, range selections, and an owner-side equi-join of
+// two QB-partitioned relations.
+
+// Insert adds a new tuple to the outsourced relation. Non-sensitive tuples
+// go to the plaintext store; sensitive tuples are encrypted and uploaded.
+// If the searchable value is new, the bins are recreated (metadata only —
+// the cloud stores are value-agnostic); in all cases the fake-tuple ledger
+// is rebalanced so every sensitive bin keeps an identical padded volume.
+func (o *Owner) Insert(t relation.Tuple, sensitive bool) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.bins == nil || o.server == nil {
+		return ErrNotOutsourced
+	}
+	if err := o.schema.Check(t.Values); err != nil {
+		return err
+	}
+	v := t.Values[o.attrIdx]
+	if sensitive {
+		if _, err := o.tech.Outsource([]technique.Row{{
+			Payload: encodePayload(flagReal, t),
+			Attr:    v,
+		}}); err != nil {
+			return err
+		}
+		o.bumpCount(o.sensCounts, v)
+	} else {
+		if err := o.server.InsertPlain(t); err != nil {
+			return err
+		}
+		o.bumpCount(o.nsCounts, v)
+	}
+
+	newValue := sensitive && !o.bins.ContainsSensitive(v) ||
+		!sensitive && !o.bins.ContainsNonSensitive(v)
+	if newValue {
+		bins, err := core.CreateBins(countsSlice(o.sensCounts), countsSlice(o.nsCounts), o.binOpts)
+		if err != nil {
+			return fmt.Errorf("owner: re-binning after insert: %w", err)
+		}
+		o.bins = bins
+	}
+	return o.rebalanceFakes()
+}
+
+// rebalanceFakes tops sensitive bins up with fake tuples so that, counting
+// both real tuples and the fakes already outsourced, every bin answers with
+// the same volume. Fakes are append-only: the cloud never observes a
+// deletion.
+func (o *Owner) rebalanceFakes() error {
+	if len(o.bins.Sensitive) == 0 {
+		return nil
+	}
+	vols := make([]int, len(o.bins.Sensitive))
+	maxVol := 0
+	for i, bin := range o.bins.Sensitive {
+		for _, vc := range bin {
+			vols[i] += vc.Count + o.fakeCounts[vc.Value.Key()]
+		}
+		if vols[i] > maxVol {
+			maxVol = vols[i]
+		}
+	}
+	var rows []technique.Row
+	for i, bin := range o.bins.Sensitive {
+		if len(bin) == 0 {
+			continue
+		}
+		for f := 0; f < maxVol-vols[i]; f++ {
+			v := bin[f%len(bin)].Value
+			rows = append(rows, technique.Row{
+				Payload: encodePayload(flagFake, o.fakeTuple(v)),
+				Attr:    v,
+			})
+			o.fakeCounts[v.Key()]++
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	_, err := o.tech.Outsource(rows)
+	return err
+}
+
+// QueryRange answers SELECT * WHERE lo <= attr <= hi. The owner's metadata
+// lists every live value, so the range is rewritten into the set of bins
+// covering the in-range values; both sides are fetched bin-wise (preserving
+// the QB adversarial view shape) and filtered locally.
+func (o *Owner) QueryRange(lo, hi relation.Value) ([]relation.Tuple, *QueryStats, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.bins == nil || o.server == nil {
+		return nil, nil, ErrNotOutsourced
+	}
+	if hi.Less(lo) {
+		lo, hi = hi, lo
+	}
+	st := &QueryStats{}
+
+	sensBins := make(map[int]bool)
+	nsBins := make(map[int]bool)
+	inRange := func(v relation.Value) bool {
+		return v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+	}
+	for _, bin := range o.bins.Sensitive {
+		for _, vc := range bin {
+			if inRange(vc.Value) {
+				if ret, ok := o.bins.Retrieve(vc.Value); ok {
+					if ret.SensBin >= 0 {
+						sensBins[ret.SensBin] = true
+					}
+					if ret.NSBin >= 0 {
+						nsBins[ret.NSBin] = true
+					}
+				}
+			}
+		}
+	}
+	for _, bin := range o.bins.NonSensitive {
+		for _, vc := range bin {
+			if inRange(vc.Value) {
+				if ret, ok := o.bins.Retrieve(vc.Value); ok {
+					if ret.SensBin >= 0 {
+						sensBins[ret.SensBin] = true
+					}
+					if ret.NSBin >= 0 {
+						nsBins[ret.NSBin] = true
+					}
+				}
+			}
+		}
+	}
+
+	var sensValues, nsValues []relation.Value
+	for i := range o.bins.Sensitive {
+		if sensBins[i] {
+			for _, vc := range o.bins.Sensitive[i] {
+				sensValues = append(sensValues, vc.Value)
+			}
+		}
+	}
+	for i := range o.bins.NonSensitive {
+		if nsBins[i] {
+			for _, vc := range o.bins.NonSensitive[i] {
+				nsValues = append(nsValues, vc.Value)
+			}
+		}
+	}
+
+	out, st, err := o.executeFiltered(inRange, sensValues, nsValues, st)
+	return out, st, err
+}
+
+// executeFiltered is execute with an arbitrary match predicate on the
+// searchable attribute.
+func (o *Owner) executeFiltered(match func(relation.Value) bool, sensValues, nsValues []relation.Value, st *QueryStats) ([]relation.Tuple, *QueryStats, error) {
+	var out []relation.Tuple
+	view := cloudView(nsValues, len(sensValues))
+
+	if len(sensValues) > 0 {
+		payloads, encSt, err := o.tech.Search(sensValues)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.Enc = *encSt
+		view.EncResultAddrs = encSt.ReturnedAddrs
+		for _, p := range payloads {
+			t, fake, err := decodePayload(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			if fake {
+				st.FakeDiscarded++
+				continue
+			}
+			if match(t.Values[o.attrIdx]) {
+				out = append(out, t)
+			} else {
+				st.BinDiscarded++
+			}
+		}
+	}
+	if len(nsValues) > 0 {
+		plain := o.server.SearchPlain(nsValues)
+		st.PlainTuples = len(plain)
+		view.PlainResults = plain
+		for _, t := range plain {
+			if match(t.Values[o.attrIdx]) {
+				out = append(out, t)
+			} else {
+				st.BinDiscarded++
+			}
+		}
+	}
+	o.server.Record(view)
+	relation.SortByID(out)
+	st.Result = len(out)
+	return out, st, nil
+}
+
+// AggOp is an aggregation operator for QueryAggregate.
+type AggOp int
+
+const (
+	// AggCount counts matching tuples.
+	AggCount AggOp = iota
+	// AggSum sums an integer column over the matches.
+	AggSum
+	// AggMin and AggMax take extrema of an integer column.
+	AggMin
+	AggMax
+)
+
+// QueryAggregate evaluates a group-by-style aggregate over the selection
+// attr = w (the paper notes QB "can also be extended to support group-by
+// aggregation queries"): the bins are retrieved exactly as for a selection
+// — so the adversarial view is unchanged — and the aggregate is computed
+// owner-side over the filtered matches.
+func (o *Owner) QueryAggregate(w relation.Value, col string, op AggOp) (int64, error) {
+	if o.bins == nil || o.server == nil {
+		return 0, ErrNotOutsourced
+	}
+	ci, ok := o.schema.ColumnIndex(col)
+	if !ok {
+		return 0, fmt.Errorf("owner: no column %q", col)
+	}
+	if op != AggCount && o.schema.Columns[ci].Kind != relation.KindInt {
+		return 0, fmt.Errorf("owner: column %q is not integer-valued", col)
+	}
+	tuples, _, err := o.Query(w)
+	if err != nil {
+		return 0, err
+	}
+	switch op {
+	case AggCount:
+		return int64(len(tuples)), nil
+	case AggSum:
+		var sum int64
+		for _, t := range tuples {
+			sum += t.Values[ci].Int()
+		}
+		return sum, nil
+	case AggMin, AggMax:
+		if len(tuples) == 0 {
+			return 0, fmt.Errorf("owner: aggregate over empty selection")
+		}
+		best := tuples[0].Values[ci].Int()
+		for _, t := range tuples[1:] {
+			v := t.Values[ci].Int()
+			if (op == AggMin && v < best) || (op == AggMax && v > best) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return 0, fmt.Errorf("owner: unknown aggregate op %d", op)
+	}
+}
+
+// JoinPair is one result row of an owner-side equi-join: the two matching
+// tuples.
+type JoinPair struct {
+	Left  relation.Tuple
+	Right relation.Tuple
+}
+
+// Join computes the equi-join of this relation with other on their
+// searchable attributes, entirely through QB retrievals: every join value
+// known to either owner is queried through its bins on both relations and
+// the matches are paired owner-side. The adversarial views remain
+// bin-shaped on both relations, so the join leaks no more than the
+// constituent selections.
+func (o *Owner) Join(other *Owner) ([]JoinPair, error) {
+	if o.bins == nil || other.bins == nil {
+		return nil, ErrNotOutsourced
+	}
+	// Join candidates: values present in both relations' metadata.
+	values := make(map[string]relation.Value)
+	add := func(m map[string]*relation.ValueCount) map[string]bool {
+		s := make(map[string]bool, len(m))
+		for k, vc := range m {
+			s[k] = true
+			values[k] = vc.Value
+		}
+		return s
+	}
+	l1 := add(o.sensCounts)
+	for k := range add(o.nsCounts) {
+		l1[k] = true
+	}
+	r1 := make(map[string]bool)
+	for k := range other.sensCounts {
+		r1[k] = true
+		values[k] = other.sensCounts[k].Value
+	}
+	for k := range other.nsCounts {
+		r1[k] = true
+		values[k] = other.nsCounts[k].Value
+	}
+
+	var out []JoinPair
+	for k, v := range values {
+		if !l1[k] || !r1[k] {
+			continue
+		}
+		left, _, err := o.Query(v)
+		if err != nil {
+			return nil, err
+		}
+		right, _, err := other.Query(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, lt := range left {
+			for _, rt := range right {
+				out = append(out, JoinPair{Left: lt, Right: rt})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package owner
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/technique"
+	"repro/internal/workload"
+)
+
+// faultyTechnique wraps a real technique and injects failures — exercising
+// the owner's error propagation paths.
+type faultyTechnique struct {
+	technique.Technique
+	failOutsource bool
+	failSearch    bool
+	garblePayload bool
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *faultyTechnique) Outsource(rows []technique.Row) (*technique.Stats, error) {
+	if f.failOutsource {
+		return nil, errInjected
+	}
+	return f.Technique.Outsource(rows)
+}
+
+func (f *faultyTechnique) Search(values []relation.Value) ([][]byte, *technique.Stats, error) {
+	if f.failSearch {
+		return nil, nil, errInjected
+	}
+	payloads, st, err := f.Technique.Search(values)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.garblePayload {
+		for i := range payloads {
+			payloads[i] = []byte{0xFF, 0xFF, 0xFF}
+		}
+	}
+	return payloads, st, nil
+}
+
+func TestOwnerPropagatesOutsourceFailure(t *testing.T) {
+	ft := &faultyTechnique{Technique: newNoInd(t), failOutsource: true}
+	o := New(ft, "EId")
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(1)); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+}
+
+func TestOwnerPropagatesSearchFailure(t *testing.T) {
+	ft := &faultyTechnique{Technique: newNoInd(t)}
+	o := New(ft, "EId")
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	ft.failSearch = true
+	if _, _, err := o.Query(relation.Str("E101")); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+}
+
+func TestOwnerRejectsGarbledPayloads(t *testing.T) {
+	ft := &faultyTechnique{Technique: newNoInd(t)}
+	o := New(ft, "EId")
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	ft.garblePayload = true
+	if _, _, err := o.Query(relation.Str("E101")); err == nil {
+		t.Fatal("garbled payload accepted")
+	}
+}
+
+func TestOwnerInsertPropagatesFailure(t *testing.T) {
+	ft := &faultyTechnique{Technique: newNoInd(t)}
+	o := New(ft, "EId")
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(1)); err != nil {
+		t.Fatal(err)
+	}
+	ft.failOutsource = true
+	nt := relation.Tuple{ID: 50, Values: []relation.Value{
+		relation.Str("E901"), relation.Str("A"), relation.Str("B"),
+		relation.Int(1), relation.Int(1), relation.Str("Defense"),
+	}}
+	if err := o.Insert(nt, true); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+}
+
+func TestOwnerInsertBadSchema(t *testing.T) {
+	o, _ := employeeOwner(t)
+	if err := o.Insert(relation.Tuple{ID: 1, Values: []relation.Value{relation.Int(1)}}, false); err == nil {
+		t.Fatal("bad-arity insert accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package owner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/technique"
+)
+
+// VerticalOwner implements the column-level sensitivity split of Example 1
+// (Figure 2): sensitive *columns* (e.g. SSN) are carved into their own
+// always-encrypted relation keyed by the searchable attribute (Employee1),
+// while the residual columns are partitioned row-wise into an encrypted
+// Employee2 and a clear-text Employee3 handled by the regular QB owner.
+//
+// A query assembles the full rows: the residual part comes from the QB
+// retrieval, and the sensitive columns are fetched from the column store
+// using the same candidate value set the QB bins produced, so the
+// adversarial view of the column store matches the bin shape and leaks no
+// extra information.
+type VerticalOwner struct {
+	main *Owner
+	cols technique.Technique
+
+	keyAttr    string
+	origSchema relation.Schema
+	colsSchema relation.Schema
+	sensCols   []string
+}
+
+// NewVertical creates a vertical owner. mainTech serves the row-partitioned
+// residual relation; colsTech serves the always-encrypted sensitive-column
+// relation.
+func NewVertical(mainTech, colsTech technique.Technique, keyAttr string, sensitiveCols []string) *VerticalOwner {
+	return &VerticalOwner{
+		main:     New(mainTech, keyAttr),
+		cols:     colsTech,
+		keyAttr:  keyAttr,
+		sensCols: append([]string(nil), sensitiveCols...),
+	}
+}
+
+// Main exposes the inner row-level QB owner (for views and binning
+// inspection).
+func (v *VerticalOwner) Main() *Owner { return v.main }
+
+// Outsource splits r by column and row sensitivity and uploads the three
+// parts.
+func (v *VerticalOwner) Outsource(r *relation.Relation, rowSensitive relation.Predicate, opts core.Options) error {
+	v.origSchema = r.Schema
+	sensRel, restRel, err := relation.ColumnSplit(r, v.keyAttr, v.sensCols)
+	if err != nil {
+		return err
+	}
+	v.colsSchema = sensRel.Schema
+
+	// Row sensitivity is defined on the original tuples; carry it over to
+	// the residual relation by tuple ID.
+	sensByID := make(map[int]bool, r.Len())
+	for _, t := range r.Tuples {
+		if rowSensitive(t) {
+			sensByID[t.ID] = true
+		}
+	}
+	if err := v.main.Outsource(restRel, func(t relation.Tuple) bool { return sensByID[t.ID] }, opts); err != nil {
+		return err
+	}
+
+	ki, ok := sensRel.Schema.ColumnIndex(v.keyAttr)
+	if !ok {
+		return fmt.Errorf("owner: column split lost key attribute %q", v.keyAttr)
+	}
+	rows := make([]technique.Row, 0, sensRel.Len())
+	for _, t := range sensRel.Tuples {
+		rows = append(rows, technique.Row{
+			Payload: encodePayload(flagReal, t),
+			Attr:    t.Values[ki],
+		})
+	}
+	_, err = v.cols.Outsource(rows)
+	return err
+}
+
+// Query returns the full original-schema tuples matching attr = w.
+func (v *VerticalOwner) Query(w relation.Value) ([]relation.Tuple, error) {
+	residual, _, err := v.main.Query(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(residual) == 0 {
+		return nil, nil
+	}
+
+	// Fetch the sensitive columns for the whole candidate set of the bins,
+	// so the column store's view has the same shape as the QB view.
+	ret, ok := v.main.Bins().Retrieve(w)
+	preds := []relation.Value{w}
+	if ok {
+		preds = append(ret.SensValues, ret.NSValues...)
+	}
+	payloads, _, err := v.cols.Search(preds)
+	if err != nil {
+		return nil, err
+	}
+	colsByID := make(map[int]relation.Tuple, len(payloads))
+	for _, p := range payloads {
+		t, fake, err := decodePayload(p)
+		if err != nil {
+			return nil, err
+		}
+		if !fake {
+			colsByID[t.ID] = t
+		}
+	}
+
+	out := make([]relation.Tuple, 0, len(residual))
+	for _, rt := range residual {
+		full, err := v.assemble(rt, colsByID[rt.ID])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, full)
+	}
+	relation.SortByID(out)
+	return out, nil
+}
+
+// assemble reconstructs an original-schema tuple from its residual and
+// sensitive-column parts.
+func (v *VerticalOwner) assemble(residual, cols relation.Tuple) (relation.Tuple, error) {
+	vals := make([]relation.Value, v.origSchema.Arity())
+	restSchema := v.main.schema
+	for i, c := range v.origSchema.Columns {
+		if ri, ok := restSchema.ColumnIndex(c.Name); ok {
+			vals[i] = residual.Values[ri]
+			continue
+		}
+		ci, ok := v.colsSchema.ColumnIndex(c.Name)
+		if !ok || cols.Values == nil {
+			return relation.Tuple{}, fmt.Errorf("owner: missing sensitive column %q for tuple %d", c.Name, residual.ID)
+		}
+		vals[i] = cols.Values[ci]
+	}
+	return relation.Tuple{ID: residual.ID, Values: vals}, nil
+}

@@ -1,0 +1,116 @@
+package owner
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+	"repro/internal/technique"
+	"repro/internal/workload"
+)
+
+func verticalOwner(t *testing.T) (*VerticalOwner, *relation.Relation) {
+	t.Helper()
+	ks := crypto.DeriveKeys([]byte("vertical"))
+	mainTech, err := technique.NewNoInd(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colsTech, err := technique.NewNoInd(crypto.DeriveKeys([]byte("vertical-cols")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVertical(mainTech, colsTech, "EId", []string{"SSN"})
+	emp := workload.Employee()
+	if err := v.Outsource(emp.Clone(), workload.EmployeeSensitive, seededOpts(77)); err != nil {
+		t.Fatal(err)
+	}
+	return v, emp
+}
+
+// TestVerticalQueryReassemblesFullTuples runs the Figure 2 split end to
+// end: SSN lives in the always-encrypted column store, yet queries return
+// complete original-schema tuples.
+func TestVerticalQueryReassemblesFullTuples(t *testing.T) {
+	v, emp := verticalOwner(t)
+	for _, eid := range []string{"E101", "E259", "E199", "E152", "E254", "E159"} {
+		got, err := v.Query(relation.Str(eid))
+		if err != nil {
+			t.Fatalf("Query(%s): %v", eid, err)
+		}
+		want, err := emp.Select("EId", relation.Str(eid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+			t.Fatalf("Query(%s) ids = %v, want %v", eid, relation.IDs(got), relation.IDs(want))
+		}
+		// Every returned tuple must match the original, including the
+		// sensitive SSN column.
+		byID := make(map[int]relation.Tuple)
+		for _, w := range want {
+			byID[w.ID] = w
+		}
+		for _, g := range got {
+			w := byID[g.ID]
+			if len(g.Values) != len(w.Values) {
+				t.Fatalf("tuple %d arity %d, want %d", g.ID, len(g.Values), len(w.Values))
+			}
+			for i := range w.Values {
+				if !g.Values[i].Equal(w.Values[i]) {
+					t.Errorf("tuple %d col %d = %v, want %v", g.ID, i, g.Values[i], w.Values[i])
+				}
+			}
+		}
+	}
+}
+
+func TestVerticalAbsentValue(t *testing.T) {
+	v, _ := verticalOwner(t)
+	got, err := v.Query(relation.Str("E000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("absent value returned %d tuples", len(got))
+	}
+}
+
+// TestVerticalViewsStayBinShaped checks the column store is probed with
+// whole bins, not exact predicates: the main owner's views must show
+// multi-value plaintext predicate sets.
+func TestVerticalViewsStayBinShaped(t *testing.T) {
+	v, _ := verticalOwner(t)
+	if _, err := v.Query(relation.Str("E259")); err != nil {
+		t.Fatal(err)
+	}
+	views := v.Main().Server().Views()
+	if len(views) == 0 {
+		t.Fatal("no views recorded")
+	}
+	for _, view := range views {
+		if len(view.PlainValues) < 2 {
+			t.Errorf("vertical query produced singleton plaintext predicate set %v", view.PlainValues)
+		}
+	}
+}
+
+func TestVerticalSSNNeverInPlainStore(t *testing.T) {
+	v, _ := verticalOwner(t)
+	// The plaintext store must not contain an SSN column at all.
+	rel := v.Main().Server().Plain().Relation()
+	if _, ok := rel.Schema.ColumnIndex("SSN"); ok {
+		t.Fatal("SSN column present in the clear-text store")
+	}
+}
+
+func TestVerticalBadColumns(t *testing.T) {
+	ks := crypto.DeriveKeys([]byte("v2"))
+	mt, _ := technique.NewNoInd(ks)
+	ct, _ := technique.NewNoInd(ks)
+	v := NewVertical(mt, ct, "EId", []string{"DoesNotExist"})
+	if err := v.Outsource(workload.Employee(), workload.EmployeeSensitive, seededOpts(1)); err == nil {
+		t.Fatal("missing sensitive column accepted")
+	}
+}

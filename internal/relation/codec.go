@@ -1,0 +1,45 @@
+package relation
+
+import (
+	"encoding/binary"
+)
+
+// EncodeTuple serialises a tuple to a self-describing binary form:
+// uvarint ID, uvarint arity, then each value's encoding. The encoding is the
+// plaintext that gets encrypted when a sensitive tuple is outsourced.
+func EncodeTuple(t Tuple) []byte {
+	buf := binary.AppendUvarint(nil, uint64(t.ID))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Values)))
+	for _, v := range t.Values {
+		buf = v.AppendEncode(buf)
+	}
+	return buf
+}
+
+// DecodeTuple parses a tuple previously produced by EncodeTuple.
+func DecodeTuple(b []byte) (Tuple, error) {
+	id, w := binary.Uvarint(b)
+	if w <= 0 {
+		return Tuple{}, ErrCorrupt
+	}
+	b = b[w:]
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return Tuple{}, ErrCorrupt
+	}
+	b = b[w:]
+	t := Tuple{ID: int(id), Values: make([]Value, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var v Value
+		var err error
+		v, b, err = DecodeValue(b)
+		if err != nil {
+			return Tuple{}, err
+		}
+		t.Values = append(t.Values, v)
+	}
+	if len(b) != 0 {
+		return Tuple{}, ErrCorrupt
+	}
+	return t, nil
+}

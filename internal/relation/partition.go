@@ -1,0 +1,62 @@
+package relation
+
+import "fmt"
+
+// Predicate classifies a tuple; in the partitioned-computation model it
+// decides row-level sensitivity.
+type Predicate func(Tuple) bool
+
+// Partition splits r into a sensitive relation Rs (tuples matching pred) and
+// a non-sensitive relation Rns (the rest). Tuple IDs are preserved, so the
+// union of the two is exactly r.
+func Partition(r *Relation, sensitive Predicate) (rs, rns *Relation) {
+	rs = New(Schema{Name: r.Schema.Name + "_s", Columns: r.Schema.Columns})
+	rns = New(Schema{Name: r.Schema.Name + "_ns", Columns: r.Schema.Columns})
+	for _, t := range r.Tuples {
+		if sensitive(t) {
+			rs.Tuples = append(rs.Tuples, t.Clone())
+		} else {
+			rns.Tuples = append(rns.Tuples, t.Clone())
+		}
+	}
+	rs.nextID, rns.nextID = r.nextID, r.nextID
+	return rs, rns
+}
+
+// ColumnSplit implements the vertical split of Example 1 (Figure 2): the
+// sensitive columns (plus the key column) are carved into their own
+// relation, and the remaining columns form the residual relation. The key
+// column appears in both so the owner can re-join them.
+func ColumnSplit(r *Relation, keyCol string, sensitiveCols []string) (sens, rest *Relation, err error) {
+	if _, ok := r.Schema.ColumnIndex(keyCol); !ok {
+		return nil, nil, fmt.Errorf("relation: %q has no key column %q", r.Schema.Name, keyCol)
+	}
+	isSens := make(map[string]bool, len(sensitiveCols))
+	for _, c := range sensitiveCols {
+		if _, ok := r.Schema.ColumnIndex(c); !ok {
+			return nil, nil, fmt.Errorf("relation: %q has no column %q", r.Schema.Name, c)
+		}
+		if c == keyCol {
+			return nil, nil, fmt.Errorf("relation: key column %q cannot itself be vertically split", keyCol)
+		}
+		isSens[c] = true
+	}
+	sensNames := append([]string{keyCol}, sensitiveCols...)
+	restNames := make([]string, 0, r.Schema.Arity())
+	for _, c := range r.Schema.Columns {
+		if !isSens[c.Name] {
+			restNames = append(restNames, c.Name)
+		}
+	}
+	sens, err = r.Project(sensNames...)
+	if err != nil {
+		return nil, nil, err
+	}
+	sens.Schema.Name = r.Schema.Name + "_cols_s"
+	rest, err = r.Project(restNames...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rest.Schema.Name = r.Schema.Name + "_cols_ns"
+	return sens, rest, nil
+}

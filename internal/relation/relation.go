@@ -1,0 +1,175 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is one row of a relation. ID is the stable identifier assigned at
+// insertion into the *original* relation; it survives partitioning so that
+// the merged result of a partitioned query can be compared against the
+// result over the unpartitioned relation.
+type Tuple struct {
+	ID     int
+	Values []Value
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	vals := make([]Value, len(t.Values))
+	copy(vals, t.Values)
+	return Tuple{ID: t.ID, Values: vals}
+}
+
+// Relation is an in-memory table: a schema plus an ordered multiset of
+// tuples.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+
+	nextID int
+}
+
+// New creates an empty relation with the given schema.
+func New(s Schema) *Relation { return &Relation{Schema: s} }
+
+// Insert appends a new tuple after validating it against the schema, and
+// returns its assigned ID.
+func (r *Relation) Insert(vals ...Value) (int, error) {
+	if err := r.Schema.Check(vals); err != nil {
+		return 0, err
+	}
+	id := r.nextID
+	r.nextID++
+	r.Tuples = append(r.Tuples, Tuple{ID: id, Values: vals})
+	return id, nil
+}
+
+// MustInsert is Insert that panics on error; intended for statically-known
+// rows such as test fixtures.
+func (r *Relation) MustInsert(vals ...Value) int {
+	id, err := r.Insert(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Append adds an existing tuple (preserving its ID). It is used when
+// partitioning a relation into sub-relations.
+func (r *Relation) Append(t Tuple) error {
+	if err := r.Schema.Check(t.Values); err != nil {
+		return err
+	}
+	r.Tuples = append(r.Tuples, t)
+	if t.ID >= r.nextID {
+		r.nextID = t.ID + 1
+	}
+	return nil
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Select returns all tuples whose attribute named col equals w.
+func (r *Relation) Select(col string, w Value) ([]Tuple, error) {
+	ci, ok := r.Schema.ColumnIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relation: %q has no column %q", r.Schema.Name, col)
+	}
+	var out []Tuple
+	for _, t := range r.Tuples {
+		if t.Values[ci].Equal(w) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// SelectRange returns all tuples with lo <= t[col] <= hi.
+func (r *Relation) SelectRange(col string, lo, hi Value) ([]Tuple, error) {
+	ci, ok := r.Schema.ColumnIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relation: %q has no column %q", r.Schema.Name, col)
+	}
+	var out []Tuple
+	for _, t := range r.Tuples {
+		v := t.Values[ci]
+		if v.Compare(lo) >= 0 && v.Compare(hi) <= 0 {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Project returns a new relation containing only the named columns. Tuple
+// IDs are preserved.
+func (r *Relation) Project(names ...string) (*Relation, error) {
+	schema, idx, err := r.Schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(schema)
+	for _, t := range r.Tuples {
+		vals := make([]Value, len(idx))
+		for i, ci := range idx {
+			vals[i] = t.Values[ci]
+		}
+		if err := out.Append(Tuple{ID: t.ID, Values: vals}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DistinctCounts returns, for the named column, each distinct value with its
+// tuple count, ordered by value (deterministic).
+func (r *Relation) DistinctCounts(col string) ([]ValueCount, error) {
+	ci, ok := r.Schema.ColumnIndex(col)
+	if !ok {
+		return nil, fmt.Errorf("relation: %q has no column %q", r.Schema.Name, col)
+	}
+	counts := make(map[string]*ValueCount)
+	for _, t := range r.Tuples {
+		v := t.Values[ci]
+		k := v.Key()
+		if vc, seen := counts[k]; seen {
+			vc.Count++
+		} else {
+			counts[k] = &ValueCount{Value: v, Count: 1}
+		}
+	}
+	out := make([]ValueCount, 0, len(counts))
+	for _, vc := range counts {
+		out = append(out, *vc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value.Less(out[j].Value) })
+	return out, nil
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.Schema)
+	out.nextID = r.nextID
+	out.Tuples = make([]Tuple, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		out.Tuples = append(out.Tuples, t.Clone())
+	}
+	return out
+}
+
+// SortByID orders tuples by their stable ID; useful for comparing result
+// sets.
+func SortByID(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+}
+
+// IDs extracts the IDs of a tuple slice, sorted.
+func IDs(ts []Tuple) []int {
+	out := make([]int, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,236 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testSchema(t *testing.T) Schema {
+	t.Helper()
+	s, err := NewSchema("T",
+		Column{Name: "K", Kind: KindInt},
+		Column{Name: "Name", Kind: KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("T", Column{Name: "", Kind: KindInt}); err == nil {
+		t.Error("unnamed column accepted")
+	}
+	if _, err := NewSchema("T",
+		Column{Name: "A", Kind: KindInt},
+		Column{Name: "A", Kind: KindString}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestSchemaColumnIndex(t *testing.T) {
+	s := testSchema(t)
+	if i, ok := s.ColumnIndex("Name"); !ok || i != 1 {
+		t.Errorf("ColumnIndex(Name) = %d, %v", i, ok)
+	}
+	if _, ok := s.ColumnIndex("missing"); ok {
+		t.Error("found missing column")
+	}
+}
+
+func TestSchemaCheck(t *testing.T) {
+	s := testSchema(t)
+	if err := s.Check([]Value{Int(1), Str("x")}); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	if err := s.Check([]Value{Int(1)}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := s.Check([]Value{Str("1"), Str("x")}); err == nil {
+		t.Error("wrong kind accepted")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := testSchema(t)
+	want := "T(K INT, Name VARCHAR)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestInsertAndSelect(t *testing.T) {
+	r := New(testSchema(t))
+	id0 := r.MustInsert(Int(1), Str("a"))
+	id1 := r.MustInsert(Int(2), Str("b"))
+	id2 := r.MustInsert(Int(1), Str("c"))
+	if id0 != 0 || id1 != 1 || id2 != 2 {
+		t.Fatalf("ids = %d,%d,%d", id0, id1, id2)
+	}
+	got, err := r.Select("K", Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(IDs(got), []int{0, 2}) {
+		t.Errorf("Select K=1 ids = %v", IDs(got))
+	}
+	if _, err := r.Select("missing", Int(1)); err == nil {
+		t.Error("select on missing column succeeded")
+	}
+	if _, err := r.Insert(Int(1)); err == nil {
+		t.Error("bad arity insert succeeded")
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	r := New(testSchema(t))
+	for i := 0; i < 10; i++ {
+		r.MustInsert(Int(int64(i)), Str("x"))
+	}
+	got, err := r.SelectRange("K", Int(3), Int(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(IDs(got), []int{3, 4, 5, 6}) {
+		t.Errorf("range ids = %v", IDs(got))
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := New(testSchema(t))
+	r.MustInsert(Int(1), Str("a"))
+	p, err := r.Project("Name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.Arity() != 1 || !p.Tuples[0].Values[0].Equal(Str("a")) {
+		t.Errorf("project = %+v", p)
+	}
+	if p.Tuples[0].ID != 0 {
+		t.Error("project dropped tuple ID")
+	}
+	if _, err := r.Project("missing"); err == nil {
+		t.Error("project on missing column succeeded")
+	}
+}
+
+func TestDistinctCounts(t *testing.T) {
+	r := New(testSchema(t))
+	r.MustInsert(Int(5), Str("a"))
+	r.MustInsert(Int(5), Str("b"))
+	r.MustInsert(Int(2), Str("c"))
+	got, err := r.DistinctCounts("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ValueCount{{Int(2), 1}, {Int(5), 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DistinctCounts = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionPreservesAll(t *testing.T) {
+	r := New(testSchema(t))
+	for i := 0; i < 20; i++ {
+		r.MustInsert(Int(int64(i)), Str("x"))
+	}
+	rs, rns := Partition(r, func(t Tuple) bool { return t.Values[0].Int()%3 == 0 })
+	if rs.Len()+rns.Len() != r.Len() {
+		t.Fatalf("partition lost tuples: %d + %d != %d", rs.Len(), rns.Len(), r.Len())
+	}
+	for _, tp := range rs.Tuples {
+		if tp.Values[0].Int()%3 != 0 {
+			t.Errorf("non-sensitive tuple %v in Rs", tp)
+		}
+	}
+	for _, tp := range rns.Tuples {
+		if tp.Values[0].Int()%3 == 0 {
+			t.Errorf("sensitive tuple %v in Rns", tp)
+		}
+	}
+}
+
+func TestColumnSplit(t *testing.T) {
+	s := MustSchema("E",
+		Column{Name: "EId", Kind: KindString},
+		Column{Name: "SSN", Kind: KindInt},
+		Column{Name: "Office", Kind: KindInt},
+	)
+	r := New(s)
+	r.MustInsert(Str("E1"), Int(111), Int(1))
+	sens, rest, err := ColumnSplit(r, "EId", []string{"SSN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens.Schema.Arity() != 2 {
+		t.Errorf("sensitive split arity = %d", sens.Schema.Arity())
+	}
+	if _, ok := rest.Schema.ColumnIndex("SSN"); ok {
+		t.Error("rest still contains SSN")
+	}
+	if _, ok := rest.Schema.ColumnIndex("EId"); !ok {
+		t.Error("rest lost the key column")
+	}
+	if _, _, err := ColumnSplit(r, "missing", nil); err == nil {
+		t.Error("missing key column accepted")
+	}
+	if _, _, err := ColumnSplit(r, "EId", []string{"EId"}); err == nil {
+		t.Error("key column as sensitive accepted")
+	}
+	if _, _, err := ColumnSplit(r, "EId", []string{"nope"}); err == nil {
+		t.Error("missing sensitive column accepted")
+	}
+}
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	tu := Tuple{ID: 1234, Values: []Value{Int(-9), Str("héllo"), Int(0)}}
+	got, err := DecodeTuple(EncodeTuple(tu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != tu.ID || len(got.Values) != len(tu.Values) {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i := range tu.Values {
+		if !got.Values[i].Equal(tu.Values[i]) {
+			t.Errorf("value %d: %v != %v", i, got.Values[i], tu.Values[i])
+		}
+	}
+}
+
+func TestTupleCodecErrors(t *testing.T) {
+	if _, err := DecodeTuple(nil); err == nil {
+		t.Error("nil decode succeeded")
+	}
+	enc := EncodeTuple(Tuple{ID: 1, Values: []Value{Int(7)}})
+	if _, err := DecodeTuple(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated decode succeeded")
+	}
+	if _, err := DecodeTuple(append(enc, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := New(testSchema(t))
+	r.MustInsert(Int(1), Str("a"))
+	c := r.Clone()
+	c.Tuples[0].Values[0] = Int(99)
+	if r.Tuples[0].Values[0].Int() != 1 {
+		t.Error("clone shares value storage")
+	}
+	id := c.MustInsert(Int(2), Str("b"))
+	if id != 1 {
+		t.Errorf("clone nextID = %d", id)
+	}
+}
+
+func TestAppendKeepsIDsMonotonic(t *testing.T) {
+	r := New(testSchema(t))
+	if err := r.Append(Tuple{ID: 10, Values: []Value{Int(1), Str("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if id := r.MustInsert(Int(2), Str("b")); id != 11 {
+		t.Errorf("insert after append got id %d, want 11", id)
+	}
+}

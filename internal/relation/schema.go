@@ -1,0 +1,104 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes a named relation: an ordered list of typed columns.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// NewSchema builds a schema, validating that column names are unique and
+// non-empty.
+func NewSchema(name string, cols ...Column) (Schema, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if c.Name == "" {
+			return Schema{}, fmt.Errorf("relation: schema %q has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return Schema{}, fmt.Errorf("relation: schema %q has duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return Schema{Name: name, Columns: cols}, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for static schemas.
+func MustSchema(name string, cols ...Column) Schema {
+	s, err := NewSchema(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the position of the named column and whether it exists.
+func (s Schema) ColumnIndex(name string) (int, bool) {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Arity returns the number of columns.
+func (s Schema) Arity() int { return len(s.Columns) }
+
+// Project returns a new schema containing only the named columns, in the
+// given order.
+func (s Schema) Project(names ...string) (Schema, []int, error) {
+	cols := make([]Column, 0, len(names))
+	idx := make([]int, 0, len(names))
+	for _, n := range names {
+		i, ok := s.ColumnIndex(n)
+		if !ok {
+			return Schema{}, nil, fmt.Errorf("relation: schema %q has no column %q", s.Name, n)
+		}
+		cols = append(cols, s.Columns[i])
+		idx = append(idx, i)
+	}
+	out, err := NewSchema(s.Name, cols...)
+	return out, idx, err
+}
+
+// String renders the schema as NAME(col TYPE, ...).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Check verifies that the given values conform to the schema.
+func (s Schema) Check(vals []Value) error {
+	if len(vals) != len(s.Columns) {
+		return fmt.Errorf("relation: %q expects %d values, got %d", s.Name, len(s.Columns), len(vals))
+	}
+	for i, v := range vals {
+		if v.Kind() != s.Columns[i].Kind {
+			return fmt.Errorf("relation: %q column %q expects %s, got %s",
+				s.Name, s.Columns[i].Name, s.Columns[i].Kind, v.Kind())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+// Package relation implements the typed, in-memory relational substrate used
+// by both the trusted database owner and the untrusted cloud in the
+// partitioned-computation model of Mehrotra et al. (ICDE 2019). It provides
+// values, schemas, tuples, relations, a binary tuple codec, and row/column
+// sensitivity partitioning.
+package relation
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit signed integer value.
+	KindInt Kind = iota
+	// KindString is a UTF-8 string value.
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable, comparable attribute value. The zero Value is the
+// integer 0.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the dynamic type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// Int returns the integer payload. It is only meaningful for KindInt values.
+func (v Value) Int() int64 { return v.i }
+
+// Str returns the string payload. It is only meaningful for KindString
+// values.
+func (v Value) Str() string { return v.s }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	if v.kind == KindInt {
+		return v.i == o.i
+	}
+	return v.s == o.s
+}
+
+// Compare orders values: by kind first (ints before strings), then by
+// payload. It returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(v.s, o.s)
+	}
+}
+
+// Less reports whether v orders strictly before o.
+func (v Value) Less(o Value) bool { return v.Compare(o) < 0 }
+
+// Key returns a canonical string encoding suitable for use as a map key.
+// Distinct values always produce distinct keys.
+func (v Value) Key() string {
+	if v.kind == KindInt {
+		return "i:" + strconv.FormatInt(v.i, 10)
+	}
+	return "s:" + v.s
+}
+
+// String renders the value for humans.
+func (v Value) String() string {
+	if v.kind == KindInt {
+		return strconv.FormatInt(v.i, 10)
+	}
+	return v.s
+}
+
+// AppendEncode appends a self-describing binary encoding of v to buf and
+// returns the extended buffer. The encoding is one kind byte followed by an
+// 8-byte big-endian integer (KindInt) or a uvarint length and raw bytes
+// (KindString).
+func (v Value) AppendEncode(buf []byte) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.i))
+		buf = append(buf, b[:]...)
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.s)))
+		buf = append(buf, v.s...)
+	}
+	return buf
+}
+
+// Encode returns the binary encoding of v.
+func (v Value) Encode() []byte { return v.AppendEncode(nil) }
+
+// ErrCorrupt is returned when decoding malformed binary data.
+var ErrCorrupt = errors.New("relation: corrupt encoding")
+
+// DecodeValue decodes one value from b, returning the value and the
+// remaining bytes.
+func DecodeValue(b []byte) (Value, []byte, error) {
+	if len(b) < 1 {
+		return Value{}, b, ErrCorrupt
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindInt:
+		if len(b) < 8 {
+			return Value{}, b, ErrCorrupt
+		}
+		v := int64(binary.BigEndian.Uint64(b[:8]))
+		return Int(v), b[8:], nil
+	case KindString:
+		n, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) < n {
+			return Value{}, b, ErrCorrupt
+		}
+		b = b[w:]
+		return Str(string(b[:n])), b[n:], nil
+	default:
+		return Value{}, b, fmt.Errorf("relation: unknown value kind %d: %w", kind, ErrCorrupt)
+	}
+}
+
+// GobEncode implements gob.GobEncoder using the binary value codec, so
+// Values (which have unexported fields) can cross the wire protocol.
+func (v Value) GobEncode() ([]byte, error) { return v.Encode(), nil }
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(b []byte) error {
+	dec, rest, err := DecodeValue(b)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return ErrCorrupt
+	}
+	*v = dec
+	return nil
+}
+
+// ValueCount pairs an attribute value with the number of tuples carrying it.
+// It is the unit of the owner-side metadata that drives bin creation.
+type ValueCount struct {
+	Value Value
+	Count int
+}

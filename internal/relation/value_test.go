@@ -1,0 +1,166 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	iv := Int(42)
+	if iv.Kind() != KindInt || iv.Int() != 42 {
+		t.Fatalf("Int(42) = %+v", iv)
+	}
+	sv := Str("hello")
+	if sv.Kind() != KindString || sv.Str() != "hello" {
+		t.Fatalf("Str(hello) = %+v", sv)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Int(1), Str("1"), false},
+		{Int(0), Value{}, true}, // zero value is Int(0)
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("x"), Str("x"), 0},
+		{Int(999), Str("a"), -1}, // ints order before strings
+		{Str("a"), Int(999), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("%v.Less(%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestValueKeyDistinct(t *testing.T) {
+	// Keys must separate kinds even when string payloads look numeric.
+	if Int(5).Key() == Str("5").Key() {
+		t.Fatal("Int(5) and Str(5) share a key")
+	}
+	if Int(5).Key() != Int(5).Key() {
+		t.Fatal("equal values must share a key")
+	}
+}
+
+func TestValueEncodeDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(1), Int(-1), Int(1 << 62), Int(-(1 << 62)),
+		Str(""), Str("a"), Str("héllo wörld"), Str(string(make([]byte, 300))),
+	}
+	for _, v := range vals {
+		enc := v.Encode()
+		got, rest, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("DecodeValue(%v): %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("DecodeValue(%v) left %d bytes", v, len(rest))
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestValueDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{byte(KindInt)},                // truncated int
+		{byte(KindInt), 1, 2, 3},       // truncated int
+		{byte(KindString), 5, 'a'},     // length exceeds data
+		{0xEE, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown kind
+	}
+	for _, b := range bad {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("DecodeValue(% x) succeeded, want error", b)
+		}
+	}
+}
+
+// quickValue draws a random Value for property tests.
+func quickValue(r *rand.Rand) Value {
+	if r.Intn(2) == 0 {
+		return Int(r.Int63() - r.Int63())
+	}
+	n := r.Intn(32)
+	b := make([]byte, n)
+	r.Read(b)
+	return Str(string(b))
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func() bool { return true }
+	_ = f
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(quickValue(r))
+		},
+	}
+	prop := func(v Value) bool {
+		got, rest, err := DecodeValue(v.Encode())
+		return err == nil && len(rest) == 0 && got.Equal(v)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(quickValue(r))
+			args[1] = reflect.ValueOf(quickValue(r))
+			args[2] = reflect.ValueOf(quickValue(r))
+		},
+	}
+	prop := func(a, b, c Value) bool {
+		// Antisymmetry.
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		// Consistency with Equal.
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			return false
+		}
+		// Transitivity (only the <= chain).
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

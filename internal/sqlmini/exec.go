@@ -1,0 +1,156 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/relation"
+)
+
+// DB binds the SQL front-end to a QB client over one outsourced relation.
+type DB struct {
+	client    *repro.Client
+	schema    relation.Schema
+	sensitive func(relation.Tuple) bool
+	nextID    int
+}
+
+// NewDB wraps an already-outsourced client. schema is the relation's
+// schema (for projection and insert validation); sensitive classifies
+// inserted tuples; nextID seeds IDs for inserted rows.
+func NewDB(client *repro.Client, schema relation.Schema, sensitive func(relation.Tuple) bool, nextID int) *DB {
+	return &DB{client: client, schema: schema, sensitive: sensitive, nextID: nextID}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns are the output column names (empty for INSERT).
+	Columns []string
+	// Rows are the output rows as strings.
+	Rows [][]string
+	// Aggregate holds the scalar for aggregate queries.
+	Aggregate *int64
+	// Inserted counts inserted tuples.
+	Inserted int
+}
+
+// Exec parses and executes one statement.
+func (db *DB) Exec(stmt string) (*Result, error) {
+	s, err := Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(s.Table, db.schema.Name) {
+		return nil, fmt.Errorf("sqlmini: unknown table %q (have %q)", s.Table, db.schema.Name)
+	}
+	switch s.Kind {
+	case StmtSelect:
+		return db.execSelect(s)
+	case StmtInsert:
+		return db.execInsert(s)
+	default:
+		return nil, fmt.Errorf("sqlmini: unsupported statement")
+	}
+}
+
+func (db *DB) execSelect(s *Stmt) (*Result, error) {
+	// The predicate must target the searchable attribute: QB bins exist
+	// for that attribute only (multi-attribute support uses one client per
+	// attribute).
+	if _, ok := db.schema.ColumnIndex(s.Where.Attr); !ok {
+		return nil, fmt.Errorf("sqlmini: unknown column %q", s.Where.Attr)
+	}
+
+	if s.Agg != AggNone {
+		if s.Where.Op != OpEq {
+			return nil, fmt.Errorf("sqlmini: aggregates support only equality predicates")
+		}
+		col := s.AggCol
+		if s.Agg == AggCount && col == "" {
+			col = s.Where.Attr
+		}
+		v, err := db.client.QueryAggregate(s.Where.Value, col, aggOp(s.Agg))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: []string{aggName(s.Agg, col)}, Aggregate: &v,
+			Rows: [][]string{{fmt.Sprintf("%d", v)}}}, nil
+	}
+
+	var tuples []relation.Tuple
+	var err error
+	switch s.Where.Op {
+	case OpEq:
+		tuples, err = db.client.Query(s.Where.Value)
+	case OpBetween:
+		tuples, err = db.client.QueryRange(s.Where.Value, s.Where.Hi)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	cols := s.Columns
+	idx := make([]int, 0, len(cols))
+	if cols == nil {
+		for i, c := range db.schema.Columns {
+			cols = append(cols, c.Name)
+			idx = append(idx, i)
+		}
+	} else {
+		for _, c := range cols {
+			i, ok := db.schema.ColumnIndex(c)
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: unknown column %q", c)
+			}
+			idx = append(idx, i)
+		}
+	}
+	res := &Result{Columns: cols}
+	for _, t := range tuples {
+		row := make([]string, len(idx))
+		for i, ci := range idx {
+			row[i] = t.Values[ci].String()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (db *DB) execInsert(s *Stmt) (*Result, error) {
+	if err := db.schema.Check(s.Values); err != nil {
+		return nil, err
+	}
+	t := relation.Tuple{ID: db.nextID, Values: s.Values}
+	db.nextID++
+	if err := db.client.Insert(t, db.sensitive(t)); err != nil {
+		return nil, err
+	}
+	return &Result{Inserted: 1}, nil
+}
+
+func aggOp(a AggKind) repro.AggOp {
+	switch a {
+	case AggSum:
+		return repro.AggSum
+	case AggMin:
+		return repro.AggMin
+	case AggMax:
+		return repro.AggMax
+	default:
+		return repro.AggCount
+	}
+}
+
+func aggName(a AggKind, col string) string {
+	switch a {
+	case AggSum:
+		return "SUM(" + col + ")"
+	case AggMin:
+		return "MIN(" + col + ")"
+	case AggMax:
+		return "MAX(" + col + ")"
+	default:
+		return "COUNT(*)"
+	}
+}

@@ -1,0 +1,281 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// StmtKind distinguishes statements.
+type StmtKind int
+
+const (
+	// StmtSelect is a SELECT.
+	StmtSelect StmtKind = iota
+	// StmtInsert is an INSERT.
+	StmtInsert
+)
+
+// AggKind is an optional aggregate in the select list.
+type AggKind int
+
+const (
+	// AggNone means a plain projection.
+	AggNone AggKind = iota
+	// AggCount, AggSum, AggMin, AggMax mirror the owner's aggregates.
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+)
+
+// WhereOp is the predicate operator.
+type WhereOp int
+
+const (
+	// OpEq is attr = literal.
+	OpEq WhereOp = iota
+	// OpBetween is attr BETWEEN lo AND hi.
+	OpBetween
+)
+
+// Where is the (single) predicate of a select.
+type Where struct {
+	Attr  string
+	Op    WhereOp
+	Value relation.Value
+	Hi    relation.Value
+}
+
+// Stmt is a parsed statement.
+type Stmt struct {
+	Kind    StmtKind
+	Table   string
+	Columns []string // nil means *
+	Agg     AggKind
+	AggCol  string
+	Where   *Where
+	Values  []relation.Value // INSERT
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one statement.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt *Stmt
+	switch {
+	case p.peekKeyword("SELECT"):
+		stmt, err = p.parseSelect()
+	case p.peekKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	default:
+		return nil, fmt.Errorf("sqlmini: expected SELECT or INSERT, got %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("sqlmini: trailing input at %d: %q", p.cur().pos, p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peekKeyword(kw) {
+		return fmt.Errorf("sqlmini: expected %s at %d, got %q", kw, p.cur().pos, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.cur()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sqlmini: expected %q at %d, got %q", sym, t.pos, t.text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlmini: expected identifier at %d, got %q", t.pos, t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) parseLiteral() (relation.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("sqlmini: bad number %q: %v", t.text, err)
+		}
+		return relation.Int(n), nil
+	case tokString:
+		p.advance()
+		return relation.Str(t.text), nil
+	default:
+		return relation.Value{}, fmt.Errorf("sqlmini: expected literal at %d, got %q", t.pos, t.text)
+	}
+}
+
+var aggKeywords = map[string]AggKind{
+	"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) parseSelect() (*Stmt, error) {
+	p.advance() // SELECT
+	stmt := &Stmt{Kind: StmtSelect}
+
+	// Select list: *, aggregate, or column list.
+	t := p.cur()
+	switch {
+	case t.kind == tokSymbol && t.text == "*":
+		p.advance()
+	case t.kind == tokIdent && aggLookup(t.text) != AggNone && p.toks[p.pos+1].text == "(":
+		stmt.Agg = aggLookup(t.text)
+		p.advance()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		inner := p.cur()
+		if inner.kind == tokSymbol && inner.text == "*" {
+			if stmt.Agg != AggCount {
+				return nil, fmt.Errorf("sqlmini: %s(*) is not supported; name a column", strings.ToUpper(t.text))
+			}
+			p.advance()
+		} else {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.AggCol = col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	default:
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	attr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	w := &Where{Attr: attr}
+	switch {
+	case p.cur().kind == tokSymbol && p.cur().text == "=":
+		p.advance()
+		w.Op = OpEq
+		if w.Value, err = p.parseLiteral(); err != nil {
+			return nil, err
+		}
+	case p.peekKeyword("BETWEEN"):
+		p.advance()
+		w.Op = OpBetween
+		if w.Value, err = p.parseLiteral(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		if w.Hi, err = p.parseLiteral(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sqlmini: expected = or BETWEEN at %d, got %q", p.cur().pos, p.cur().text)
+	}
+	stmt.Where = w
+	return stmt, nil
+}
+
+func aggLookup(ident string) AggKind {
+	return aggKeywords[strings.ToUpper(ident)]
+}
+
+func (p *parser) parseInsert() (*Stmt, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{Kind: StmtInsert, Table: table}
+	for {
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Values = append(stmt.Values, v)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}

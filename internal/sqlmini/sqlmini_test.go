@@ -1,0 +1,208 @@
+package sqlmini
+
+import (
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func TestParseSelectStar(t *testing.T) {
+	s, err := Parse("SELECT * FROM Employee WHERE EId = 'E101'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtSelect || s.Table != "Employee" || s.Columns != nil {
+		t.Fatalf("stmt = %+v", s)
+	}
+	if s.Where.Op != OpEq || !s.Where.Value.Equal(relation.Str("E101")) {
+		t.Fatalf("where = %+v", s.Where)
+	}
+}
+
+func TestParseSelectColumns(t *testing.T) {
+	s, err := Parse("select FirstName, LastName from Employee where EId = 'E1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Columns, []string{"FirstName", "LastName"}) {
+		t.Fatalf("columns = %v", s.Columns)
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	s, err := Parse("SELECT * FROM T WHERE K BETWEEN 5 AND 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Where.Op != OpBetween || s.Where.Value.Int() != 5 || s.Where.Hi.Int() != 10 {
+		t.Fatalf("where = %+v", s.Where)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	cases := map[string]AggKind{
+		"SELECT COUNT(*) FROM T WHERE K = 1": AggCount,
+		"SELECT SUM(P) FROM T WHERE K = 1":   AggSum,
+		"SELECT MIN(P) FROM T WHERE K = 1":   AggMin,
+		"SELECT max(P) FROM T WHERE K = 1":   AggMax,
+	}
+	for src, want := range cases {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if s.Agg != want {
+			t.Errorf("%s: agg = %v, want %v", src, s.Agg, want)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s, err := Parse("INSERT INTO T VALUES (7, 'x', -3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != StmtInsert || len(s.Values) != 3 {
+		t.Fatalf("stmt = %+v", s)
+	}
+	if s.Values[0].Int() != 7 || s.Values[1].Str() != "x" || s.Values[2].Int() != -3 {
+		t.Fatalf("values = %v", s.Values)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	s, err := Parse("SELECT * FROM T WHERE K = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Where.Value.Str() != "it's" {
+		t.Fatalf("value = %q", s.Where.Value.Str())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE T",
+		"SELECT FROM T WHERE K = 1",
+		"SELECT * FROM T",                                // missing WHERE
+		"SELECT * FROM T WHERE K",                        // missing operator
+		"SELECT * FROM T WHERE K = ",                     // missing literal
+		"SELECT * FROM T WHERE K BETWEEN 1",              // missing AND
+		"SELECT SUM(*) FROM T WHERE K = 1",               // SUM(*) invalid
+		"INSERT INTO T VALUES 1",                         // missing parens
+		"INSERT INTO T VALUES (1",                        // unterminated
+		"SELECT * FROM T WHERE K = 'unclosed",            // unterminated string
+		"SELECT * FROM T WHERE K = 1 garbage",            // trailing
+		"SELECT * FROM T WHERE K = 99999999999999999999", // overflow
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	seed := uint64(31)
+	client, err := repro.NewClient(repro.Config{
+		MasterKey: []byte("sql test"),
+		Attr:      "EId",
+		Seed:      &seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := workload.Employee()
+	if err := client.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	deptIdx, _ := workload.EmployeeSchema.ColumnIndex("Dept")
+	sens := func(tp relation.Tuple) bool { return tp.Values[deptIdx].Str() == "Defense" }
+	return NewDB(client, workload.EmployeeSchema, sens, emp.Len())
+}
+
+func TestExecSelect(t *testing.T) {
+	db := testDB(t)
+	res, err := db.Exec("SELECT FirstName, Dept FROM Employee WHERE EId = 'E259'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[0] != "John" {
+			t.Errorf("row = %v", row)
+		}
+	}
+}
+
+func TestExecSelectStar(t *testing.T) {
+	db := testDB(t)
+	res, err := db.Exec("SELECT * FROM Employee WHERE EId = 'E101'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 6 || len(res.Rows) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestExecAggregate(t *testing.T) {
+	db := testDB(t)
+	res, err := db.Exec("SELECT COUNT(*) FROM Employee WHERE EId = 'E152'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate == nil || *res.Aggregate != 2 {
+		t.Fatalf("count = %+v", res)
+	}
+	res, err = db.Exec("SELECT MAX(Office) FROM Employee WHERE EId = 'E259'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res.Aggregate != 6 {
+		t.Fatalf("max = %d", *res.Aggregate)
+	}
+}
+
+func TestExecInsertThenSelect(t *testing.T) {
+	db := testDB(t)
+	res, err := db.Exec("INSERT INTO Employee VALUES ('E900', 'Zoe', 'Quinn', 900, 3, 'Design')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 {
+		t.Fatalf("inserted = %d", res.Inserted)
+	}
+	sel, err := db.Exec("SELECT LastName FROM Employee WHERE EId = 'E900'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Rows) != 1 || sel.Rows[0][0] != "Quinn" {
+		t.Fatalf("rows = %v", sel.Rows)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		"SELECT * FROM Nope WHERE EId = 'E101'",
+		"SELECT Missing FROM Employee WHERE EId = 'E101'",
+		"SELECT * FROM Employee WHERE Missing = 'E101'",
+		"INSERT INTO Employee VALUES (1)",                             // arity
+		"INSERT INTO Employee VALUES (1, 2, 3, 4, 5, 6)",              // types
+		"SELECT SUM(FirstName) FROM Employee WHERE EId = 'E101'",      // string sum
+		"SELECT COUNT(*) FROM Employee WHERE EId BETWEEN 'a' AND 'b'", // agg over range
+	}
+	for _, src := range bad {
+		if _, err := db.Exec(src); err == nil {
+			t.Errorf("Exec(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"repro/internal/relation"
+)
+
+// BTree is an in-memory B+-tree mapping attribute values to lists of tuple
+// positions. Leaves are chained for ordered range scans; it backs the range
+// selection extension of QB.
+type BTree struct {
+	root   *btreeNode
+	degree int // minimum degree t: nodes hold [t-1, 2t-1] keys
+	size   int // number of distinct keys
+}
+
+type btreeNode struct {
+	leaf     bool
+	keys     []relation.Value
+	postings [][]int      // leaf only: postings[i] are positions for keys[i]
+	children []*btreeNode // internal only
+	next     *btreeNode   // leaf chain
+}
+
+// NewBTree creates a tree with the given minimum degree (>= 2).
+func NewBTree(degree int) *BTree {
+	if degree < 2 {
+		degree = 2
+	}
+	return &BTree{root: &btreeNode{leaf: true}, degree: degree}
+}
+
+// Len returns the number of distinct keys.
+func (t *BTree) Len() int { return t.size }
+
+func (n *btreeNode) findKey(v relation.Value) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid].Less(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(n.keys) && n.keys[lo].Equal(v)
+	return lo, found
+}
+
+// Insert records that the tuple at position pos has value v.
+func (t *BTree) Insert(v relation.Value, pos int) {
+	r := t.root
+	if len(r.keys) == 2*t.degree-1 {
+		newRoot := &btreeNode{children: []*btreeNode{r}}
+		t.splitChild(newRoot, 0)
+		t.root = newRoot
+	}
+	t.insertNonFull(t.root, v, pos)
+}
+
+func (t *BTree) splitChild(parent *btreeNode, i int) {
+	deg := t.degree
+	child := parent.children[i]
+	sib := &btreeNode{leaf: child.leaf}
+	if child.leaf {
+		// Leaf split: sibling takes the upper half; the separator copied up
+		// is the sibling's first key (B+-tree style).
+		sib.keys = append(sib.keys, child.keys[deg-1:]...)
+		sib.postings = append(sib.postings, child.postings[deg-1:]...)
+		child.keys = child.keys[:deg-1]
+		child.postings = child.postings[:deg-1]
+		sib.next = child.next
+		child.next = sib
+		parent.keys = append(parent.keys, relation.Value{})
+		copy(parent.keys[i+1:], parent.keys[i:])
+		parent.keys[i] = sib.keys[0]
+	} else {
+		// Internal split: middle key moves up.
+		mid := child.keys[deg-1]
+		sib.keys = append(sib.keys, child.keys[deg:]...)
+		sib.children = append(sib.children, child.children[deg:]...)
+		child.keys = child.keys[:deg-1]
+		child.children = child.children[:deg]
+		parent.keys = append(parent.keys, relation.Value{})
+		copy(parent.keys[i+1:], parent.keys[i:])
+		parent.keys[i] = mid
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = sib
+}
+
+func (t *BTree) insertNonFull(n *btreeNode, v relation.Value, pos int) {
+	for {
+		i, found := n.findKey(v)
+		if n.leaf {
+			if found {
+				n.postings[i] = append(n.postings[i], pos)
+				return
+			}
+			n.keys = append(n.keys, relation.Value{})
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = v
+			n.postings = append(n.postings, nil)
+			copy(n.postings[i+1:], n.postings[i:])
+			n.postings[i] = []int{pos}
+			t.size++
+			return
+		}
+		// Internal node: descend right of equal separators.
+		if found {
+			i++
+		}
+		if len(n.children[i].keys) == 2*t.degree-1 {
+			t.splitChild(n, i)
+			if n.keys[i].Less(v) || n.keys[i].Equal(v) {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Lookup returns the positions recorded for v (nil if absent).
+func (t *BTree) Lookup(v relation.Value) []int {
+	n := t.root
+	for {
+		i, found := n.findKey(v)
+		if n.leaf {
+			if found {
+				return n.postings[i]
+			}
+			return nil
+		}
+		if found {
+			i++
+		}
+		n = n.children[i]
+	}
+}
+
+// Range calls fn for every key in [lo, hi] in ascending order with its
+// postings. Iteration stops early if fn returns false.
+func (t *BTree) Range(lo, hi relation.Value, fn func(v relation.Value, positions []int) bool) {
+	n := t.root
+	for !n.leaf {
+		i, found := n.findKey(lo)
+		if found {
+			i++
+		}
+		n = n.children[i]
+	}
+	start, _ := n.findKey(lo)
+	for n != nil {
+		for i := start; i < len(n.keys); i++ {
+			if hi.Less(n.keys[i]) {
+				return
+			}
+			if !fn(n.keys[i], n.postings[i]) {
+				return
+			}
+		}
+		n = n.next
+		start = 0
+	}
+}
+
+// Keys returns all keys in ascending order; used in tests.
+func (t *BTree) Keys() []relation.Value {
+	var out []relation.Value
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		out = append(out, n.keys...)
+		n = n.next
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestBTreeInsertLookup(t *testing.T) {
+	bt := NewBTree(2) // tiny degree to force many splits
+	for i := 0; i < 100; i++ {
+		bt.Insert(relation.Int(int64(i%25)), i)
+	}
+	if bt.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", bt.Len())
+	}
+	for k := 0; k < 25; k++ {
+		got := bt.Lookup(relation.Int(int64(k)))
+		if len(got) != 4 {
+			t.Fatalf("Lookup(%d) = %v", k, got)
+		}
+	}
+	if bt.Lookup(relation.Int(999)) != nil {
+		t.Error("lookup of absent key returned postings")
+	}
+}
+
+func TestBTreeKeysSorted(t *testing.T) {
+	bt := NewBTree(3)
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, v := range perm {
+		bt.Insert(relation.Int(int64(v)), v)
+	}
+	keys := bt.Keys()
+	if len(keys) != 500 {
+		t.Fatalf("Keys() returned %d keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			t.Fatalf("keys out of order at %d: %v >= %v", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTree(2)
+	for i := 0; i < 50; i += 2 { // even keys only
+		bt.Insert(relation.Int(int64(i)), i)
+	}
+	var got []int64
+	bt.Range(relation.Int(10), relation.Int(20), func(v relation.Value, p []int) bool {
+		got = append(got, v.Int())
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Range = %v, want %v", got, want)
+	}
+	// Early stop.
+	n := 0
+	bt.Range(relation.Int(0), relation.Int(48), func(relation.Value, []int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d keys", n)
+	}
+	// Empty range.
+	bt.Range(relation.Int(11), relation.Int(11), func(v relation.Value, _ []int) bool {
+		t.Errorf("unexpected key %v in empty range", v)
+		return true
+	})
+}
+
+func TestBTreeRangeMatchesNaiveProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(300)
+			keys := make([]int64, n)
+			for i := range keys {
+				keys[i] = int64(r.Intn(100))
+			}
+			args[0] = reflect.ValueOf(keys)
+			args[1] = reflect.ValueOf(int64(r.Intn(100)))
+			args[2] = reflect.ValueOf(int64(r.Intn(100)))
+		},
+	}
+	prop := func(keys []int64, a, b int64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		bt := NewBTree(2)
+		for i, k := range keys {
+			bt.Insert(relation.Int(k), i)
+		}
+		var got []int
+		bt.Range(relation.Int(lo), relation.Int(hi), func(_ relation.Value, p []int) bool {
+			got = append(got, p...)
+			return true
+		})
+		var want []int
+		for i, k := range keys {
+			if k >= lo && k <= hi {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		sort.Ints(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	h := NewHashIndex()
+	h.Add(relation.Int(1), 0)
+	h.Add(relation.Int(1), 5)
+	h.Add(relation.Str("1"), 9)
+	if got := h.Lookup(relation.Int(1)); !reflect.DeepEqual(got, []int{0, 5}) {
+		t.Errorf("Lookup(Int 1) = %v", got)
+	}
+	if got := h.Lookup(relation.Str("1")); !reflect.DeepEqual(got, []int{9}) {
+		t.Errorf("Lookup(Str 1) = %v", got)
+	}
+	if h.Lookup(relation.Int(2)) != nil {
+		t.Error("absent key returned postings")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}

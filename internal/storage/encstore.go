@@ -1,0 +1,71 @@
+package storage
+
+import "fmt"
+
+// EncRow is one outsourced sensitive tuple as the cloud sees it: opaque
+// ciphertexts plus (for cloud-side-indexable techniques only) a searchable
+// token. Addr is the cloud-side address; the access-pattern leakage the
+// paper discusses is precisely "which Addrs were returned".
+type EncRow struct {
+	Addr    int
+	TupleCT []byte // probabilistic ciphertext of the encoded tuple
+	AttrCT  []byte // probabilistic ciphertext of the searchable attribute value
+	Token   []byte // deterministic/Arx token, nil for non-indexable techniques
+}
+
+// EncryptedStore holds the encrypted sensitive relation Rs at the cloud.
+type EncryptedStore struct {
+	rows     []EncRow
+	tokenIdx map[string][]int // token -> addresses, for indexable techniques
+}
+
+// NewEncryptedStore returns an empty store.
+func NewEncryptedStore() *EncryptedStore {
+	return &EncryptedStore{tokenIdx: make(map[string][]int)}
+}
+
+// Add appends a row, assigning its address, and indexes its token if any.
+func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
+	addr := len(s.rows)
+	s.rows = append(s.rows, EncRow{Addr: addr, TupleCT: tupleCT, AttrCT: attrCT, Token: token})
+	if token != nil {
+		k := string(token)
+		s.tokenIdx[k] = append(s.tokenIdx[k], addr)
+	}
+	return addr
+}
+
+// Len returns the number of stored rows.
+func (s *EncryptedStore) Len() int { return len(s.rows) }
+
+// Rows exposes the raw rows; the honest-but-curious adversary sees these
+// ciphertexts at rest.
+func (s *EncryptedStore) Rows() []EncRow { return s.rows }
+
+// AttrColumn returns the encrypted searchable-attribute column with
+// addresses — the first round of the paper's non-indexable search ("retrieve
+// the searching attribute of a sensitive relation at the DB owner side,
+// decrypt, and search").
+func (s *EncryptedStore) AttrColumn() []EncRow {
+	out := make([]EncRow, len(s.rows))
+	for i, r := range s.rows {
+		out[i] = EncRow{Addr: r.Addr, AttrCT: r.AttrCT}
+	}
+	return out
+}
+
+// Fetch returns the full rows at the given addresses — the second round.
+func (s *EncryptedStore) Fetch(addrs []int) ([]EncRow, error) {
+	out := make([]EncRow, 0, len(addrs))
+	for _, a := range addrs {
+		if a < 0 || a >= len(s.rows) {
+			return nil, fmt.Errorf("storage: address %d out of range [0,%d)", a, len(s.rows))
+		}
+		out = append(out, s.rows[a])
+	}
+	return out, nil
+}
+
+// LookupToken returns the addresses whose token equals tok (indexable
+// techniques only).
+func (s *EncryptedStore) LookupToken(tok []byte) []int { return s.tokenIdx[string(tok)] }

@@ -1,0 +1,28 @@
+// Package storage implements the cloud-side stores of the partitioned
+// computation model: a plaintext store for the non-sensitive relation
+// (hash-indexed, with a B+-tree for range scans) and an encrypted store for
+// the sensitive relation (address-based fetch plus an optional token index
+// for cloud-side-indexable techniques).
+package storage
+
+import "repro/internal/relation"
+
+// HashIndex maps attribute values (by canonical key) to tuple positions.
+type HashIndex struct {
+	m map[string][]int
+}
+
+// NewHashIndex returns an empty index.
+func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[string][]int)} }
+
+// Add records that the tuple at position pos has value v.
+func (h *HashIndex) Add(v relation.Value, pos int) {
+	k := v.Key()
+	h.m[k] = append(h.m[k], pos)
+}
+
+// Lookup returns the positions of tuples holding v (nil if none).
+func (h *HashIndex) Lookup(v relation.Value) []int { return h.m[v.Key()] }
+
+// Len returns the number of distinct indexed values.
+func (h *HashIndex) Len() int { return len(h.m) }

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// PlainStore is the cloud's clear-text store for the non-sensitive relation
+// Rns. It answers selection and range queries over the searchable attribute
+// using a hash index and a B+-tree, exactly as a public cloud database
+// would.
+type PlainStore struct {
+	rel     *relation.Relation
+	attr    string
+	attrIdx int
+	hash    *HashIndex
+	tree    *BTree
+}
+
+// NewPlainStore indexes rel on the searchable attribute attr.
+func NewPlainStore(rel *relation.Relation, attr string) (*PlainStore, error) {
+	ci, ok := rel.Schema.ColumnIndex(attr)
+	if !ok {
+		return nil, fmt.Errorf("storage: relation %q has no column %q", rel.Schema.Name, attr)
+	}
+	s := &PlainStore{
+		rel:     rel,
+		attr:    attr,
+		attrIdx: ci,
+		hash:    NewHashIndex(),
+		tree:    NewBTree(16),
+	}
+	for pos, t := range rel.Tuples {
+		s.hash.Add(t.Values[ci], pos)
+		s.tree.Insert(t.Values[ci], pos)
+	}
+	return s, nil
+}
+
+// Insert appends a tuple to the store and indexes it.
+func (s *PlainStore) Insert(t relation.Tuple) error {
+	if err := s.rel.Append(t); err != nil {
+		return err
+	}
+	pos := s.rel.Len() - 1
+	v := t.Values[s.attrIdx]
+	s.hash.Add(v, pos)
+	s.tree.Insert(v, pos)
+	return nil
+}
+
+// Len returns the number of stored tuples.
+func (s *PlainStore) Len() int { return s.rel.Len() }
+
+// DistinctValues returns the number of distinct searchable values.
+func (s *PlainStore) DistinctValues() int { return s.hash.Len() }
+
+// Search returns every tuple whose searchable attribute is one of values —
+// the cloud-side execution of q(Wns)(Rns).
+func (s *PlainStore) Search(values []relation.Value) []relation.Tuple {
+	var out []relation.Tuple
+	for _, v := range values {
+		for _, pos := range s.hash.Lookup(v) {
+			out = append(out, s.rel.Tuples[pos])
+		}
+	}
+	return out
+}
+
+// SearchRange returns every tuple with lo <= attr <= hi via the B+-tree.
+func (s *PlainStore) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	var out []relation.Tuple
+	s.tree.Range(lo, hi, func(_ relation.Value, positions []int) bool {
+		for _, pos := range positions {
+			out = append(out, s.rel.Tuples[pos])
+		}
+		return true
+	})
+	return out
+}
+
+// Relation exposes the underlying relation; the adversary is allowed to read
+// it in full ("the adversary has full access to all the non-sensitive
+// data").
+func (s *PlainStore) Relation() *relation.Relation { return s.rel }
+
+// Attr returns the searchable attribute name.
+func (s *PlainStore) Attr() string { return s.attr }

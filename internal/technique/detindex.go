@@ -1,0 +1,99 @@
+package technique
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// DetIndex outsources the searchable attribute under deterministic
+// encryption so that the cloud can maintain an index over the ciphertexts
+// and answer selections without scanning. It is fast (β close to 1) but, on
+// its own, leaks the full frequency histogram of the attribute — the
+// canonical weak-but-indexable technique QB hardens (§VI).
+type DetIndex struct {
+	prob  *crypto.Probabilistic
+	det   *crypto.Deterministic
+	store EncStore
+}
+
+// NewDetIndex builds the technique over the derived key set.
+func NewDetIndex(keys *crypto.KeySet) (*DetIndex, error) {
+	return NewDetIndexOn(keys, storage.NewEncryptedStore())
+}
+
+// NewDetIndexOn builds the technique over an explicit store (e.g. a remote
+// cloud's).
+func NewDetIndexOn(keys *crypto.KeySet, store EncStore) (*DetIndex, error) {
+	prob, err := crypto.NewProbabilistic(keys.Enc)
+	if err != nil {
+		return nil, fmt.Errorf("technique: detindex: %w", err)
+	}
+	det, err := crypto.NewDeterministic(keys.Det, keys.Nonce)
+	if err != nil {
+		return nil, fmt.Errorf("technique: detindex: %w", err)
+	}
+	return &DetIndex{prob: prob, det: det, store: store}, nil
+}
+
+// Name implements Technique.
+func (d *DetIndex) Name() string { return "DetIndex" }
+
+// Indexable implements Technique.
+func (d *DetIndex) Indexable() bool { return true }
+
+// StoredRows implements Technique.
+func (d *DetIndex) StoredRows() int { return d.store.Len() }
+
+// Store exposes the cloud-side store for the adversary model; the Token
+// fields are the deterministic ciphertexts the frequency attack groups.
+func (d *DetIndex) Store() EncStore { return d.store }
+
+// Outsource implements Technique.
+func (d *DetIndex) Outsource(rows []Row) (*Stats, error) {
+	st := &Stats{Rounds: 1}
+	for _, r := range rows {
+		token := d.det.Encrypt(r.Attr.Encode())
+		tupleCT, err := d.prob.Encrypt(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		d.store.Add(tupleCT, nil, token)
+		st.EncOps += 2
+		st.TuplesTransferred++
+		st.BytesTransferred += len(token) + len(tupleCT)
+	}
+	return st, nil
+}
+
+// Search implements Technique: one index probe per predicate.
+func (d *DetIndex) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	st := &Stats{Rounds: 1}
+	var addrs []int
+	for _, v := range values {
+		token := d.det.Encrypt(v.Encode())
+		st.EncOps++
+		hits := d.store.LookupToken(token)
+		st.TuplesScanned += len(hits)
+		addrs = append(addrs, hits...)
+	}
+	rows, err := d.store.Fetch(addrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloads := make([][]byte, 0, len(rows))
+	for _, r := range rows {
+		pt, err := d.prob.Decrypt(r.TupleCT)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: detindex decrypt addr %d: %w", r.Addr, err)
+		}
+		st.EncOps++
+		st.TuplesTransferred++
+		st.BytesTransferred += len(r.TupleCT)
+		payloads = append(payloads, pt)
+	}
+	st.ReturnedAddrs = addrs
+	return payloads, st, nil
+}

@@ -1,0 +1,192 @@
+package technique
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+)
+
+// DPFPIR is a two-server private information retrieval technique built on
+// the distributed point function of crypto: the distinct searchable values
+// are laid out as equal-size buckets of (probabilistically encrypted) rows,
+// replicated on two non-colluding clouds. A query for value index α sends
+// one DPF key to each cloud; each cloud XORs together the buckets whose
+// evaluation bit is 1 and returns a single bucket-sized blob. The XOR of
+// the two blobs is bucket α. Neither cloud learns α, which rows matched,
+// or even the result size — the access pattern is fully hidden, at the
+// cost of a linear scan per query (the γ >> 1 regime where QB helps most).
+type DPFPIR struct {
+	prob *crypto.Probabilistic
+
+	// Owner-side metadata.
+	valueIdx map[string]int
+	values   []relation.Value
+
+	// Cloud-side (replicated) state: raw buckets plus the padded table
+	// rebuilt lazily after outsourcing.
+	buckets  [][][]byte
+	table    [][]byte // padded: one blob of slotSize*slots bytes per value
+	slots    int
+	slotSize int
+	rows     int
+	dirty    bool
+}
+
+// NewDPFPIR builds the technique over the derived key set.
+func NewDPFPIR(keys *crypto.KeySet) (*DPFPIR, error) {
+	prob, err := crypto.NewProbabilistic(keys.Enc)
+	if err != nil {
+		return nil, fmt.Errorf("technique: dpfpir: %w", err)
+	}
+	return &DPFPIR{prob: prob, valueIdx: make(map[string]int)}, nil
+}
+
+// Name implements Technique.
+func (d *DPFPIR) Name() string { return "DPF-PIR" }
+
+// Indexable implements Technique: the cloud locates nothing — it scans
+// everything, obliviously.
+func (d *DPFPIR) Indexable() bool { return false }
+
+// StoredRows implements Technique.
+func (d *DPFPIR) StoredRows() int { return d.rows }
+
+// Outsource implements Technique: rows are sealed and appended to their
+// value's bucket; the equal-size padded table is rebuilt on next search.
+func (d *DPFPIR) Outsource(rows []Row) (*Stats, error) {
+	st := &Stats{Rounds: 1}
+	for _, r := range rows {
+		ct, err := d.prob.Encrypt(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		k := r.Attr.Key()
+		idx, ok := d.valueIdx[k]
+		if !ok {
+			idx = len(d.values)
+			d.valueIdx[k] = idx
+			d.values = append(d.values, r.Attr)
+			d.buckets = append(d.buckets, nil)
+		}
+		d.buckets[idx] = append(d.buckets[idx], ct)
+		d.rows++
+		st.EncOps++
+		st.TuplesTransferred += 2 // replicated on both clouds
+		st.BytesTransferred += 2 * len(ct)
+	}
+	d.dirty = true
+	return st, nil
+}
+
+// rebuild pads every bucket to the same shape: slots entries of slotSize
+// bytes, each slot a 4-byte length prefix plus the ciphertext.
+func (d *DPFPIR) rebuild() {
+	d.slots, d.slotSize = 0, 4
+	for _, b := range d.buckets {
+		if len(b) > d.slots {
+			d.slots = len(b)
+		}
+		for _, ct := range b {
+			if len(ct)+4 > d.slotSize {
+				d.slotSize = len(ct) + 4
+			}
+		}
+	}
+	d.table = make([][]byte, len(d.buckets))
+	for i, b := range d.buckets {
+		blob := make([]byte, d.slots*d.slotSize)
+		for s, ct := range b {
+			off := s * d.slotSize
+			binary.BigEndian.PutUint32(blob[off:off+4], uint32(len(ct)))
+			copy(blob[off+4:], ct)
+		}
+		d.table[i] = blob
+	}
+	d.dirty = false
+}
+
+// xorInto accumulates src into dst.
+func xorInto(dst, src []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+// cloudAnswer is one cloud's oblivious scan: XOR of the buckets whose DPF
+// bit evaluates to 1.
+func (d *DPFPIR) cloudAnswer(key crypto.DPFKey, bits int, st *Stats) ([]byte, error) {
+	bitsVec, err := crypto.DPFEvalAll(key, len(d.table), bits)
+	if err != nil {
+		return nil, err
+	}
+	st.EncOps += len(d.table)
+	st.TuplesScanned += d.slots * len(d.table)
+	answer := make([]byte, d.slots*d.slotSize)
+	for j, b := range bitsVec {
+		if b == 1 {
+			xorInto(answer, d.table[j])
+		}
+	}
+	return answer, nil
+}
+
+// Search implements Technique: one PIR round per predicate.
+func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	if d.dirty {
+		d.rebuild()
+	}
+	st := &Stats{Rounds: 1}
+	if len(d.table) == 0 {
+		return nil, st, nil
+	}
+	bits := crypto.DPFDomainBits(len(d.table))
+	var payloads [][]byte
+
+	// Deterministic order for reproducible stats.
+	sorted := append([]relation.Value(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+
+	for _, v := range sorted {
+		idx, ok := d.valueIdx[v.Key()]
+		if !ok {
+			continue
+		}
+		k0, k1, err := crypto.DPFGen(uint64(idx), bits, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.EncOps += 2
+		a0, err := d.cloudAnswer(k0, bits, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		a1, err := d.cloudAnswer(k1, bits, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		xorInto(a0, a1) // a0 is now bucket idx
+		st.TuplesTransferred += 2 * d.slots
+		st.BytesTransferred += 2 * len(a0)
+		for s := 0; s < d.slots; s++ {
+			off := s * d.slotSize
+			n := binary.BigEndian.Uint32(a0[off : off+4])
+			if n == 0 {
+				continue // padding slot
+			}
+			if int(n) > d.slotSize-4 {
+				return nil, nil, fmt.Errorf("technique: dpfpir corrupt slot length %d", n)
+			}
+			pt, err := d.prob.Decrypt(a0[off+4 : off+4+int(n)])
+			if err != nil {
+				return nil, nil, fmt.Errorf("technique: dpfpir open value %v slot %d: %w", v, s, err)
+			}
+			st.EncOps++
+			payloads = append(payloads, pt)
+		}
+	}
+	// No ReturnedAddrs: the clouds never learn which rows were touched.
+	return payloads, st, nil
+}

@@ -1,0 +1,118 @@
+package technique
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestDPFPIRRoundTrip(t *testing.T) {
+	tech, err := NewDPFPIR(testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows() // value v has v+1 rows
+	if _, err := tech.Outsource(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tech.StoredRows() != len(rows) {
+		t.Fatalf("stored %d, want %d", tech.StoredRows(), len(rows))
+	}
+	got, st, err := tech.Search([]relation.Value{relation.Int(3), relation.Int(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("returned %d payloads, want 12", len(got))
+	}
+	for _, p := range got {
+		s := string(p)
+		if s[:3] != "v=3" && s[:3] != "v=7" {
+			t.Errorf("stray payload %q", s)
+		}
+	}
+	// Access-pattern hiding: the cloud sees no returned addresses and the
+	// same scan volume for every query.
+	if len(st.ReturnedAddrs) != 0 {
+		t.Errorf("PIR leaked %d addresses", len(st.ReturnedAddrs))
+	}
+	_, st2, err := tech.Search([]relation.Value{relation.Int(0), relation.Int(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TuplesScanned != st2.TuplesScanned || st.BytesTransferred != st2.BytesTransferred {
+		t.Errorf("PIR cost varies with the query: %+v vs %+v", st, st2)
+	}
+}
+
+func TestDPFPIRAbsentValueAndEmptyStore(t *testing.T) {
+	tech, err := NewDPFPIR(testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tech.Search([]relation.Value{relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty store returned %d payloads", len(got))
+	}
+	if _, err := tech.Outsource(testRows()); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = tech.Search([]relation.Value{relation.Int(999)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("absent value returned %d payloads", len(got))
+	}
+}
+
+func TestDPFPIRIncrementalOutsource(t *testing.T) {
+	tech, err := NewDPFPIR(testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tech.Outsource([]Row{{Payload: []byte("a"), Attr: relation.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tech.Search([]relation.Value{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Append after a search: table must be rebuilt.
+	if _, err := tech.Outsource([]Row{{Payload: []byte("b"), Attr: relation.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := tech.Search([]relation.Value{relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("after incremental outsource got %d payloads, want 2", len(got))
+	}
+}
+
+func TestDPFPIRManyValues(t *testing.T) {
+	tech, err := NewDPFPIR(testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for v := 0; v < 100; v++ {
+		rows = append(rows, Row{Payload: []byte(fmt.Sprintf("p%d", v)), Attr: relation.Int(int64(v))})
+	}
+	if _, err := tech.Outsource(rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{0, 63, 64, 99} {
+		got, _, err := tech.Search([]relation.Value{relation.Int(v)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || string(got[0]) != fmt.Sprintf("p%d", v) {
+			t.Errorf("Search(%d) = %q", v, got)
+		}
+	}
+}

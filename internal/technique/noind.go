@@ -1,0 +1,116 @@
+package technique
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// NoInd is the search procedure the paper implemented on the two commercial
+// non-deterministically encrypted databases ("systems A and B", §V-B):
+// since the cloud cannot search non-deterministic ciphertexts, the owner
+// (round 1) retrieves the encrypted searching-attribute column, decrypts it
+// locally, finds the addresses matching the |SB| predicates, and (round 2)
+// fetches the full tuples at those addresses.
+type NoInd struct {
+	keys  *crypto.KeySet
+	prob  *crypto.Probabilistic
+	store EncStore
+}
+
+// NewNoInd builds the technique over the derived key set.
+func NewNoInd(keys *crypto.KeySet) (*NoInd, error) {
+	return NewNoIndOn(keys, storage.NewEncryptedStore())
+}
+
+// NewNoIndOn builds the technique over an explicit store (e.g. a remote
+// cloud's).
+func NewNoIndOn(keys *crypto.KeySet, store EncStore) (*NoInd, error) {
+	prob, err := crypto.NewProbabilistic(keys.Enc)
+	if err != nil {
+		return nil, fmt.Errorf("technique: noind: %w", err)
+	}
+	return &NoInd{keys: keys, prob: prob, store: store}, nil
+}
+
+// Name implements Technique.
+func (n *NoInd) Name() string { return "NoInd" }
+
+// Indexable implements Technique.
+func (n *NoInd) Indexable() bool { return false }
+
+// StoredRows implements Technique.
+func (n *NoInd) StoredRows() int { return n.store.Len() }
+
+// Store exposes the cloud-side encrypted store for the adversary model.
+func (n *NoInd) Store() EncStore { return n.store }
+
+// Outsource implements Technique: both the attribute cell and the full
+// tuple are probabilistically encrypted, so equal values are
+// indistinguishable at rest.
+func (n *NoInd) Outsource(rows []Row) (*Stats, error) {
+	st := &Stats{Rounds: 1}
+	for _, r := range rows {
+		attrCT, err := n.prob.Encrypt(r.Attr.Encode())
+		if err != nil {
+			return nil, err
+		}
+		tupleCT, err := n.prob.Encrypt(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		n.store.Add(tupleCT, attrCT, nil)
+		st.EncOps += 2
+		st.TuplesTransferred++
+		st.BytesTransferred += len(attrCT) + len(tupleCT)
+	}
+	return st, nil
+}
+
+// Search implements Technique.
+func (n *NoInd) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	st := &Stats{Rounds: 2}
+	want := valueKeySet(values)
+
+	// Round 1: pull the encrypted attribute column and match locally.
+	col := n.store.AttrColumn()
+	st.TuplesScanned += len(col)
+	st.TuplesTransferred += len(col)
+	var addrs []int
+	for _, row := range col {
+		st.BytesTransferred += len(row.AttrCT)
+		pt, err := n.prob.Decrypt(row.AttrCT)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: noind attr decrypt addr %d: %w", row.Addr, err)
+		}
+		st.EncOps++
+		v, _, err := relation.DecodeValue(pt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if want[v.Key()] {
+			addrs = append(addrs, row.Addr)
+		}
+	}
+
+	// Round 2: fetch the matching tuples by address.
+	rows, err := n.store.Fetch(addrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloads := make([][]byte, 0, len(rows))
+	for _, r := range rows {
+		pt, err := n.prob.Decrypt(r.TupleCT)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: noind tuple decrypt addr %d: %w", r.Addr, err)
+		}
+		st.EncOps++
+		st.TuplesTransferred++
+		st.BytesTransferred += len(r.TupleCT)
+		payloads = append(payloads, pt)
+	}
+	st.ReturnedAddrs = addrs
+	return payloads, st, nil
+}

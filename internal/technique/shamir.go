@@ -1,0 +1,133 @@
+package technique
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/crypto"
+	"repro/internal/relation"
+)
+
+// ShamirScan models the secret-sharing-based outsourcing the paper cites
+// (Emekçi et al.; Stealth SDB): the searchable attribute of every row is
+// split into Shamir shares across NumClouds non-colluding clouds, and a
+// selection is answered by a full linear scan — each cloud streams its share
+// of the attribute column back, the owner reconstructs every value and
+// keeps the matches. Because every query touches every row on every cloud,
+// the access pattern is hidden, at a heavy cost: this is the γ >> 1 regime
+// where QB shines (§V-A).
+//
+// Payloads are additionally sealed with a probabilistic cipher and
+// replicated so that matched tuples can be fetched and opened; on a real
+// deployment they would be shared as well, which only increases the costs
+// QB saves.
+type ShamirScan struct {
+	// NumClouds is the number of non-colluding servers (n).
+	NumClouds int
+	// Threshold is the reconstruction threshold (k <= n).
+	Threshold int
+
+	prob   *crypto.Probabilistic
+	clouds [][]crypto.Share // clouds[c][row] share of attr digest
+	blobs  [][]byte         // sealed payloads, addressed by row
+}
+
+// NewShamirScan builds the technique with n clouds and threshold k.
+func NewShamirScan(keys *crypto.KeySet, n, k int) (*ShamirScan, error) {
+	if n < 2 || k < 2 || k > n {
+		return nil, fmt.Errorf("technique: shamir: invalid n=%d k=%d", n, k)
+	}
+	prob, err := crypto.NewProbabilistic(keys.Enc)
+	if err != nil {
+		return nil, fmt.Errorf("technique: shamir: %w", err)
+	}
+	return &ShamirScan{
+		NumClouds: n,
+		Threshold: k,
+		prob:      prob,
+		clouds:    make([][]crypto.Share, n),
+	}, nil
+}
+
+// Name implements Technique.
+func (s *ShamirScan) Name() string { return "ShamirScan" }
+
+// Indexable implements Technique.
+func (s *ShamirScan) Indexable() bool { return false }
+
+// StoredRows implements Technique.
+func (s *ShamirScan) StoredRows() int { return len(s.blobs) }
+
+// digest maps an attribute value into the field GF(2^61-1).
+func digest(v relation.Value) uint64 {
+	h := fnv.New64a()
+	h.Write(v.Encode())
+	return h.Sum64() % crypto.ShamirPrime
+}
+
+// Outsource implements Technique: one sharing per row attribute.
+func (s *ShamirScan) Outsource(rows []Row) (*Stats, error) {
+	st := &Stats{Rounds: 1}
+	for _, r := range rows {
+		shares, err := crypto.SplitSecret(digest(r.Attr), s.NumClouds, s.Threshold, nil)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < s.NumClouds; c++ {
+			s.clouds[c] = append(s.clouds[c], shares[c])
+		}
+		blob, err := s.prob.Encrypt(r.Payload)
+		if err != nil {
+			return nil, err
+		}
+		s.blobs = append(s.blobs, blob)
+		st.EncOps += s.NumClouds + 1
+		st.TuplesTransferred += s.NumClouds
+		st.BytesTransferred += 16*s.NumClouds + len(blob)
+	}
+	return st, nil
+}
+
+// Search implements Technique: every cloud streams its whole share column
+// (a full oblivious scan); the owner reconstructs each attribute digest from
+// Threshold clouds and fetches the matching payloads.
+func (s *ShamirScan) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	st := &Stats{Rounds: 2}
+	want := make(map[uint64]bool, len(values))
+	for _, v := range values {
+		want[digest(v)] = true
+	}
+	n := len(s.blobs)
+	st.TuplesScanned = n * s.NumClouds
+	st.TuplesTransferred = n * s.Threshold
+	st.BytesTransferred = 16 * n * s.Threshold
+
+	var addrs []int
+	sharesBuf := make([]crypto.Share, s.Threshold)
+	for row := 0; row < n; row++ {
+		for c := 0; c < s.Threshold; c++ {
+			sharesBuf[c] = s.clouds[c][row]
+		}
+		dig, err := crypto.Reconstruct(sharesBuf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: shamir reconstruct row %d: %w", row, err)
+		}
+		st.EncOps++
+		if want[dig] {
+			addrs = append(addrs, row)
+		}
+	}
+	payloads := make([][]byte, 0, len(addrs))
+	for _, a := range addrs {
+		pt, err := s.prob.Decrypt(s.blobs[a])
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: shamir open row %d: %w", a, err)
+		}
+		st.EncOps++
+		st.TuplesTransferred++
+		st.BytesTransferred += len(s.blobs[a])
+		payloads = append(payloads, pt)
+	}
+	st.ReturnedAddrs = addrs
+	return payloads, st, nil
+}

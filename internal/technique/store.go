@@ -1,0 +1,24 @@
+package technique
+
+import "repro/internal/storage"
+
+// EncStore abstracts the cloud-side encrypted store, so a technique can run
+// against the in-process store or a remote cloud over the wire protocol.
+// *storage.EncryptedStore is the canonical implementation.
+type EncStore interface {
+	// Add uploads one encrypted row and returns its cloud address.
+	Add(tupleCT, attrCT, token []byte) int
+	// Len reports the number of stored rows.
+	Len() int
+	// AttrColumn returns the encrypted searchable-attribute column.
+	AttrColumn() []storage.EncRow
+	// Fetch returns the full rows at the given addresses.
+	Fetch(addrs []int) ([]storage.EncRow, error)
+	// LookupToken returns the addresses indexed under tok.
+	LookupToken(tok []byte) []int
+	// Rows exposes all rows (the honest-but-curious adversary's at-rest
+	// view).
+	Rows() []storage.EncRow
+}
+
+var _ EncStore = (*storage.EncryptedStore)(nil)

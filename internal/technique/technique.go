@@ -1,0 +1,86 @@
+// Package technique implements the pluggable cryptographic search mechanisms
+// that QB is layered over (§V, §VI): the paper's non-indexable baseline used
+// on the commercial systems A/B, a deterministic indexable cipher, the
+// Arx-style counter-token index, a Shamir secret-sharing linear scan across
+// non-colluding clouds, and calibrated cost models for the SGX-based Opaque
+// and MPC-based Jana systems.
+//
+// A Technique owns both the owner-side secrets and the cloud-side encrypted
+// store; the owner hands it plaintext rows to outsource and receives
+// decrypted payloads back from Search, together with cost statistics and the
+// cloud-observable access pattern.
+package technique
+
+import (
+	"time"
+
+	"repro/internal/relation"
+)
+
+// Row is one sensitive tuple as the owner presents it for outsourcing:
+// an opaque payload (the encoded tuple, possibly a fake) and the searchable
+// attribute value.
+type Row struct {
+	Payload []byte
+	Attr    relation.Value
+}
+
+// Stats accumulates the cost and leakage profile of outsourcing or search
+// operations.
+type Stats struct {
+	// Rounds is the number of owner<->cloud round trips.
+	Rounds int
+	// EncOps counts symmetric cryptographic operations (encrypt/decrypt/
+	// PRF/share evaluations) on either side.
+	EncOps int
+	// TuplesScanned is the number of encrypted rows the cloud touched.
+	TuplesScanned int
+	// TuplesTransferred is the number of rows (attribute cells or full
+	// tuples) moved between cloud and owner.
+	TuplesTransferred int
+	// BytesTransferred approximates the wire volume.
+	BytesTransferred int
+	// ReturnedAddrs are the cloud-visible addresses of the encrypted rows
+	// returned for the query — the access-pattern component of the
+	// adversarial view.
+	ReturnedAddrs []int
+	// SimulatedTime is nonzero only for simulated techniques (Opaque,
+	// Jana): the virtual wall-clock the calibrated cost model charges.
+	SimulatedTime time.Duration
+}
+
+// Add folds o into s.
+func (s *Stats) Add(o *Stats) {
+	s.Rounds += o.Rounds
+	s.EncOps += o.EncOps
+	s.TuplesScanned += o.TuplesScanned
+	s.TuplesTransferred += o.TuplesTransferred
+	s.BytesTransferred += o.BytesTransferred
+	s.ReturnedAddrs = append(s.ReturnedAddrs, o.ReturnedAddrs...)
+	s.SimulatedTime += o.SimulatedTime
+}
+
+// Technique is a cryptographic mechanism for outsourcing and searching the
+// sensitive relation.
+type Technique interface {
+	// Name identifies the technique in reports.
+	Name() string
+	// Indexable reports whether the cloud can locate matching rows without
+	// scanning (deterministic/Arx indexes). Non-indexable techniques scan.
+	Indexable() bool
+	// Outsource encrypts and uploads the given rows.
+	Outsource(rows []Row) (*Stats, error)
+	// Search returns the plaintext payloads of every outsourced row whose
+	// attribute value is in values, plus the cost/leakage statistics.
+	Search(values []relation.Value) ([][]byte, *Stats, error)
+	// StoredRows reports how many encrypted rows the cloud holds.
+	StoredRows() int
+}
+
+func valueKeySet(values []relation.Value) map[string]bool {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[v.Key()] = true
+	}
+	return set
+}

@@ -1,0 +1,247 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Client is the owner-side connection to a remote cloud. It implements
+// cloud.PlainBackend for the clear-text partition and technique.EncStore
+// for the encrypted partition, so the standard owner and techniques work
+// over the network unchanged.
+//
+// Interface methods without error returns (Search, Add, ...) report
+// transport failures through a sticky error: the first failure poisons the
+// client, subsequent calls return zero values, and Err() exposes the
+// cause. Callers doing anything important should check Err() after a batch
+// of operations.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	err  error
+
+	// pending buffers encrypted uploads so that bulk outsourcing does one
+	// round trip per Flush rather than per row.
+	pending []EncUpload
+	// serverLen tracks the server-side row count after the last flush, so
+	// Add can assign addresses without a round trip.
+	serverLen int
+}
+
+// Dial connects to a remote cloud at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. net.Pipe in tests).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Err returns the sticky transport error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if err := c.flushLocked(); err != nil {
+		return nil, err
+	}
+	return c.roundTrip(req)
+}
+
+// roundTrip must be called with mu held.
+func (c *Client) roundTrip(req *request) (*response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		c.err = fmt.Errorf("wire: send: %w", err)
+		return nil, c.err
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.err = fmt.Errorf("wire: receive: %w", err)
+		return nil, c.err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&request{Op: opPing})
+	return err
+}
+
+// --- cloud.PlainBackend -----------------------------------------------
+
+// Load implements cloud.PlainBackend: ships the non-sensitive relation to
+// the cloud in clear-text.
+func (c *Client) Load(rns *relation.Relation, attr string) error {
+	_, err := c.call(&request{
+		Op:     opPlainLoad,
+		Schema: rns.Schema,
+		Tuples: rns.Tuples,
+		Attr:   attr,
+	})
+	return err
+}
+
+// Search implements cloud.PlainBackend.
+func (c *Client) Search(values []relation.Value) []relation.Tuple {
+	resp, err := c.call(&request{Op: opPlainSearch, Values: values})
+	if err != nil {
+		c.poison(err)
+		return nil
+	}
+	return resp.Tuples
+}
+
+// SearchRange implements cloud.PlainBackend.
+func (c *Client) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	resp, err := c.call(&request{Op: opPlainSearchRange, Lo: lo, Hi: hi})
+	if err != nil {
+		c.poison(err)
+		return nil
+	}
+	return resp.Tuples
+}
+
+// Insert implements cloud.PlainBackend.
+func (c *Client) Insert(t relation.Tuple) error {
+	_, err := c.call(&request{Op: opPlainInsert, Tuple: t})
+	return err
+}
+
+// --- technique.EncStore -------------------------------------------------
+
+// Add implements technique.EncStore. Uploads are buffered; they are
+// flushed automatically before any read operation, or explicitly with
+// Flush. The returned address is computed client-side (the server assigns
+// addresses sequentially in upload order).
+func (c *Client) Add(tupleCT, attrCT, token []byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return -1
+	}
+	addr := c.knownLen() + len(c.pending)
+	c.pending = append(c.pending, EncUpload{
+		TupleCT: cloneBytes(tupleCT), AttrCT: cloneBytes(attrCT), Token: cloneBytes(token),
+	})
+	return addr
+}
+
+// knownLen is the server-side length before pending uploads; tracked
+// client-side to assign addresses without a round trip. Must hold mu.
+func (c *Client) knownLen() int { return c.serverLen }
+
+// Flush uploads any pending encrypted rows.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Client) flushLocked() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	batch := c.pending
+	c.pending = nil
+	resp, err := c.roundTrip(&request{Op: opEncAddBatch, Batch: batch})
+	if err != nil {
+		return err
+	}
+	c.serverLen += resp.N
+	return nil
+}
+
+// Len implements technique.EncStore.
+func (c *Client) Len() int {
+	resp, err := c.call(&request{Op: opEncLen})
+	if err != nil {
+		c.poison(err)
+		return 0
+	}
+	return resp.N
+}
+
+// AttrColumn implements technique.EncStore.
+func (c *Client) AttrColumn() []storage.EncRow {
+	resp, err := c.call(&request{Op: opEncAttrColumn})
+	if err != nil {
+		c.poison(err)
+		return nil
+	}
+	return resp.Rows
+}
+
+// Fetch implements technique.EncStore.
+func (c *Client) Fetch(addrs []int) ([]storage.EncRow, error) {
+	resp, err := c.call(&request{Op: opEncFetch, Addrs: addrs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// LookupToken implements technique.EncStore.
+func (c *Client) LookupToken(tok []byte) []int {
+	resp, err := c.call(&request{Op: opEncLookupToken, Token: tok})
+	if err != nil {
+		c.poison(err)
+		return nil
+	}
+	return resp.Addrs
+}
+
+// Rows implements technique.EncStore.
+func (c *Client) Rows() []storage.EncRow {
+	resp, err := c.call(&request{Op: opEncRows})
+	if err != nil {
+		c.poison(err)
+		return nil
+	}
+	return resp.Rows
+}
+
+// poison records a sticky error from an interface method that cannot
+// return one.
+func (c *Client) poison(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

@@ -1,0 +1,75 @@
+// Package wire implements a minimal owner↔cloud network protocol so the
+// untrusted cloud can run as a separate process: gob-framed
+// request/response messages over any net.Conn, a server hosting the
+// clear-text store and the encrypted store, and a client that plugs into
+// the owner as a cloud.PlainBackend and into any technique as a
+// technique.EncStore.
+//
+// The protocol deliberately mirrors what the paper's adversary observes:
+// the clear-text side travels in the clear (the cloud owns that data
+// anyway), while the encrypted side carries only ciphertexts, tokens and
+// addresses. A production deployment would wrap the conn in TLS (the paper
+// assumes a secure channel against eavesdroppers); that is orthogonal to
+// the protocol.
+package wire
+
+import (
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// op identifies a request type.
+type op uint8
+
+const (
+	opPlainLoad op = iota + 1
+	opPlainSearch
+	opPlainSearchRange
+	opPlainInsert
+	opEncAdd
+	opEncAddBatch
+	opEncLen
+	opEncAttrColumn
+	opEncFetch
+	opEncLookupToken
+	opEncRows
+	opPing
+)
+
+// request is the single wire request envelope; fields are populated
+// according to Op.
+type request struct {
+	Op op
+
+	// Clear-text store fields.
+	Schema relation.Schema
+	Tuples []relation.Tuple
+	Attr   string
+	Values []relation.Value
+	Lo, Hi relation.Value
+	Tuple  relation.Tuple
+
+	// Encrypted store fields.
+	TupleCT []byte
+	AttrCT  []byte
+	Token   []byte
+	Batch   []EncUpload
+	Addrs   []int
+}
+
+// EncUpload is one encrypted row in a batched upload.
+type EncUpload struct {
+	TupleCT []byte
+	AttrCT  []byte
+	Token   []byte
+}
+
+// response is the single wire response envelope.
+type response struct {
+	Err    string
+	Addr   int
+	N      int
+	Tuples []relation.Tuple
+	Rows   []storage.EncRow
+	Addrs  []int
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// Cloud is the server-side state: one clear-text store (loaded on demand)
+// and one encrypted store. It is what an honest-but-curious operator would
+// run.
+type Cloud struct {
+	mu    sync.Mutex
+	plain *storage.PlainStore
+	enc   *storage.EncryptedStore
+}
+
+// NewCloud returns an empty cloud.
+func NewCloud() *Cloud {
+	return &Cloud{enc: storage.NewEncryptedStore()}
+}
+
+// Serve accepts connections until the listener is closed, handling each
+// connection's requests sequentially in its own goroutine.
+func (c *Cloud) Serve(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go c.handle(conn)
+	}
+}
+
+func (c *Cloud) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				// Connection-level failure: nothing sensible to reply.
+				_ = enc.Encode(response{Err: err.Error()})
+			}
+			return
+		}
+		resp := c.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (c *Cloud) dispatch(req *request) response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch req.Op {
+	case opPing:
+		return response{}
+	case opPlainLoad:
+		rel := relation.New(req.Schema)
+		for _, t := range req.Tuples {
+			if err := rel.Append(t); err != nil {
+				return response{Err: err.Error()}
+			}
+		}
+		ps, err := storage.NewPlainStore(rel, req.Attr)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		c.plain = ps
+		return response{N: rel.Len()}
+	case opPlainSearch:
+		if c.plain == nil {
+			return response{Err: "wire: no relation loaded"}
+		}
+		return response{Tuples: c.plain.Search(req.Values)}
+	case opPlainSearchRange:
+		if c.plain == nil {
+			return response{Err: "wire: no relation loaded"}
+		}
+		return response{Tuples: c.plain.SearchRange(req.Lo, req.Hi)}
+	case opPlainInsert:
+		if c.plain == nil {
+			return response{Err: "wire: no relation loaded"}
+		}
+		if err := c.plain.Insert(req.Tuple); err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{}
+	case opEncAdd:
+		return response{Addr: c.enc.Add(req.TupleCT, req.AttrCT, req.Token)}
+	case opEncAddBatch:
+		last := -1
+		for _, u := range req.Batch {
+			last = c.enc.Add(u.TupleCT, u.AttrCT, u.Token)
+		}
+		return response{Addr: last, N: len(req.Batch)}
+	case opEncLen:
+		return response{N: c.enc.Len()}
+	case opEncAttrColumn:
+		return response{Rows: c.enc.AttrColumn()}
+	case opEncFetch:
+		rows, err := c.enc.Fetch(req.Addrs)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Rows: rows}
+	case opEncLookupToken:
+		return response{Addrs: c.enc.LookupToken(req.Token)}
+	case opEncRows:
+		return response{Rows: c.enc.Rows()}
+	default:
+		return response{Err: "wire: unknown op"}
+	}
+}

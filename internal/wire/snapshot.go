@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// snapshot is the serialised cloud state. Only cloud-visible data is
+// persisted — clear-text tuples and opaque ciphertexts — never owner
+// secrets, so a stolen snapshot is no worse than a compromised cloud,
+// which the threat model already assumes.
+type snapshot struct {
+	HasPlain bool
+	Schema   relation.Schema
+	Tuples   []relation.Tuple
+	Attr     string
+	Enc      []storage.EncRow
+}
+
+// Save serialises the cloud state.
+func (c *Cloud) Save(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := snapshot{Enc: c.enc.Rows()}
+	if c.plain != nil {
+		rel := c.plain.Relation()
+		snap.HasPlain = true
+		snap.Schema = rel.Schema
+		snap.Tuples = rel.Tuples
+		snap.Attr = c.plain.Attr()
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("wire: snapshot save: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the cloud state with a previously saved snapshot.
+func (c *Cloud) Restore(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("wire: snapshot restore: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if snap.HasPlain {
+		rel := relation.New(snap.Schema)
+		for _, t := range snap.Tuples {
+			if err := rel.Append(t); err != nil {
+				return fmt.Errorf("wire: snapshot restore: %w", err)
+			}
+		}
+		ps, err := storage.NewPlainStore(rel, snap.Attr)
+		if err != nil {
+			return fmt.Errorf("wire: snapshot restore: %w", err)
+		}
+		c.plain = ps
+	} else {
+		c.plain = nil
+	}
+	c.enc = storage.NewEncryptedStore()
+	for _, row := range snap.Enc {
+		c.enc.Add(row.TupleCT, row.AttrCT, row.Token)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Package workload provides the datasets and query distributions used by
+// the experiments: the Employee relation of Figure 1, synthetic relations
+// with controllable sensitivity, skew, and association structure, a TPC-H
+// style LINEITEM generator, and uniform/Zipf query streams.
+package workload
+
+import "repro/internal/relation"
+
+// EmployeeSchema is the schema of Figure 1.
+var EmployeeSchema = relation.MustSchema("Employee",
+	relation.Column{Name: "EId", Kind: relation.KindString},
+	relation.Column{Name: "FirstName", Kind: relation.KindString},
+	relation.Column{Name: "LastName", Kind: relation.KindString},
+	relation.Column{Name: "SSN", Kind: relation.KindInt},
+	relation.Column{Name: "Office", Kind: relation.KindInt},
+	relation.Column{Name: "Dept", Kind: relation.KindString},
+)
+
+// Employee builds the eight-tuple relation of Figure 1. Tuples t1..t8 get
+// IDs 0..7.
+func Employee() *relation.Relation {
+	r := relation.New(EmployeeSchema)
+	rows := []struct {
+		eid, first, last string
+		ssn              int64
+		office           int64
+		dept             string
+	}{
+		{"E101", "Adam", "Smith", 111, 1, "Defense"},
+		{"E259", "John", "Williams", 222, 2, "Design"},
+		{"E199", "Eve", "Smith", 333, 2, "Design"},
+		{"E259", "John", "Williams", 222, 6, "Defense"},
+		{"E152", "Clark", "Cook", 444, 1, "Defense"},
+		{"E254", "David", "Watts", 555, 4, "Design"},
+		{"E159", "Lisa", "Ross", 666, 2, "Defense"},
+		{"E152", "Clark", "Cook", 444, 3, "Design"},
+	}
+	for _, row := range rows {
+		r.MustInsert(
+			relation.Str(row.eid), relation.Str(row.first), relation.Str(row.last),
+			relation.Int(row.ssn), relation.Int(row.office), relation.Str(row.dept),
+		)
+	}
+	return r
+}
+
+// EmployeeSensitive is the row-level sensitivity rule of Example 1: all
+// tuples of the Defense department are sensitive.
+func EmployeeSensitive(t relation.Tuple) bool {
+	di, _ := EmployeeSchema.ColumnIndex("Dept")
+	return t.Values[di].Str() == "Defense"
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"repro/internal/relation"
+)
+
+// GenSpec describes a synthetic dataset for the performance and security
+// experiments.
+type GenSpec struct {
+	// Name labels the generated relation.
+	Name string
+	// Tuples is the total tuple count (|D|).
+	Tuples int
+	// DistinctValues is the domain size of the searchable attribute K.
+	DistinctValues int
+	// Alpha is the target fraction of tuples that are sensitive.
+	Alpha float64
+	// ZipfS, when > 1, draws values from a Zipf(s) distribution so that
+	// some values are heavy hitters; 0 gives the uniform distribution.
+	ZipfS float64
+	// AssocFraction is the fraction of sensitive values that also occur in
+	// the non-sensitive partition (associated values): for such a value,
+	// half of its tuples are marked non-sensitive.
+	AssocFraction float64
+	// ExtraColumns pads each tuple with this many integer payload columns
+	// so that tuple width resembles real rows.
+	ExtraColumns int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Dataset is a generated relation plus its sensitivity ground truth.
+type Dataset struct {
+	Relation  *relation.Relation
+	Sensitive relation.Predicate
+	// SensitiveIDs is the ground-truth set of sensitive tuple IDs.
+	SensitiveIDs map[int]bool
+	// Values is the searchable attribute domain actually used.
+	Values []relation.Value
+}
+
+// Attr is the searchable attribute name of generated relations.
+const Attr = "K"
+
+// Generate builds the dataset. Values are integers 0..DistinctValues-1;
+// tuple counts follow the requested distribution; sensitivity is assigned
+// value by value until the α budget is met, honouring AssocFraction.
+func Generate(spec GenSpec) (*Dataset, error) {
+	if spec.Tuples <= 0 || spec.DistinctValues <= 0 {
+		return nil, fmt.Errorf("workload: spec needs positive Tuples and DistinctValues, got %d/%d",
+			spec.Tuples, spec.DistinctValues)
+	}
+	if spec.DistinctValues > spec.Tuples {
+		spec.DistinctValues = spec.Tuples
+	}
+	rnd := mrand.New(mrand.NewSource(spec.Seed))
+
+	// Per-value tuple counts: everyone gets one tuple, the remainder is
+	// distributed uniformly or by Zipf rank.
+	counts := make([]int, spec.DistinctValues)
+	for i := range counts {
+		counts[i] = 1
+	}
+	rest := spec.Tuples - spec.DistinctValues
+	if spec.ZipfS > 1 && rest > 0 {
+		z := mrand.NewZipf(rnd, spec.ZipfS, 1, uint64(spec.DistinctValues-1))
+		for i := 0; i < rest; i++ {
+			counts[z.Uint64()]++
+		}
+	} else {
+		for i := 0; i < rest; i++ {
+			counts[rnd.Intn(spec.DistinctValues)]++
+		}
+	}
+
+	// Sensitivity: walk values in random order, marking them sensitive
+	// until α·Tuples tuples are covered. With probability AssocFraction a
+	// sensitive value keeps half of its tuples non-sensitive (associated).
+	order := rnd.Perm(spec.DistinctValues)
+	budget := int(spec.Alpha * float64(spec.Tuples))
+	sensTuplesOf := make([]int, spec.DistinctValues) // how many tuples of value v are sensitive
+	for _, v := range order {
+		if budget <= 0 {
+			break
+		}
+		n := counts[v]
+		take := n
+		if spec.AssocFraction > 0 && rnd.Float64() < spec.AssocFraction && n > 1 {
+			take = n / 2
+		}
+		if take > budget {
+			take = budget
+		}
+		sensTuplesOf[v] = take
+		budget -= take
+	}
+
+	cols := []relation.Column{{Name: Attr, Kind: relation.KindInt}}
+	for i := 0; i < spec.ExtraColumns; i++ {
+		cols = append(cols, relation.Column{Name: fmt.Sprintf("P%d", i), Kind: relation.KindInt})
+	}
+	name := spec.Name
+	if name == "" {
+		name = "Gen"
+	}
+	rel := relation.New(relation.MustSchema(name, cols...))
+
+	ds := &Dataset{
+		Relation:     rel,
+		SensitiveIDs: make(map[int]bool),
+	}
+	for v := 0; v < spec.DistinctValues; v++ {
+		ds.Values = append(ds.Values, relation.Int(int64(v)))
+		for i := 0; i < counts[v]; i++ {
+			vals := make([]relation.Value, len(cols))
+			vals[0] = relation.Int(int64(v))
+			for c := 1; c < len(cols); c++ {
+				vals[c] = relation.Int(rnd.Int63n(1 << 30))
+			}
+			id := rel.MustInsert(vals...)
+			if i < sensTuplesOf[v] {
+				ds.SensitiveIDs[id] = true
+			}
+		}
+	}
+	ids := ds.SensitiveIDs
+	ds.Sensitive = func(t relation.Tuple) bool { return ids[t.ID] }
+	return ds, nil
+}
+
+// QuerySpec describes a stream of selection predicates over a dataset.
+type QuerySpec struct {
+	// Queries is the stream length.
+	Queries int
+	// ZipfS, when > 1, skews the stream toward low-numbered values
+	// (workload-skew); 0 gives a uniform stream.
+	ZipfS float64
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// QueryStream draws a sequence of query values from the dataset's domain.
+func QueryStream(ds *Dataset, spec QuerySpec) []relation.Value {
+	rnd := mrand.New(mrand.NewSource(spec.Seed))
+	out := make([]relation.Value, 0, spec.Queries)
+	n := len(ds.Values)
+	if n == 0 {
+		return out
+	}
+	var z *mrand.Zipf
+	if spec.ZipfS > 1 && n > 1 {
+		z = mrand.NewZipf(rnd, spec.ZipfS, 1, uint64(n-1))
+	}
+	for i := 0; i < spec.Queries; i++ {
+		var idx int
+		if z != nil {
+			idx = int(z.Uint64())
+		} else {
+			idx = rnd.Intn(n)
+		}
+		out = append(out, ds.Values[idx])
+	}
+	return out
+}

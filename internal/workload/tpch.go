@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	mrand "math/rand"
+
+	"repro/internal/relation"
+)
+
+// LineItemSchema is a simplified TPC-H LINEITEM with the two searchable
+// attributes the paper reports metadata sizes for (§V-B).
+var LineItemSchema = relation.MustSchema("LINEITEM",
+	relation.Column{Name: "L_ORDERKEY", Kind: relation.KindInt},
+	relation.Column{Name: "L_PARTKEY", Kind: relation.KindInt},
+	relation.Column{Name: "L_SUPPKEY", Kind: relation.KindInt},
+	relation.Column{Name: "L_QUANTITY", Kind: relation.KindInt},
+	relation.Column{Name: "L_EXTENDEDPRICE", Kind: relation.KindInt},
+	relation.Column{Name: "L_SHIPMODE", Kind: relation.KindString},
+)
+
+var shipModes = []string{"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+
+// TPCHSpec configures the LINEITEM generator. At scale factor 1, TPC-H has
+// 6M lineitems, 200K parts and 10K suppliers; Scale shrinks everything
+// proportionally (with floors) so tests stay fast.
+type TPCHSpec struct {
+	// Tuples is the LINEITEM row count.
+	Tuples int
+	// Alpha is the fraction of tuples that are sensitive.
+	Alpha float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// LineItem generates the table plus a row-sensitivity ground truth (orders
+// are marked sensitive as a block, mimicking "all tuples of defence orders
+// are sensitive").
+func LineItem(spec TPCHSpec) (*Dataset, error) {
+	if spec.Tuples <= 0 {
+		return nil, fmt.Errorf("workload: tpch needs positive Tuples, got %d", spec.Tuples)
+	}
+	rnd := mrand.New(mrand.NewSource(spec.Seed))
+	partDomain := spec.Tuples / 30
+	if partDomain < 10 {
+		partDomain = 10
+	}
+	suppDomain := spec.Tuples / 600
+	if suppDomain < 5 {
+		suppDomain = 5
+	}
+	rel := relation.New(LineItemSchema)
+	ds := &Dataset{Relation: rel, SensitiveIDs: make(map[int]bool)}
+	seen := make(map[int64]bool, partDomain)
+	budget := int(spec.Alpha * float64(spec.Tuples))
+	for i := 0; i < spec.Tuples; i++ {
+		part := rnd.Int63n(int64(partDomain))
+		id := rel.MustInsert(
+			relation.Int(int64(i/4)),                    // orderkey: ~4 lines per order
+			relation.Int(part),                          // partkey: searchable
+			relation.Int(rnd.Int63n(int64(suppDomain))), // suppkey
+			relation.Int(1+rnd.Int63n(50)),
+			relation.Int(1000+rnd.Int63n(90000)),
+			relation.Str(shipModes[rnd.Intn(len(shipModes))]),
+		)
+		if budget > 0 && rnd.Float64() < spec.Alpha*1.05 {
+			ds.SensitiveIDs[id] = true
+			budget--
+		}
+		if !seen[part] {
+			seen[part] = true
+			ds.Values = append(ds.Values, relation.Int(part))
+		}
+	}
+	ids := ds.SensitiveIDs
+	ds.Sensitive = func(t relation.Tuple) bool { return ids[t.ID] }
+	return ds, nil
+}
+
+// LineItemAttr is the searchable attribute used by the TPC-H experiments.
+const LineItemAttr = "L_PARTKEY"

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestEmployeeMatchesFigure1(t *testing.T) {
+	emp := Employee()
+	if emp.Len() != 8 {
+		t.Fatalf("Employee has %d tuples, want 8", emp.Len())
+	}
+	rs, rns := relation.Partition(emp, EmployeeSensitive)
+	if rs.Len() != 4 || rns.Len() != 4 {
+		t.Fatalf("partition = %d sensitive / %d non-sensitive, want 4/4", rs.Len(), rns.Len())
+	}
+	// Figure 2b: the sensitive partition is exactly t1, t4, t5, t7
+	// (IDs 0, 3, 4, 6).
+	wantIDs := map[int]bool{0: true, 3: true, 4: true, 6: true}
+	for _, tp := range rs.Tuples {
+		if !wantIDs[tp.ID] {
+			t.Errorf("unexpected sensitive tuple ID %d", tp.ID)
+		}
+	}
+	// E259 appears once in each partition (the associated value).
+	s259, _ := rs.Select("EId", relation.Str("E259"))
+	n259, _ := rns.Select("EId", relation.Str("E259"))
+	if len(s259) != 1 || len(n259) != 1 {
+		t.Errorf("E259 split = %d/%d, want 1/1", len(s259), len(n259))
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ds, err := Generate(GenSpec{Tuples: 1000, DistinctValues: 100, Alpha: 0.4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Relation.Len() != 1000 {
+		t.Fatalf("generated %d tuples", ds.Relation.Len())
+	}
+	if len(ds.Values) != 100 {
+		t.Fatalf("generated %d values", len(ds.Values))
+	}
+	sens := 0
+	for _, tp := range ds.Relation.Tuples {
+		if ds.Sensitive(tp) {
+			sens++
+		}
+	}
+	if sens < 300 || sens > 450 {
+		t.Errorf("sensitive tuples = %d, want ≈ 400", sens)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Tuples: 200, DistinctValues: 20, Alpha: 0.5, ZipfS: 1.5, Seed: 9}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Relation.Len() != b.Relation.Len() {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a.Relation.Tuples {
+		if !a.Relation.Tuples[i].Values[0].Equal(b.Relation.Tuples[i].Values[0]) {
+			t.Fatal("non-deterministic content")
+		}
+	}
+}
+
+func TestGenerateZipfIsSkewed(t *testing.T) {
+	ds, err := Generate(GenSpec{Tuples: 10000, DistinctValues: 100, ZipfS: 1.8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ds.Relation.DistinctCounts(Attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxC, minC := 0, 1<<31
+	for _, vc := range counts {
+		if vc.Count > maxC {
+			maxC = vc.Count
+		}
+		if vc.Count < minC {
+			minC = vc.Count
+		}
+	}
+	if maxC < 10*minC {
+		t.Errorf("zipf skew too mild: max %d min %d", maxC, minC)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenSpec{Tuples: 0, DistinctValues: 10}); err == nil {
+		t.Error("zero tuples accepted")
+	}
+	// DistinctValues > Tuples is clamped, not an error.
+	ds, err := Generate(GenSpec{Tuples: 5, DistinctValues: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Values) != 5 {
+		t.Errorf("clamp produced %d values", len(ds.Values))
+	}
+}
+
+func TestGenerateAssociation(t *testing.T) {
+	ds, err := Generate(GenSpec{
+		Tuples: 2000, DistinctValues: 50, Alpha: 0.5, AssocFraction: 1.0, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rns := relation.Partition(ds.Relation, ds.Sensitive)
+	sVals, _ := rs.DistinctCounts(Attr)
+	nsSet := make(map[string]bool)
+	nVals, _ := rns.DistinctCounts(Attr)
+	for _, vc := range nVals {
+		nsSet[vc.Value.Key()] = true
+	}
+	assoc := 0
+	for _, vc := range sVals {
+		if nsSet[vc.Value.Key()] {
+			assoc++
+		}
+	}
+	if assoc == 0 {
+		t.Error("AssocFraction=1 produced no associated values")
+	}
+}
+
+func TestQueryStream(t *testing.T) {
+	ds, err := Generate(GenSpec{Tuples: 100, DistinctValues: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := QueryStream(ds, QuerySpec{Queries: 500, Seed: 5})
+	if len(qs) != 500 {
+		t.Fatalf("stream length %d", len(qs))
+	}
+	skewed := QueryStream(ds, QuerySpec{Queries: 500, ZipfS: 2.0, Seed: 5})
+	hist := make(map[string]int)
+	for _, q := range skewed {
+		hist[q.Key()]++
+	}
+	maxC := 0
+	for _, n := range hist {
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if maxC < 150 {
+		t.Errorf("zipf query stream max frequency %d, want skew", maxC)
+	}
+}
+
+func TestTPCHLineItem(t *testing.T) {
+	ds, err := LineItem(TPCHSpec{Tuples: 3000, Alpha: 0.2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Relation.Len() != 3000 {
+		t.Fatalf("lineitem rows = %d", ds.Relation.Len())
+	}
+	if _, ok := ds.Relation.Schema.ColumnIndex(LineItemAttr); !ok {
+		t.Fatal("missing searchable attribute")
+	}
+	sens := 0
+	for _, tp := range ds.Relation.Tuples {
+		if ds.Sensitive(tp) {
+			sens++
+		}
+	}
+	if sens < 300 || sens > 900 {
+		t.Errorf("sensitive = %d, want ≈ 600", sens)
+	}
+	if _, err := LineItem(TPCHSpec{Tuples: 0}); err == nil {
+		t.Error("zero tuples accepted")
+	}
+}

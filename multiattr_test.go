@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func multiClient(t *testing.T) (*MultiClient, *Relation) {
+	t.Helper()
+	m, err := NewMultiClient(Config{
+		MasterKey: []byte("multi attr"),
+		Seed:      seed(17),
+	}, []string{"EId", "LastName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := workload.Employee()
+	if err := m.Outsource(emp, workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	return m, emp
+}
+
+func TestMultiClientQueriesBothAttributes(t *testing.T) {
+	m, emp := multiClient(t)
+	got, err := m.Query("EId", Str("E259"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := emp.Select("EId", Str("E259"))
+	if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+		t.Errorf("EId query = %v, want %v", relation.IDs(got), relation.IDs(want))
+	}
+	// The same relation searched on a different attribute.
+	got, err = m.Query("LastName", Str("Smith"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ = emp.Select("LastName", Str("Smith"))
+	if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+		t.Errorf("LastName query = %v, want %v", relation.IDs(got), relation.IDs(want))
+	}
+}
+
+func TestMultiClientInsertVisibleOnAllAttributes(t *testing.T) {
+	m, _ := multiClient(t)
+	nt := Tuple{ID: 200, Values: []Value{
+		Str("E955"), Str("Ada"), Str("Lovelace"),
+		Int(955), Int(7), Str("Design"),
+	}}
+	if err := m.Insert(nt, false); err != nil {
+		t.Fatal(err)
+	}
+	byEID, err := m.Query("EId", Str("E955"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName, err := m.Query("LastName", Str("Lovelace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byEID) != 1 || len(byName) != 1 || byEID[0].ID != 200 || byName[0].ID != 200 {
+		t.Fatalf("insert visibility: byEID=%v byName=%v", byEID, byName)
+	}
+}
+
+func TestMultiClientValidation(t *testing.T) {
+	if _, err := NewMultiClient(Config{MasterKey: []byte("k")}, nil); err == nil {
+		t.Error("no attributes accepted")
+	}
+	if _, err := NewMultiClient(Config{MasterKey: []byte("k")}, []string{"A", "A"}); err == nil {
+		t.Error("duplicate attributes accepted")
+	}
+	m, _ := multiClient(t)
+	if _, err := m.Query("Nope", Str("x")); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if got := m.Attrs(); len(got) != 2 {
+		t.Errorf("Attrs = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// startRemoteCloud runs a qbcloud-equivalent on a loopback listener.
+func startRemoteCloud(t *testing.T) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = wire.NewCloud().Serve(lis) }()
+	t.Cleanup(func() { lis.Close() })
+	return lis.Addr().String()
+}
+
+// TestClientAgainstRemoteCloud runs the public API against a cloud in a
+// separate (simulated) process over TCP.
+func TestClientAgainstRemoteCloud(t *testing.T) {
+	addr := startRemoteCloud(t)
+	for _, tech := range []Technique{TechNoInd, TechDetIndex, TechArx} {
+		t.Run(tech.String(), func(t *testing.T) {
+			c, err := NewClient(Config{
+				MasterKey: []byte("remote test"),
+				Attr:      "EId",
+				Technique: tech,
+				Seed:      seed(77),
+				CloudAddr: startRemoteCloud(t), // fresh cloud per technique
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			emp := workload.Employee()
+			if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+				t.Fatal(err)
+			}
+			for _, eid := range []string{"E101", "E259", "E199"} {
+				got, err := c.Query(Str(eid))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _ := emp.Select("EId", Str(eid))
+				if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+					t.Errorf("Query(%s) = %v, want %v", eid, relation.IDs(got), relation.IDs(want))
+				}
+			}
+		})
+	}
+	_ = addr
+}
+
+func TestRemoteCloudRejectsScanTechniques(t *testing.T) {
+	addr := startRemoteCloud(t)
+	for _, tech := range []Technique{TechShamir, TechDPFPIR, TechSimOpaque} {
+		if _, err := NewClient(Config{
+			MasterKey: []byte("k"), Attr: "K", Technique: tech, CloudAddr: addr,
+		}); err == nil {
+			t.Errorf("technique %v accepted a remote cloud", tech)
+		}
+	}
+}
+
+// TestSaveResumeOverRemoteCloud persists the owner state and resumes a new
+// client against the same remote cloud without re-outsourcing.
+func TestSaveResumeOverRemoteCloud(t *testing.T) {
+	addr := startRemoteCloud(t)
+	mk := func() *Client {
+		c, err := NewClient(Config{
+			MasterKey: []byte("resume test"),
+			Attr:      "EId",
+			Seed:      seed(88),
+			CloudAddr: addr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	emp := workload.Employee()
+	c1 := mk()
+	if err := c1.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c1.SaveMetadata(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := mk()
+	if err := c2.Resume(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Query(Str("E259"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := emp.Select("EId", Str("E259"))
+	if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+		t.Errorf("resumed Query = %v, want %v", relation.IDs(got), relation.IDs(want))
+	}
+
+	// Resume without a remote cloud is rejected.
+	local, err := NewClient(Config{MasterKey: []byte("k"), Attr: "EId"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Resume(&buf); err == nil {
+		t.Error("local Resume accepted")
+	}
+}
+
+func TestRemoteCloudUnreachable(t *testing.T) {
+	if _, err := NewClient(Config{
+		MasterKey: []byte("k"), Attr: "K", CloudAddr: "127.0.0.1:1",
+	}); err == nil {
+		t.Fatal("unreachable cloud accepted")
+	}
+}

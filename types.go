@@ -1,0 +1,58 @@
+package repro
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/owner"
+	"repro/internal/relation"
+)
+
+// Re-exported relational types: these aliases make the internal substrate
+// usable through the public API.
+type (
+	// Value is a typed attribute value (int64 or string).
+	Value = relation.Value
+	// Kind is the dynamic type of a Value.
+	Kind = relation.Kind
+	// Column describes one attribute of a schema.
+	Column = relation.Column
+	// Schema is an ordered list of typed, named columns.
+	Schema = relation.Schema
+	// Tuple is one row with its stable ID.
+	Tuple = relation.Tuple
+	// Relation is an in-memory table.
+	Relation = relation.Relation
+	// ValueCount pairs a value with its tuple count (owner metadata).
+	ValueCount = relation.ValueCount
+	// QueryStats reports the cost breakdown of one partitioned query.
+	QueryStats = owner.QueryStats
+	// JoinPair is one row of an owner-side equi-join result.
+	JoinPair = owner.JoinPair
+	// AdversarialView is what the honest-but-curious cloud observes for one
+	// query (AV = Inc ∪ Opc in the paper).
+	AdversarialView = cloud.View
+)
+
+// Kinds of attribute values.
+const (
+	KindInt    = relation.KindInt
+	KindString = relation.KindString
+)
+
+// Int builds an integer Value.
+func Int(v int64) Value { return relation.Int(v) }
+
+// Str builds a string Value.
+func Str(s string) Value { return relation.Str(s) }
+
+// NewSchema builds a validated schema.
+func NewSchema(name string, cols ...Column) (Schema, error) {
+	return relation.NewSchema(name, cols...)
+}
+
+// MustSchema is NewSchema that panics on invalid input.
+func MustSchema(name string, cols ...Column) Schema {
+	return relation.MustSchema(name, cols...)
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(s Schema) *Relation { return relation.New(s) }

@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func TestVerticalClientEndToEnd(t *testing.T) {
+	c, err := NewVerticalClient(Config{
+		MasterKey: []byte("vertical facade"),
+		Attr:      "EId",
+		Seed:      seed(9),
+	}, []string{"SSN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := workload.Employee()
+	if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	for _, eid := range []string{"E101", "E259", "E199"} {
+		got, err := c.Query(Str(eid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := emp.Select("EId", Str(eid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+			t.Errorf("Query(%s) = %v, want %v", eid, relation.IDs(got), relation.IDs(want))
+		}
+		// Full schema: 6 columns including SSN.
+		for _, tp := range got {
+			if len(tp.Values) != 6 {
+				t.Errorf("tuple %d has %d columns, want 6", tp.ID, len(tp.Values))
+			}
+		}
+	}
+	if len(c.AdversarialViews()) == 0 {
+		t.Error("no views recorded")
+	}
+}
+
+func TestNewVerticalClientValidation(t *testing.T) {
+	if _, err := NewVerticalClient(Config{}, []string{"SSN"}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
