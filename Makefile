@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Root-package benchmarks only: they include every paper table/figure plus
+# the batch-engine throughput sweep (BenchmarkQueryBatch).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+ci: build test race

@@ -1,0 +1,50 @@
+package repro
+
+import "repro/internal/owner"
+
+// BatchResult is one completed query of a streaming batch (see
+// Client.QueryAsync).
+type BatchResult = owner.BatchResult
+
+// QueryBatch executes many selections concurrently through a bounded
+// worker pool (GOMAXPROCS workers) and returns one answer slice per query,
+// indexed like ws. It is observationally equivalent to looping Query
+// sequentially: per-query results are identical and the adversarial views
+// are logged in input order, so AdversarialViews is deterministic. On
+// failure the error of the lowest-index failing query is returned.
+func (c *Client) QueryBatch(ws []Value) ([][]Tuple, error) {
+	return c.QueryBatchN(ws, 0)
+}
+
+// QueryBatchN is QueryBatch with an explicit worker count (<= 0 selects
+// GOMAXPROCS). The count bounds client-side parallelism: each worker runs
+// one query at a time, itself fanning the sensitive and non-sensitive bin
+// retrievals out in parallel.
+func (c *Client) QueryBatchN(ws []Value, workers int) ([][]Tuple, error) {
+	out, _, err := c.owner.QueryBatch(ws, workers)
+	return out, err
+}
+
+// QueryBatchWithStats is QueryBatchN plus the per-query cost breakdowns.
+func (c *Client) QueryBatchWithStats(ws []Value, workers int) ([][]Tuple, []*QueryStats, error) {
+	return c.owner.QueryBatch(ws, workers)
+}
+
+// QueryAsync streams a batch: results are delivered on the returned
+// channel as soon as each query completes (with its input Index, so
+// callers can reorder), and the channel closes when the batch is done.
+// Unlike QueryBatch, per-query failures are delivered in-band as
+// BatchResult.Err and do not stop the remaining queries; adversarial views
+// are logged in completion order, which keeps the view multiset — though
+// not its order — identical to a sequential loop. The caller must drain
+// the channel until it closes (e.g. with range), even after seeing an
+// error: abandoning it mid-stream blocks the worker pool forever.
+func (c *Client) QueryAsync(ws []Value) <-chan BatchResult {
+	return c.QueryAsyncN(ws, 0)
+}
+
+// QueryAsyncN is QueryAsync with an explicit worker count (<= 0 selects
+// GOMAXPROCS).
+func (c *Client) QueryAsyncN(ws []Value, workers int) <-chan BatchResult {
+	return c.owner.QueryAsync(ws, workers)
+}

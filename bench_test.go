@@ -15,6 +15,8 @@ import (
 	mrand "math/rand/v2"
 	"net"
 	"os"
+	"runtime"
+	"slices"
 	"sync"
 	"testing"
 
@@ -399,6 +401,60 @@ func BenchmarkRemoteQuery(b *testing.B) {
 		b.ResetTimer()
 		run(b, o)
 	})
+}
+
+// BenchmarkQueryBatch measures batch-engine throughput on the default
+// employee workload: a 512-selection batch over the Figure 1 relation,
+// sequential vs QueryBatch at 1, 4 and GOMAXPROCS workers. The custom
+// queries/sec metric is the headline; the speedup at 4 workers over the
+// sequential sub-benchmark is the concurrency win.
+func BenchmarkQueryBatch(b *testing.B) {
+	tech, err := technique.NewNoInd(crypto.DeriveKeys([]byte("bench8")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := owner.New(tech, "EId")
+	opts := core.Options{Rand: mrand.New(mrand.NewPCG(1, 2))}
+	if err := o.Outsource(workload.Employee(), workload.EmployeeSensitive, opts); err != nil {
+		b.Fatal(err)
+	}
+	eids := []relation.Value{
+		relation.Str("E101"), relation.Str("E259"), relation.Str("E199"),
+		relation.Str("E152"), relation.Str("E254"), relation.Str("E159"),
+	}
+	const batch = 512
+	ws := make([]relation.Value, batch)
+	for i := range ws {
+		ws[i] = eids[i%len(eids)]
+	}
+	qps := func(b *testing.B) {
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, w := range ws {
+				if _, _, err := o.Query(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			o.Server().ResetViews() // bound the view log across iterations
+		}
+		qps(b)
+	})
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	slices.Sort(workerCounts)
+	for _, workers := range slices.Compact(workerCounts) {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := o.QueryBatch(ws, workers); err != nil {
+					b.Fatal(err)
+				}
+				o.Server().ResetViews()
+			}
+			qps(b)
+		})
+	}
 }
 
 // BenchmarkShamirShareSplit times the secret-sharing substrate.

@@ -32,6 +32,19 @@
 //	// handle err
 //	tuples, err := client.Query(repro.Str("E101"))
 //
+// Batches of selections execute concurrently through a bounded worker
+// pool, with per-query results and the cloud's adversarial-view log
+// identical to looping Query sequentially:
+//
+//	answers, err := client.QueryBatch([]repro.Value{
+//		repro.Str("E101"), repro.Str("E259"),
+//	})
+//	// answers[0] and answers[1] line up with the two query values.
+//
+//	for res := range client.QueryAsync(queries) { // streaming variant
+//		// res.Index, res.Tuples, res.Err arrive in completion order.
+//	}
+//
 // Every query is rewritten by Algorithm 2 into one sensitive bin (sent
 // encrypted) and one non-sensitive bin (sent in clear-text), so the cloud's
 // view never pins the queried value down to fewer than a bin's worth of

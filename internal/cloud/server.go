@@ -6,6 +6,8 @@
 package cloud
 
 import (
+	"sync"
+
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -63,10 +65,16 @@ func (l *localPlain) SearchRange(lo, hi relation.Value) []relation.Tuple {
 }
 func (l *localPlain) Insert(t relation.Tuple) error { return l.ps.Insert(t) }
 
-// Server is one public cloud.
+// Server is one public cloud. It is safe for concurrent use: searches run
+// in parallel (the underlying stores are internally synchronised), and the
+// adversarial-view log is guarded by its own mutex so Record assigns
+// strictly increasing QueryIDs in append order — Views always observes a
+// consistent, ordered prefix of the log.
 type Server struct {
 	plain PlainBackend
 	local *localPlain // non-nil when the backend is in-process
+
+	mu    sync.RWMutex // guards views and next
 	views []View
 	next  int
 }
@@ -124,15 +132,35 @@ func (s *Server) SearchPlainRange(lo, hi relation.Value) []relation.Tuple {
 // InsertPlain appends a non-sensitive tuple.
 func (s *Server) InsertPlain(t relation.Tuple) error { return s.plain.Insert(t) }
 
-// Record appends an adversarial view, assigning its QueryID.
+// Record appends an adversarial view, assigning the next QueryID
+// atomically with the append so the log order and the ID order agree.
 func (s *Server) Record(v View) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v.QueryID = s.next
 	s.next++
 	s.views = append(s.views, v)
 }
 
-// Views returns the recorded adversarial views in query order.
-func (s *Server) Views() []View { return s.views }
+// Views returns a snapshot of the recorded adversarial views in query
+// order.
+func (s *Server) Views() []View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]View(nil), s.views...)
+}
+
+// ViewCount returns the number of recorded views without copying the log.
+func (s *Server) ViewCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
 
 // ResetViews clears the view log (between attack experiments).
-func (s *Server) ResetViews() { s.views = nil; s.next = 0 }
+func (s *Server) ResetViews() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.views = nil
+	s.next = 0
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/internal/crypto"
+	"repro/internal/owner"
+	"repro/internal/relation"
+	"repro/internal/technique"
+	"repro/internal/workload"
+)
+
+// BatchSpec parameterises the batch-throughput experiment: how much a
+// bounded worker pool speeds a stream of independent QB selections up over
+// the sequential owner loop.
+type BatchSpec struct {
+	// Tuples and DistinctValues size the synthetic relation.
+	Tuples         int
+	DistinctValues int
+	// Alpha is the sensitive fraction.
+	Alpha float64
+	// Queries is the batch size.
+	Queries int
+	// Workers are the pool sizes to sweep (0 means GOMAXPROCS).
+	Workers []int
+	// Seed fixes data generation, binning and the query stream.
+	Seed int64
+}
+
+// DefaultBatch returns the configuration used by cmd/qbbench.
+func DefaultBatch() BatchSpec {
+	return BatchSpec{
+		Tuples:         20_000,
+		DistinctValues: 2_000,
+		Alpha:          0.3,
+		Queries:        256,
+		Workers:        []int{1, 2, 4, 0},
+		Seed:           1,
+	}
+}
+
+// BatchThroughput measures the concurrent batch query engine: a fixed
+// query stream is executed once through the sequential Query loop and once
+// through QueryBatch per worker count, reporting queries/sec and the
+// speedup over sequential. Results are checked for equivalence along the
+// way — a mismatch fails the experiment rather than reporting a wrong
+// speedup.
+func BatchThroughput(spec BatchSpec) (*Table, error) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples:         spec.Tuples,
+		DistinctValues: spec.DistinctValues,
+		Alpha:          spec.Alpha,
+		AssocFraction:  0.5,
+		Seed:           spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tech, err := technique.NewNoInd(crypto.DeriveKeys([]byte("batch-throughput")))
+	if err != nil {
+		return nil, err
+	}
+	o := owner.New(tech, workload.Attr)
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, binOpts(uint64(spec.Seed))); err != nil {
+		return nil, err
+	}
+	ws := workload.QueryStream(ds, workload.QuerySpec{Queries: spec.Queries, Seed: spec.Seed + 1})
+
+	start := time.Now()
+	seq := make([][]int, len(ws))
+	for i, w := range ws {
+		ts, _, err := o.Query(w)
+		if err != nil {
+			return nil, err
+		}
+		seq[i] = relation.IDs(ts)
+	}
+	seqDur := time.Since(start)
+	o.Server().ResetViews()
+
+	t := &Table{
+		Title:  "Batch engine: queries/sec vs worker count (NoInd technique)",
+		Header: []string{"mode", "workers", "total", "queries/sec", "speedup"},
+		Notes: fmt.Sprintf("batch of %d selections over %d tuples (alpha=%.1f); GOMAXPROCS=%d",
+			spec.Queries, spec.Tuples, spec.Alpha, runtime.GOMAXPROCS(0)),
+	}
+	qps := func(d time.Duration) float64 { return float64(len(ws)) / d.Seconds() }
+	t.AddRow("sequential", "1", seqDur.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.0f", qps(seqDur)), "1.00x")
+
+	for _, workers := range spec.Workers {
+		eff := workers
+		if eff <= 0 {
+			eff = runtime.GOMAXPROCS(0)
+		}
+		start := time.Now()
+		out, _, err := o.QueryBatch(ws, workers)
+		dur := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		o.Server().ResetViews()
+		for i := range out {
+			if !slices.Equal(relation.IDs(out[i]), seq[i]) {
+				return nil, fmt.Errorf("experiments: batch result %d returned IDs %v, sequential returned %v",
+					i, relation.IDs(out[i]), seq[i])
+			}
+		}
+		t.AddRow("batch", fmt.Sprintf("%d", eff), dur.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", qps(dur)), fmt.Sprintf("%.2fx", seqDur.Seconds()/dur.Seconds()))
+	}
+	return t, nil
+}

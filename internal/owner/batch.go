@@ -1,0 +1,140 @@
+package owner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cloud"
+	"repro/internal/relation"
+)
+
+// This file implements the concurrent batch query engine: many selections
+// executed through a bounded worker pool, parallel both across queries and
+// (via executeView's fan-out) across each query's sensitive/non-sensitive
+// bin retrievals. Batch execution is observationally equivalent to a
+// sequential loop over Query: the same result per query, and — because
+// views are detached from execution and logged in input order — the same
+// adversarial-view log.
+
+// BatchResult is one completed query of a streaming batch.
+type BatchResult struct {
+	// Index is the position of the query in the submitted slice.
+	Index int
+	// Query is the selection value.
+	Query relation.Value
+	// Tuples is the merged, fake- and co-resident-filtered answer.
+	Tuples []relation.Tuple
+	// Stats is the cost breakdown of this query.
+	Stats *QueryStats
+	// Err is the per-query failure, if any.
+	Err error
+
+	// view is the detached adversarial view; QueryBatch records it with
+	// the cloud in input order once the whole batch has run.
+	view cloud.View
+}
+
+// normalizeWorkers clamps a worker count to [1, n] with GOMAXPROCS as the
+// default for non-positive requests.
+func normalizeWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runPool fans f over the indices [0, n) using the given number of worker
+// goroutines and blocks until all have finished.
+func runPool(n, workers int, f func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// QueryBatch executes the selections ws concurrently through a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS) and returns the per-query
+// answers and stats, indexed like ws.
+//
+// The batch is observationally equivalent to a sequential loop over Query:
+// each answer is identical, and the adversarial views are recorded with the
+// cloud in input order after all queries finish, so the view log matches
+// the sequential one exactly. If any query fails, the error of the
+// lowest-index failure is returned and only the views of the queries
+// preceding it are logged — the prefix a sequential loop stopping at the
+// first error would have produced. (Queries past the failure may already
+// have executed; their cloud interactions happened but are not logged,
+// exactly as a crashed sequential client would leave the log.)
+func (o *Owner) QueryBatch(ws []relation.Value, workers int) ([][]relation.Tuple, []*QueryStats, error) {
+	n := len(ws)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	results := make([]BatchResult, n)
+	runPool(n, normalizeWorkers(workers, n), func(i int) {
+		ts, st, view, err := o.QueryDetached(ws[i])
+		results[i] = BatchResult{Index: i, Query: ws[i], Tuples: ts, Stats: st, Err: err}
+		if err == nil {
+			results[i].view = view
+		}
+	})
+
+	out := make([][]relation.Tuple, n)
+	stats := make([]*QueryStats, n)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, nil, r.Err
+		}
+		o.RecordView(r.view)
+		out[i] = r.Tuples
+		stats[i] = r.Stats
+	}
+	return out, stats, nil
+}
+
+// QueryAsync streams the batch: it launches the same worker pool as
+// QueryBatch and delivers each BatchResult as soon as its query completes,
+// closing the channel when the whole batch is done. Views are recorded at
+// completion time, so the log order follows delivery order rather than
+// input order — the multiset of views still equals the sequential one.
+// Per-query failures are delivered as BatchResult.Err; the stream keeps
+// going so independent queries still complete.
+//
+// The caller must drain the channel until it closes: abandoning it
+// mid-stream blocks the workers forever once the buffer fills.
+func (o *Owner) QueryAsync(ws []relation.Value, workers int) <-chan BatchResult {
+	out := make(chan BatchResult, normalizeWorkers(workers, max(len(ws), 1)))
+	go func() {
+		defer close(out)
+		if len(ws) == 0 {
+			return
+		}
+		runPool(len(ws), normalizeWorkers(workers, len(ws)), func(i int) {
+			ts, st, view, err := o.QueryDetached(ws[i])
+			if err == nil {
+				o.RecordView(view)
+			}
+			out <- BatchResult{Index: i, Query: ws[i], Tuples: ts, Stats: st, Err: err}
+		})
+	}()
+	return out
+}

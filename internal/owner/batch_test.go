@@ -1,0 +1,167 @@
+package owner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/technique"
+	"repro/internal/workload"
+)
+
+// valueFaultTechnique fails any Search whose predicate set contains the
+// target value — a per-query failure injector for batch error semantics
+// (the whole-call injectors live in failure_test.go). The target is set
+// after Outsource, once the binning reveals which values are sensitive.
+type valueFaultTechnique struct {
+	technique.Technique
+	target relation.Value
+	armed  bool
+}
+
+func (f *valueFaultTechnique) Search(values []relation.Value) ([][]byte, *technique.Stats, error) {
+	if f.armed {
+		for _, v := range values {
+			if v.Equal(f.target) {
+				return nil, nil, errInjected
+			}
+		}
+	}
+	return f.Technique.Search(values)
+}
+
+// sensitiveValue returns the first dataset value binned as sensitive.
+func sensitiveValue(t *testing.T, o *Owner, ds *workload.Dataset) relation.Value {
+	t.Helper()
+	for _, v := range ds.Values {
+		if o.Bins().ContainsSensitive(v) {
+			return v
+		}
+	}
+	t.Fatal("dataset has no sensitive values")
+	return relation.Value{}
+}
+
+func batchOwner(t *testing.T, tech technique.Technique, seed uint64) (*Owner, *workload.Dataset) {
+	t.Helper()
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 120, DistinctValues: 12, Alpha: 0.5, Seed: int64(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(tech, workload.Attr)
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(seed)); err != nil {
+		t.Fatal(err)
+	}
+	return o, ds
+}
+
+// TestQueryBatchFailingTechnique: a batch whose technique fails on the bin
+// holding a target value returns the error of the lowest-index failing
+// query and records exactly the views a sequential loop stopping at that
+// query would have recorded.
+func TestQueryBatchFailingTechnique(t *testing.T) {
+	// Twin owners with identical seeds so bins and views line up. The
+	// fault arms on the first value binned as sensitive: querying it sends
+	// its sensitive bin to the technique, which then fails.
+	mk := func() (*Owner, []relation.Value) {
+		ds, err := workload.Generate(workload.GenSpec{
+			Tuples: 120, DistinctValues: 12, Alpha: 0.5, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ft := &valueFaultTechnique{Technique: newNoInd(t)}
+		o := New(ft, workload.Attr)
+		if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(32)); err != nil {
+			t.Fatal(err)
+		}
+		ft.target = sensitiveValue(t, o, ds)
+		ft.armed = true
+		ws := append(workload.QueryStream(ds, workload.QuerySpec{Queries: 10, Seed: 33}), ft.target)
+		return o, ws
+	}
+
+	seqOwner, ws := mk()
+	var seqErr error
+	seqRecorded := 0
+	for _, w := range ws {
+		if _, _, err := seqOwner.Query(w); err != nil {
+			seqErr = err
+			break
+		}
+		seqRecorded++
+	}
+	if !errors.Is(seqErr, errInjected) {
+		t.Fatalf("sequential run did not hit the injected failure: %v", seqErr)
+	}
+
+	batchO, _ := mk()
+	_, _, batchErr := batchO.QueryBatch(ws, 4)
+	if !errors.Is(batchErr, errInjected) {
+		t.Fatalf("batch err = %v, want injected", batchErr)
+	}
+	if got := batchO.Server().ViewCount(); got != seqRecorded {
+		t.Fatalf("batch recorded %d views before the failure, sequential recorded %d", got, seqRecorded)
+	}
+}
+
+// TestQueryAsyncDeliversPerQueryErrors: the stream keeps going past a
+// failing query and reports the failure in-band.
+func TestQueryAsyncDeliversPerQueryErrors(t *testing.T) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 120, DistinctValues: 12, Alpha: 0.5, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := &valueFaultTechnique{Technique: newNoInd(t)}
+	o := New(ft, workload.Attr)
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(42)); err != nil {
+		t.Fatal(err)
+	}
+	ft.target = sensitiveValue(t, o, ds)
+	ft.armed = true
+
+	ws := append(workload.QueryStream(ds, workload.QuerySpec{Queries: 6, Seed: 43}), ft.target)
+	delivered, failures := 0, 0
+	for res := range o.QueryAsync(ws, 3) {
+		delivered++
+		if res.Err != nil {
+			failures++
+		}
+	}
+	if delivered != len(ws) {
+		t.Fatalf("stream delivered %d results, want %d", delivered, len(ws))
+	}
+	if failures == 0 {
+		t.Fatal("no per-query failure delivered")
+	}
+}
+
+// TestQueryBatchWorkerNormalization: degenerate worker counts behave like
+// sensible ones.
+func TestQueryBatchWorkerNormalization(t *testing.T) {
+	o, ds := batchOwner(t, newNoInd(t), 51)
+	ws := workload.QueryStream(ds, workload.QuerySpec{Queries: 5, Seed: 52})
+	var prev [][]relation.Tuple
+	for _, workers := range []int{-3, 0, 1, 64} {
+		out, stats, err := o.QueryBatch(ws, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != len(ws) || len(stats) != len(ws) {
+			t.Fatalf("workers=%d: %d results / %d stats", workers, len(out), len(stats))
+		}
+		if prev != nil {
+			for i := range out {
+				if !reflect.DeepEqual(relation.IDs(out[i]), relation.IDs(prev[i])) {
+					t.Fatalf("workers=%d: query %d differs from previous worker count", workers, i)
+				}
+			}
+		}
+		prev = out
+	}
+}

@@ -3,6 +3,7 @@ package owner
 import (
 	"fmt"
 
+	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/technique"
@@ -98,9 +99,9 @@ func (o *Owner) rebalanceFakes() error {
 // covering the in-range values; both sides are fetched bin-wise (preserving
 // the QB adversarial view shape) and filtered locally.
 func (o *Owner) QueryRange(lo, hi relation.Value) ([]relation.Tuple, *QueryStats, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.mu.RLock()
 	if o.bins == nil || o.server == nil {
+		o.mu.RUnlock()
 		return nil, nil, ErrNotOutsourced
 	}
 	if hi.Less(lo) {
@@ -158,27 +159,50 @@ func (o *Owner) QueryRange(lo, hi relation.Value) ([]relation.Tuple, *QueryStats
 		}
 	}
 
-	out, st, err := o.executeFiltered(inRange, sensValues, nsValues, st)
-	return out, st, err
+	out, view, err := o.executeView(inRange, sensValues, nsValues, st)
+	o.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	o.RecordView(view)
+	return out, st, nil
 }
 
-// executeFiltered is execute with an arbitrary match predicate on the
-// searchable attribute.
-func (o *Owner) executeFiltered(match func(relation.Value) bool, sensValues, nsValues []relation.Value, st *QueryStats) ([]relation.Tuple, *QueryStats, error) {
+// executeView runs the two sub-queries for a selection with an arbitrary
+// match predicate on the searchable attribute, fanning the encrypted and
+// plaintext retrievals out in parallel (they are independent bin fetches),
+// and returns the merged result together with the adversarial view of the
+// execution. Must be called with o.mu held (read suffices); the view is
+// NOT recorded — callers hand it to RecordView so batch engines can
+// control the log order.
+func (o *Owner) executeView(match func(relation.Value) bool, sensValues, nsValues []relation.Value, st *QueryStats) ([]relation.Tuple, cloud.View, error) {
 	var out []relation.Tuple
 	view := cloudView(nsValues, len(sensValues))
+
+	// The plaintext fetch does not depend on the cryptographic work, so it
+	// runs concurrently with the encrypted-side search below. The channel
+	// is buffered: an encrypted-side error can return early without
+	// leaking the goroutine. The server pointer is captured here because
+	// on that early return the goroutine may outlive the caller's lock —
+	// it must not re-read the field a concurrent Outsource could swap.
+	var plainCh chan []relation.Tuple
+	if len(nsValues) > 0 {
+		plainCh = make(chan []relation.Tuple, 1)
+		srv := o.server
+		go func() { plainCh <- srv.SearchPlain(nsValues) }()
+	}
 
 	if len(sensValues) > 0 {
 		payloads, encSt, err := o.tech.Search(sensValues)
 		if err != nil {
-			return nil, nil, err
+			return nil, cloud.View{}, err
 		}
 		st.Enc = *encSt
 		view.EncResultAddrs = encSt.ReturnedAddrs
 		for _, p := range payloads {
 			t, fake, err := decodePayload(p)
 			if err != nil {
-				return nil, nil, err
+				return nil, cloud.View{}, err
 			}
 			if fake {
 				st.FakeDiscarded++
@@ -191,8 +215,8 @@ func (o *Owner) executeFiltered(match func(relation.Value) bool, sensValues, nsV
 			}
 		}
 	}
-	if len(nsValues) > 0 {
-		plain := o.server.SearchPlain(nsValues)
+	if plainCh != nil {
+		plain := <-plainCh
 		st.PlainTuples = len(plain)
 		view.PlainResults = plain
 		for _, t := range plain {
@@ -203,10 +227,9 @@ func (o *Owner) executeFiltered(match func(relation.Value) bool, sensValues, nsV
 			}
 		}
 	}
-	o.server.Record(view)
 	relation.SortByID(out)
 	st.Result = len(out)
-	return out, st, nil
+	return out, view, nil
 }
 
 // AggOp is an aggregation operator for QueryAggregate.
@@ -228,20 +251,37 @@ const (
 // — so the adversarial view is unchanged — and the aggregate is computed
 // owner-side over the filtered matches.
 func (o *Owner) QueryAggregate(w relation.Value, col string, op AggOp) (int64, error) {
+	// Column resolution and query execution happen under one read lock so
+	// the column index can never go stale against the tuples a concurrent
+	// re-Outsource with a different schema would return.
+	o.mu.RLock()
 	if o.bins == nil || o.server == nil {
+		o.mu.RUnlock()
 		return 0, ErrNotOutsourced
 	}
 	ci, ok := o.schema.ColumnIndex(col)
 	if !ok {
+		o.mu.RUnlock()
 		return 0, fmt.Errorf("owner: no column %q", col)
 	}
 	if op != AggCount && o.schema.Columns[ci].Kind != relation.KindInt {
+		o.mu.RUnlock()
 		return 0, fmt.Errorf("owner: column %q is not integer-valued", col)
 	}
-	tuples, _, err := o.Query(w)
+	var (
+		tuples []relation.Tuple
+		view   cloud.View
+		err    error
+	)
+	if ret, hit := o.bins.Retrieve(w); hit {
+		eq := func(v relation.Value) bool { return v.Equal(w) }
+		tuples, view, err = o.executeView(eq, ret.SensValues, ret.NSValues, &QueryStats{})
+	}
+	o.mu.RUnlock()
 	if err != nil {
 		return 0, err
 	}
+	o.RecordView(view)
 	switch op {
 	case AggCount:
 		return int64(len(tuples)), nil
@@ -282,31 +322,34 @@ type JoinPair struct {
 // bin-shaped on both relations, so the join leaks no more than the
 // constituent selections.
 func (o *Owner) Join(other *Owner) ([]JoinPair, error) {
-	if o.bins == nil || other.bins == nil {
-		return nil, ErrNotOutsourced
-	}
-	// Join candidates: values present in both relations' metadata.
+	// Join candidates: values present in both relations' metadata. Each
+	// side is snapshotted under its own read lock, released before the
+	// queries run (Query re-acquires it).
 	values := make(map[string]relation.Value)
-	add := func(m map[string]*relation.ValueCount) map[string]bool {
-		s := make(map[string]bool, len(m))
-		for k, vc := range m {
+	side := func(ow *Owner) (map[string]bool, bool) {
+		ow.mu.RLock()
+		defer ow.mu.RUnlock()
+		if ow.bins == nil {
+			return nil, false
+		}
+		s := make(map[string]bool, len(ow.sensCounts)+len(ow.nsCounts))
+		for k, vc := range ow.sensCounts {
 			s[k] = true
 			values[k] = vc.Value
 		}
-		return s
+		for k, vc := range ow.nsCounts {
+			s[k] = true
+			values[k] = vc.Value
+		}
+		return s, true
 	}
-	l1 := add(o.sensCounts)
-	for k := range add(o.nsCounts) {
-		l1[k] = true
+	l1, ok := side(o)
+	if !ok {
+		return nil, ErrNotOutsourced
 	}
-	r1 := make(map[string]bool)
-	for k := range other.sensCounts {
-		r1[k] = true
-		values[k] = other.sensCounts[k].Value
-	}
-	for k := range other.nsCounts {
-		r1[k] = true
-		values[k] = other.nsCounts[k].Value
+	r1, ok := side(other)
+	if !ok {
+		return nil, ErrNotOutsourced
 	}
 
 	var out []JoinPair

@@ -43,11 +43,14 @@ type QueryStats struct {
 }
 
 // Owner is the trusted client. All exported methods are safe for
-// concurrent use; operations are serialised by an internal mutex (the
-// owner is a single logical party — parallel cloud-side execution is the
-// cloud's business, not the owner's).
+// concurrent use. Reads (queries in all flavours) share an RWMutex read
+// lock and execute in parallel — the stores, the techniques and the cloud
+// view log synchronise internally — while mutations (Outsource, Insert,
+// metadata load) take the write lock and serialise against everything
+// else. The batch engine in batch.go builds on this by fanning many
+// selections out across a worker pool.
 type Owner struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	attr    string
 	attrIdx int
 	schema  relation.Schema
@@ -78,10 +81,18 @@ func New(tech technique.Technique, attr string) *Owner {
 }
 
 // Server returns the cloud server (nil before Outsource).
-func (o *Owner) Server() *cloud.Server { return o.server }
+func (o *Owner) Server() *cloud.Server {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.server
+}
 
 // Bins returns the current binning metadata (nil before Outsource).
-func (o *Owner) Bins() *core.Bins { return o.bins }
+func (o *Owner) Bins() *core.Bins {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.bins
+}
 
 // Technique returns the underlying cryptographic technique.
 func (o *Owner) Technique() technique.Technique { return o.tech }
@@ -214,19 +225,46 @@ var ErrNotOutsourced = errors.New("owner: relation not outsourced yet")
 // side, the cloud searches the plaintext side, and q_merge decrypts,
 // discards fakes and bin co-residents, and unions the matches.
 func (o *Owner) Query(w relation.Value) ([]relation.Tuple, *QueryStats, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	ts, st, view, err := o.QueryDetached(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.RecordView(view)
+	return ts, st, nil
+}
+
+// QueryDetached executes the query exactly like Query but hands the
+// adversarial view back to the caller instead of recording it with the
+// cloud. The batch engine uses this to log the views of a whole batch in
+// input order, keeping AdversarialViews deterministic regardless of which
+// worker finished first; every caller must pass the view to RecordView
+// (the cloud observed the execution whether or not it is logged).
+func (o *Owner) QueryDetached(w relation.Value) ([]relation.Tuple, *QueryStats, cloud.View, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	if o.bins == nil || o.server == nil {
-		return nil, nil, ErrNotOutsourced
+		return nil, nil, cloud.View{}, ErrNotOutsourced
 	}
 	st := &QueryStats{}
 	ret, ok := o.bins.Retrieve(w)
 	if !ok {
-		// Value absent from both partitions: nothing to fetch.
-		o.server.Record(cloud.View{})
-		return nil, st, nil
+		// Value absent from both partitions: nothing to fetch; the cloud
+		// still observes an (empty) interaction.
+		return nil, st, cloud.View{}, nil
 	}
-	return o.execute(w, ret.SensValues, ret.NSValues, st)
+	eq := func(v relation.Value) bool { return v.Equal(w) }
+	ts, view, err := o.executeView(eq, ret.SensValues, ret.NSValues, st)
+	if err != nil {
+		return nil, nil, cloud.View{}, err
+	}
+	return ts, st, view, nil
+}
+
+// RecordView appends a view produced by QueryDetached to the cloud's log.
+func (o *Owner) RecordView(v cloud.View) {
+	if s := o.Server(); s != nil {
+		s.Record(v)
+	}
 }
 
 // QueryNaive answers the query without binning, sending the exact predicate
@@ -235,19 +273,20 @@ func (o *Owner) Query(w relation.Value) ([]relation.Tuple, *QueryStats, error) {
 // each side returned tuples, which is exactly the inference leak of
 // Table II.
 func (o *Owner) QueryNaive(w relation.Value) ([]relation.Tuple, *QueryStats, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.mu.RLock()
 	if o.bins == nil || o.server == nil {
+		o.mu.RUnlock()
 		return nil, nil, ErrNotOutsourced
 	}
 	st := &QueryStats{}
-	return o.execute(w, []relation.Value{w}, []relation.Value{w}, st)
-}
-
-// execute runs the two sub-queries for an equality predicate, records the
-// adversarial view, and merges.
-func (o *Owner) execute(w relation.Value, sensValues, nsValues []relation.Value, st *QueryStats) ([]relation.Tuple, *QueryStats, error) {
-	return o.executeFiltered(func(v relation.Value) bool { return v.Equal(w) }, sensValues, nsValues, st)
+	eq := func(v relation.Value) bool { return v.Equal(w) }
+	ts, view, err := o.executeView(eq, []relation.Value{w}, []relation.Value{w}, st)
+	o.mu.RUnlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	o.RecordView(view)
+	return ts, st, nil
 }
 
 // cloudView builds the Inc part of an adversarial view.

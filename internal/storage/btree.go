@@ -1,13 +1,17 @@
 package storage
 
 import (
+	"sync"
+
 	"repro/internal/relation"
 )
 
 // BTree is an in-memory B+-tree mapping attribute values to lists of tuple
 // positions. Leaves are chained for ordered range scans; it backs the range
-// selection extension of QB.
+// selection extension of QB. It is safe for concurrent use: lookups and
+// range scans share a read lock, inserts take the write lock.
 type BTree struct {
+	mu     sync.RWMutex
 	root   *btreeNode
 	degree int // minimum degree t: nodes hold [t-1, 2t-1] keys
 	size   int // number of distinct keys
@@ -30,7 +34,11 @@ func NewBTree(degree int) *BTree {
 }
 
 // Len returns the number of distinct keys.
-func (t *BTree) Len() int { return t.size }
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 func (n *btreeNode) findKey(v relation.Value) (int, bool) {
 	lo, hi := 0, len(n.keys)
@@ -48,6 +56,8 @@ func (n *btreeNode) findKey(v relation.Value) (int, bool) {
 
 // Insert records that the tuple at position pos has value v.
 func (t *BTree) Insert(v relation.Value, pos int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	r := t.root
 	if len(r.keys) == 2*t.degree-1 {
 		newRoot := &btreeNode{children: []*btreeNode{r}}
@@ -122,6 +132,8 @@ func (t *BTree) insertNonFull(n *btreeNode, v relation.Value, pos int) {
 
 // Lookup returns the positions recorded for v (nil if absent).
 func (t *BTree) Lookup(v relation.Value) []int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	for {
 		i, found := n.findKey(v)
@@ -139,8 +151,11 @@ func (t *BTree) Lookup(v relation.Value) []int {
 }
 
 // Range calls fn for every key in [lo, hi] in ascending order with its
-// postings. Iteration stops early if fn returns false.
+// postings. Iteration stops early if fn returns false. The read lock is
+// held for the whole scan, so fn must not insert into the same tree.
 func (t *BTree) Range(lo, hi relation.Value, fn func(v relation.Value, positions []int) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	n := t.root
 	for !n.leaf {
 		i, found := n.findKey(lo)
@@ -166,6 +181,8 @@ func (t *BTree) Range(lo, hi relation.Value, fn func(v relation.Value, positions
 
 // Keys returns all keys in ascending order; used in tests.
 func (t *BTree) Keys() []relation.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []relation.Value
 	n := t.root
 	for !n.leaf {

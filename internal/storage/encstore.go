@@ -1,6 +1,9 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // EncRow is one outsourced sensitive tuple as the cloud sees it: opaque
 // ciphertexts plus (for cloud-side-indexable techniques only) a searchable
@@ -14,7 +17,11 @@ type EncRow struct {
 }
 
 // EncryptedStore holds the encrypted sensitive relation Rs at the cloud.
+// It is safe for concurrent use: reads (column pulls, fetches, token
+// lookups) share a read lock, uploads take the write lock. Rows are
+// append-only, so addresses handed out by a read remain valid afterwards.
 type EncryptedStore struct {
+	mu       sync.RWMutex
 	rows     []EncRow
 	tokenIdx map[string][]int // token -> addresses, for indexable techniques
 }
@@ -26,6 +33,8 @@ func NewEncryptedStore() *EncryptedStore {
 
 // Add appends a row, assigning its address, and indexes its token if any.
 func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	addr := len(s.rows)
 	s.rows = append(s.rows, EncRow{Addr: addr, TupleCT: tupleCT, AttrCT: attrCT, Token: token})
 	if token != nil {
@@ -36,17 +45,28 @@ func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
 }
 
 // Len returns the number of stored rows.
-func (s *EncryptedStore) Len() int { return len(s.rows) }
+func (s *EncryptedStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
 
-// Rows exposes the raw rows; the honest-but-curious adversary sees these
-// ciphertexts at rest.
-func (s *EncryptedStore) Rows() []EncRow { return s.rows }
+// Rows exposes the stored rows; the honest-but-curious adversary sees these
+// ciphertexts at rest. The returned slice is a snapshot: rows appended
+// concurrently are not visible through it.
+func (s *EncryptedStore) Rows() []EncRow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rows
+}
 
 // AttrColumn returns the encrypted searchable-attribute column with
 // addresses — the first round of the paper's non-indexable search ("retrieve
 // the searching attribute of a sensitive relation at the DB owner side,
 // decrypt, and search").
 func (s *EncryptedStore) AttrColumn() []EncRow {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]EncRow, len(s.rows))
 	for i, r := range s.rows {
 		out[i] = EncRow{Addr: r.Addr, AttrCT: r.AttrCT}
@@ -56,6 +76,8 @@ func (s *EncryptedStore) AttrColumn() []EncRow {
 
 // Fetch returns the full rows at the given addresses — the second round.
 func (s *EncryptedStore) Fetch(addrs []int) ([]EncRow, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]EncRow, 0, len(addrs))
 	for _, a := range addrs {
 		if a < 0 || a >= len(s.rows) {
@@ -68,4 +90,8 @@ func (s *EncryptedStore) Fetch(addrs []int) ([]EncRow, error) {
 
 // LookupToken returns the addresses whose token equals tok (indexable
 // techniques only).
-func (s *EncryptedStore) LookupToken(tok []byte) []int { return s.tokenIdx[string(tok)] }
+func (s *EncryptedStore) LookupToken(tok []byte) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tokenIdx[string(tok)]
+}

@@ -3,13 +3,25 @@
 // (hash-indexed, with a B+-tree for range scans) and an encrypted store for
 // the sensitive relation (address-based fetch plus an optional token index
 // for cloud-side-indexable techniques).
+//
+// All stores are safe for concurrent use: reads (lookups, scans, fetches)
+// take shared locks and may proceed in parallel, writes take exclusive
+// locks. Stored entries are append-only — the cloud never observes a
+// deletion — so slices handed out by read paths stay valid after the lock
+// is released.
 package storage
 
-import "repro/internal/relation"
+import (
+	"sync"
+
+	"repro/internal/relation"
+)
 
 // HashIndex maps attribute values (by canonical key) to tuple positions.
+// It is safe for concurrent use.
 type HashIndex struct {
-	m map[string][]int
+	mu sync.RWMutex
+	m  map[string][]int
 }
 
 // NewHashIndex returns an empty index.
@@ -17,12 +29,24 @@ func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[string][]int)} }
 
 // Add records that the tuple at position pos has value v.
 func (h *HashIndex) Add(v relation.Value, pos int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	k := v.Key()
 	h.m[k] = append(h.m[k], pos)
 }
 
-// Lookup returns the positions of tuples holding v (nil if none).
-func (h *HashIndex) Lookup(v relation.Value) []int { return h.m[v.Key()] }
+// Lookup returns the positions of tuples holding v (nil if none). The
+// returned slice is a snapshot: positions appended concurrently are not
+// visible through it.
+func (h *HashIndex) Lookup(v relation.Value) []int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.m[v.Key()]
+}
 
 // Len returns the number of distinct indexed values.
-func (h *HashIndex) Len() int { return len(h.m) }
+func (h *HashIndex) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m)
+}

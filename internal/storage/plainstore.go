@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -9,8 +10,10 @@ import (
 // PlainStore is the cloud's clear-text store for the non-sensitive relation
 // Rns. It answers selection and range queries over the searchable attribute
 // using a hash index and a B+-tree, exactly as a public cloud database
-// would.
+// would. It is safe for concurrent use: searches share a read lock and run
+// in parallel, inserts take the write lock.
 type PlainStore struct {
+	mu      sync.RWMutex
 	rel     *relation.Relation
 	attr    string
 	attrIdx int
@@ -40,6 +43,8 @@ func NewPlainStore(rel *relation.Relation, attr string) (*PlainStore, error) {
 
 // Insert appends a tuple to the store and indexes it.
 func (s *PlainStore) Insert(t relation.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.rel.Append(t); err != nil {
 		return err
 	}
@@ -51,7 +56,11 @@ func (s *PlainStore) Insert(t relation.Tuple) error {
 }
 
 // Len returns the number of stored tuples.
-func (s *PlainStore) Len() int { return s.rel.Len() }
+func (s *PlainStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rel.Len()
+}
 
 // DistinctValues returns the number of distinct searchable values.
 func (s *PlainStore) DistinctValues() int { return s.hash.Len() }
@@ -59,6 +68,8 @@ func (s *PlainStore) DistinctValues() int { return s.hash.Len() }
 // Search returns every tuple whose searchable attribute is one of values —
 // the cloud-side execution of q(Wns)(Rns).
 func (s *PlainStore) Search(values []relation.Value) []relation.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []relation.Tuple
 	for _, v := range values {
 		for _, pos := range s.hash.Lookup(v) {
@@ -70,6 +81,8 @@ func (s *PlainStore) Search(values []relation.Value) []relation.Tuple {
 
 // SearchRange returns every tuple with lo <= attr <= hi via the B+-tree.
 func (s *PlainStore) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []relation.Tuple
 	s.tree.Range(lo, hi, func(_ relation.Value, positions []int) bool {
 		for _, pos := range positions {
@@ -82,7 +95,7 @@ func (s *PlainStore) SearchRange(lo, hi relation.Value) []relation.Tuple {
 
 // Relation exposes the underlying relation; the adversary is allowed to read
 // it in full ("the adversary has full access to all the non-sensitive
-// data").
+// data"). The caller must not read it while inserts are in flight.
 func (s *PlainStore) Relation() *relation.Relation { return s.rel }
 
 // Attr returns the searchable attribute name.

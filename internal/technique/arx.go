@@ -2,6 +2,7 @@ package technique
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/crypto"
 	"repro/internal/relation"
@@ -19,6 +20,9 @@ type Arx struct {
 	prob  *crypto.Probabilistic
 	tok   *crypto.ArxTokenizer
 	store EncStore
+	// mu guards the owner-side histogram so concurrent searches can read
+	// it while an insert-driven Outsource updates it.
+	mu sync.RWMutex
 	// hist is the owner-side occurrence histogram keyed by value.
 	hist map[string]int
 	vals map[string]relation.Value
@@ -58,11 +62,17 @@ func (a *Arx) StoredRows() int { return a.store.Len() }
 func (a *Arx) Store() EncStore { return a.store }
 
 // Histogram returns the owner-side occurrence count of v.
-func (a *Arx) Histogram(v relation.Value) int { return a.hist[v.Key()] }
+func (a *Arx) Histogram(v relation.Value) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.hist[v.Key()]
+}
 
 // Outsource implements Technique: each row is tokenised with its occurrence
 // counter, so tokens are unique even for repeated values.
 func (a *Arx) Outsource(rows []Row) (*Stats, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	st := &Stats{Rounds: 1}
 	for _, r := range rows {
 		k := r.Attr.Key()
@@ -88,7 +98,9 @@ func (a *Arx) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	st := &Stats{Rounds: 1}
 	var addrs []int
 	for _, v := range values {
+		a.mu.RLock()
 		n := a.hist[v.Key()]
+		a.mu.RUnlock()
 		for _, token := range a.tok.Tokens(v.Encode(), n) {
 			st.EncOps++
 			hits := a.store.LookupToken(token)

@@ -13,6 +13,9 @@ import (
 // and answer selections without scanning. It is fast (β close to 1) but, on
 // its own, leaks the full frequency histogram of the attribute — the
 // canonical weak-but-indexable technique QB hardens (§VI).
+//
+// DetIndex keeps no mutable owner-side state: concurrent searches are safe
+// because the ciphers are stateless and the store synchronises internally.
 type DetIndex struct {
 	prob  *crypto.Probabilistic
 	det   *crypto.Deterministic

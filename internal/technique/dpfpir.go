@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/crypto"
 	"repro/internal/relation"
@@ -20,6 +21,11 @@ import (
 // cost of a linear scan per query (the γ >> 1 regime where QB helps most).
 type DPFPIR struct {
 	prob *crypto.Probabilistic
+
+	// mu guards everything below: the padded table is rebuilt lazily on
+	// the first search after an outsource, so Search takes the write lock
+	// for the rebuild (double-checked) and the read lock for the scan.
+	mu sync.RWMutex
 
 	// Owner-side metadata.
 	valueIdx map[string]int
@@ -52,11 +58,17 @@ func (d *DPFPIR) Name() string { return "DPF-PIR" }
 func (d *DPFPIR) Indexable() bool { return false }
 
 // StoredRows implements Technique.
-func (d *DPFPIR) StoredRows() int { return d.rows }
+func (d *DPFPIR) StoredRows() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rows
+}
 
 // Outsource implements Technique: rows are sealed and appended to their
 // value's bucket; the equal-size padded table is rebuilt on next search.
 func (d *DPFPIR) Outsource(rows []Row) (*Stats, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	st := &Stats{Rounds: 1}
 	for _, r := range rows {
 		ct, err := d.prob.Encrypt(r.Payload)
@@ -135,9 +147,19 @@ func (d *DPFPIR) cloudAnswer(key crypto.DPFKey, bits int, st *Stats) ([]byte, er
 
 // Search implements Technique: one PIR round per predicate.
 func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	d.mu.RLock()
 	if d.dirty {
-		d.rebuild()
+		// Upgrade to the write lock for the rebuild; another searcher may
+		// have rebuilt in the window, hence the second check.
+		d.mu.RUnlock()
+		d.mu.Lock()
+		if d.dirty {
+			d.rebuild()
+		}
+		d.mu.Unlock()
+		d.mu.RLock()
 	}
+	defer d.mu.RUnlock()
 	st := &Stats{Rounds: 1}
 	if len(d.table) == 0 {
 		return nil, st, nil

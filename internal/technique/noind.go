@@ -14,6 +14,9 @@ import (
 // (round 1) retrieves the encrypted searching-attribute column, decrypts it
 // locally, finds the addresses matching the |SB| predicates, and (round 2)
 // fetches the full tuples at those addresses.
+//
+// NoInd keeps no mutable owner-side state: concurrent searches are safe
+// because the cipher is stateless and the store synchronises internally.
 type NoInd struct {
 	keys  *crypto.KeySet
 	prob  *crypto.Probabilistic

@@ -3,6 +3,7 @@ package technique
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 
 	"repro/internal/crypto"
 	"repro/internal/relation"
@@ -27,7 +28,11 @@ type ShamirScan struct {
 	// Threshold is the reconstruction threshold (k <= n).
 	Threshold int
 
-	prob   *crypto.Probabilistic
+	prob *crypto.Probabilistic
+
+	// mu guards the share columns and sealed payloads: searches scan them
+	// under a read lock while outsourcing appends under the write lock.
+	mu     sync.RWMutex
 	clouds [][]crypto.Share // clouds[c][row] share of attr digest
 	blobs  [][]byte         // sealed payloads, addressed by row
 }
@@ -56,7 +61,11 @@ func (s *ShamirScan) Name() string { return "ShamirScan" }
 func (s *ShamirScan) Indexable() bool { return false }
 
 // StoredRows implements Technique.
-func (s *ShamirScan) StoredRows() int { return len(s.blobs) }
+func (s *ShamirScan) StoredRows() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
 
 // digest maps an attribute value into the field GF(2^61-1).
 func digest(v relation.Value) uint64 {
@@ -67,6 +76,8 @@ func digest(v relation.Value) uint64 {
 
 // Outsource implements Technique: one sharing per row attribute.
 func (s *ShamirScan) Outsource(rows []Row) (*Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	st := &Stats{Rounds: 1}
 	for _, r := range rows {
 		shares, err := crypto.SplitSecret(digest(r.Attr), s.NumClouds, s.Threshold, nil)
@@ -92,6 +103,8 @@ func (s *ShamirScan) Outsource(rows []Row) (*Stats, error) {
 // (a full oblivious scan); the owner reconstructs each attribute digest from
 // Threshold clouds and fetches the matching payloads.
 func (s *ShamirScan) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := &Stats{Rounds: 2}
 	want := make(map[uint64]bool, len(values))
 	for _, v := range values {

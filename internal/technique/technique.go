@@ -62,6 +62,12 @@ func (s *Stats) Add(o *Stats) {
 
 // Technique is a cryptographic mechanism for outsourcing and searching the
 // sensitive relation.
+//
+// Implementations must be safe for concurrent use: Search may be called
+// from many goroutines at once (the batch query engine fans selections
+// out across a worker pool), and Outsource may interleave with in-flight
+// searches (post-outsourcing inserts). Rows are append-only, so a search
+// observes some consistent prefix of the store.
 type Technique interface {
 	// Name identifies the technique in reports.
 	Name() string

@@ -21,6 +21,11 @@ import (
 // client, subsequent calls return zero values, and Err() exposes the
 // cause. Callers doing anything important should check Err() after a batch
 // of operations.
+//
+// Client is safe for concurrent use, but all round trips share one
+// connection and serialise on its mutex, so the batch query engine gains
+// no cloud-side parallelism through a remote backend yet (see ROADMAP
+// "remote-backend parallelism").
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn

@@ -13,9 +13,12 @@ import (
 
 // Cloud is the server-side state: one clear-text store (loaded on demand)
 // and one encrypted store. It is what an honest-but-curious operator would
-// run.
+// run. Connections are handled in their own goroutines and the stores
+// synchronise internally, so requests from different owners execute in
+// parallel; the cloud-level lock only guards swapping the plaintext store
+// on load.
 type Cloud struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex // guards the plain pointer, not the stores
 	plain *storage.PlainStore
 	enc   *storage.EncryptedStore
 }
@@ -61,12 +64,7 @@ func (c *Cloud) handle(conn net.Conn) {
 }
 
 func (c *Cloud) dispatch(req *request) response {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	switch req.Op {
-	case opPing:
-		return response{}
-	case opPlainLoad:
+	if req.Op == opPlainLoad {
 		rel := relation.New(req.Schema)
 		for _, t := range req.Tuples {
 			if err := rel.Append(t); err != nil {
@@ -77,23 +75,38 @@ func (c *Cloud) dispatch(req *request) response {
 		if err != nil {
 			return response{Err: err.Error()}
 		}
+		c.mu.Lock()
 		c.plain = ps
+		c.mu.Unlock()
 		return response{N: rel.Len()}
+	}
+
+	// The read lock is held across the whole op — not just the pointer
+	// read — so an op can never land in a store that a concurrent
+	// opPlainLoad has already swapped out (the stores themselves
+	// synchronise internally, so read ops still run in parallel).
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	plain := c.plain
+
+	switch req.Op {
+	case opPing:
+		return response{}
 	case opPlainSearch:
-		if c.plain == nil {
+		if plain == nil {
 			return response{Err: "wire: no relation loaded"}
 		}
-		return response{Tuples: c.plain.Search(req.Values)}
+		return response{Tuples: plain.Search(req.Values)}
 	case opPlainSearchRange:
-		if c.plain == nil {
+		if plain == nil {
 			return response{Err: "wire: no relation loaded"}
 		}
-		return response{Tuples: c.plain.SearchRange(req.Lo, req.Hi)}
+		return response{Tuples: plain.SearchRange(req.Lo, req.Hi)}
 	case opPlainInsert:
-		if c.plain == nil {
+		if plain == nil {
 			return response{Err: "wire: no relation loaded"}
 		}
-		if err := c.plain.Insert(req.Tuple); err != nil {
+		if err := plain.Insert(req.Tuple); err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{}

@@ -1,0 +1,120 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestConcurrentClientStress hammers one client from many goroutines mixing
+// batches, streaming batches, single queries, range queries, inserts and
+// adversary-view reads. It exists for `go test -race`: the assertions are
+// deliberately weak (no error, plausible shapes) — the detector is the
+// real oracle.
+func TestConcurrentClientStress(t *testing.T) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 240, DistinctValues: 24, Alpha: 0.4,
+		AssocFraction: 0.5, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(Config{
+		MasterKey: []byte("stress test master key"),
+		Attr:      workload.Attr,
+		Seed:      seed(78),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Outsource(ds.Relation.Clone(), ds.Sensitive); err != nil {
+		t.Fatal(err)
+	}
+	ws := workload.QueryStream(ds, workload.QuerySpec{Queries: 16, Seed: 79})
+	schema := ds.Relation.Schema
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Batch queriers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := c.QueryBatchN(ws, 1+g); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Streaming querier.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			for res := range c.QueryAsync(ws) {
+				if res.Err != nil {
+					fail(res.Err)
+					return
+				}
+			}
+		}
+	}()
+	// Single-query and range querier.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			if _, err := c.Query(ws[i%len(ws)]); err != nil {
+				fail(err)
+				return
+			}
+			if _, err := c.QueryRange(Int(2), Int(9)); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+	// Inserters (sensitive and non-sensitive, existing and new values).
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				vals := make([]Value, schema.Arity())
+				for j := range vals {
+					vals[j] = Int(0)
+				}
+				vals[0] = Int(int64((g*6 + i) % 30)) // some values are new: re-binning path
+				if err := c.Insert(Tuple{ID: 60_000 + g*1000 + i, Values: vals}, g == 0); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Metadata readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = c.AdversarialViews()
+			_ = c.Binning()
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
