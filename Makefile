@@ -1,11 +1,14 @@
 GO ?= go
 
-.PHONY: build test race bench ci
+.PHONY: build test vet race bench bench-remote ci
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
+	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
 
 race:
@@ -15,5 +18,10 @@ race:
 # the batch-engine throughput sweep (BenchmarkQueryBatch).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Remote-backend parallelism headline: queries/sec of QueryBatch against a
+# cloud behind net.Pipe and TCP loopback at 1/4/GOMAXPROCS workers.
+bench-remote:
+	$(GO) test -bench=BenchmarkRemoteQueryBatch -benchmem -run='^$$' .
 
 ci: build test race

@@ -19,15 +19,21 @@ func (c *Client) QueryBatch(ws []Value) ([][]Tuple, error) {
 // QueryBatchN is QueryBatch with an explicit worker count (<= 0 selects
 // GOMAXPROCS). The count bounds client-side parallelism: each worker runs
 // one query at a time, itself fanning the sensitive and non-sensitive bin
-// retrievals out in parallel.
+// retrievals out in parallel. With a remote cloud the batch keeps many
+// calls in flight on the multiplexed connection(s), and a remote failure
+// mid-batch fails the batch rather than thinning its results.
 func (c *Client) QueryBatchN(ws []Value, workers int) ([][]Tuple, error) {
-	out, _, err := c.owner.QueryBatch(ws, workers)
-	return out, err
+	return withRemoteCheck(c, func() ([][]Tuple, error) {
+		out, _, err := c.owner.QueryBatch(ws, workers)
+		return out, err
+	})
 }
 
 // QueryBatchWithStats is QueryBatchN plus the per-query cost breakdowns.
 func (c *Client) QueryBatchWithStats(ws []Value, workers int) ([][]Tuple, []*QueryStats, error) {
-	return c.owner.QueryBatch(ws, workers)
+	before := c.remoteLogicalCount()
+	out, stats, err := c.owner.QueryBatch(ws, workers)
+	return out, stats, c.finishRemote(before, err)
 }
 
 // QueryAsync streams a batch: results are delivered on the returned
@@ -44,7 +50,25 @@ func (c *Client) QueryAsync(ws []Value) <-chan BatchResult {
 }
 
 // QueryAsyncN is QueryAsync with an explicit worker count (<= 0 selects
-// GOMAXPROCS).
+// GOMAXPROCS). With a remote cloud, a backend failure is folded into the
+// stream conservatively: every result delivered after the failure was
+// detected carries it as Err, even one whose own query had already
+// completed — the failure window cannot be attributed per-query from
+// outside the engine, and erring towards flagging beats silently
+// trusting results produced around a dying connection.
 func (c *Client) QueryAsyncN(ws []Value, workers int) <-chan BatchResult {
-	return c.owner.QueryAsync(ws, workers)
+	before := c.remoteLogicalCount()
+	ch := c.owner.QueryAsync(ws, workers)
+	if c.remote == nil {
+		return ch
+	}
+	out := make(chan BatchResult)
+	go func() {
+		defer close(out)
+		for res := range ch {
+			res.Err = c.finishRemote(before, res.Err)
+			out <- res
+		}
+	}()
+	return out
 }

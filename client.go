@@ -87,6 +87,12 @@ type Config struct {
 	// this address instead of hosting the cloud stores in-process. Only
 	// store-backed techniques (NoInd, DetIndex, Arx) support remote mode.
 	CloudAddr string
+	// CloudConns is the number of multiplexed connections to CloudAddr
+	// (<= 1 means a single connection). One connection already carries
+	// any number of in-flight calls; a few extra connections additionally
+	// parallelise the server's per-connection decode/encode work, which
+	// pays off for CPU-bound encrypted scans under QueryBatch.
+	CloudConns int
 }
 
 // Client is the trusted DB owner side of the system: it partitions,
@@ -94,7 +100,7 @@ type Config struct {
 type Client struct {
 	owner  *owner.Owner
 	cfg    Config
-	remote *wire.Client // non-nil when CloudAddr is set
+	remote wire.Backend // non-nil when CloudAddr is set
 }
 
 // NewClient validates the configuration and builds the client.
@@ -107,12 +113,20 @@ func NewClient(cfg Config) (*Client, error) {
 	}
 	keys := crypto.DeriveKeys(cfg.MasterKey)
 
-	var remote *wire.Client
+	var remote wire.Backend
 	if cfg.CloudAddr != "" {
-		var err error
-		remote, err = wire.Dial(cfg.CloudAddr)
-		if err != nil {
-			return nil, err
+		if cfg.CloudConns > 1 {
+			pool, err := wire.DialPool(cfg.CloudAddr, cfg.CloudConns)
+			if err != nil {
+				return nil, err
+			}
+			remote = pool
+		} else {
+			conn, err := wire.Dial(cfg.CloudAddr)
+			if err != nil {
+				return nil, err
+			}
+			remote = conn
 		}
 	}
 	encStore := func() technique.EncStore {
@@ -142,9 +156,12 @@ func NewClient(cfg Config) (*Client, error) {
 	case TechDPFPIR:
 		tech, err = technique.NewDPFPIR(keys)
 	default:
-		return nil, fmt.Errorf("repro: unknown technique %v", cfg.Technique)
+		err = fmt.Errorf("repro: unknown technique %v", cfg.Technique)
 	}
 	if err != nil {
+		if remote != nil {
+			remote.Close()
+		}
 		return nil, err
 	}
 	if remote != nil {
@@ -152,6 +169,7 @@ func NewClient(cfg Config) (*Client, error) {
 		case TechNoInd, TechDetIndex, TechArx:
 			// Store-backed techniques run remote.
 		default:
+			remote.Close()
 			return nil, fmt.Errorf("repro: technique %v does not support a remote cloud", cfg.Technique)
 		}
 	}
@@ -160,6 +178,16 @@ func NewClient(cfg Config) (*Client, error) {
 		o.SetCloudBackend(remote)
 	}
 	return &Client{owner: o, cfg: cfg, remote: remote}, nil
+}
+
+// Close releases the remote cloud connections (and their mux goroutines)
+// when Config.CloudAddr is set; for an in-process cloud it is a no-op.
+// The cloud-side state outlives the client — see SaveMetadata/Resume.
+func (c *Client) Close() error {
+	if c.remote == nil {
+		return nil
+	}
+	return c.remote.Close()
 }
 
 // SaveMetadata persists the owner-side state (bins, value counts, fake
@@ -214,30 +242,85 @@ func (c *Client) flushRemote() error {
 	return c.remote.Flush()
 }
 
+// remoteLogicalCount snapshots the remote backend's per-op error counter
+// before a query, so remoteErrSince can detect failures the backend's
+// void interface methods (Search, AttrColumn, ...) swallowed into zero
+// values during that window.
+func (c *Client) remoteLogicalCount() uint64 {
+	if c.remote == nil {
+		return 0
+	}
+	return c.remote.LogicalErrCount()
+}
+
+// remoteErrSince surfaces remote failures that happened since the
+// `before` snapshot: the backend's sticky transport error, or any per-op
+// error recorded inside the window. Counting (rather than draining a
+// shared error slot) keeps concurrent queries from consuming each
+// other's failures: every query whose window saw an error fails, so a
+// dead qbcloud yields errors instead of silently empty results.
+func (c *Client) remoteErrSince(before uint64) error {
+	if c.remote == nil {
+		return nil
+	}
+	if err := c.remote.Err(); err != nil {
+		return err
+	}
+	if c.remote.LogicalErrCount() != before {
+		return c.remote.LogicalErr()
+	}
+	return nil
+}
+
+// finishRemote folds a remote failure observed since the `before`
+// snapshot into err (queries with multi-value returns bracket manually;
+// single-value ones go through withRemoteCheck).
+func (c *Client) finishRemote(before uint64, err error) error {
+	if err == nil {
+		err = c.remoteErrSince(before)
+	}
+	return err
+}
+
+// withRemoteCheck brackets a query with the remote failure check.
+func withRemoteCheck[T any](c *Client, run func() (T, error)) (T, error) {
+	before := c.remoteLogicalCount()
+	out, err := run()
+	return out, c.finishRemote(before, err)
+}
+
 // Query runs SELECT * WHERE attr = w through QB and returns exactly the
 // matching tuples (fakes and bin co-residents are filtered owner-side).
 func (c *Client) Query(w Value) ([]Tuple, error) {
-	ts, _, err := c.owner.Query(w)
-	return ts, err
+	return withRemoteCheck(c, func() ([]Tuple, error) {
+		ts, _, err := c.owner.Query(w)
+		return ts, err
+	})
 }
 
 // QueryWithStats is Query plus the cost breakdown.
 func (c *Client) QueryWithStats(w Value) ([]Tuple, *QueryStats, error) {
-	return c.owner.Query(w)
+	before := c.remoteLogicalCount()
+	ts, stats, err := c.owner.Query(w)
+	return ts, stats, c.finishRemote(before, err)
 }
 
 // QueryNaive executes the insecure non-binned strawman of Example 2; it
 // exists so that the attack examples can demonstrate the leak QB prevents.
 func (c *Client) QueryNaive(w Value) ([]Tuple, error) {
-	ts, _, err := c.owner.QueryNaive(w)
-	return ts, err
+	return withRemoteCheck(c, func() ([]Tuple, error) {
+		ts, _, err := c.owner.QueryNaive(w)
+		return ts, err
+	})
 }
 
 // QueryRange runs SELECT * WHERE lo <= attr <= hi through bin-cover
 // rewriting (full-version extension).
 func (c *Client) QueryRange(lo, hi Value) ([]Tuple, error) {
-	ts, _, err := c.owner.QueryRange(lo, hi)
-	return ts, err
+	return withRemoteCheck(c, func() ([]Tuple, error) {
+		ts, _, err := c.owner.QueryRange(lo, hi)
+		return ts, err
+	})
 }
 
 // Insert adds one tuple after outsourcing, re-binning if its searchable
@@ -263,13 +346,18 @@ const (
 // QueryAggregate computes COUNT/SUM/MIN/MAX(col) over the selection
 // attr = w; the adversarial view is identical to a plain selection.
 func (c *Client) QueryAggregate(w Value, col string, op AggOp) (int64, error) {
-	return c.owner.QueryAggregate(w, col, op)
+	return withRemoteCheck(c, func() (int64, error) {
+		return c.owner.QueryAggregate(w, col, op)
+	})
 }
 
 // Join equi-joins this client's relation with other's on their searchable
 // attributes, entirely through QB retrievals (full-version extension).
 func (c *Client) Join(other *Client) ([]JoinPair, error) {
-	return c.owner.Join(other.owner)
+	before, otherBefore := c.remoteLogicalCount(), other.remoteLogicalCount()
+	pairs, err := c.owner.Join(other.owner)
+	err = c.finishRemote(before, err)
+	return pairs, other.finishRemote(otherBefore, err)
 }
 
 // AdversarialViews returns everything the honest-but-curious cloud has
@@ -289,13 +377,20 @@ func (c *Client) AdversarialViews() []AdversarialView {
 type VerticalClient struct {
 	v    *owner.VerticalOwner
 	main *Client
+	cols *Client
 }
 
 // NewVerticalClient builds a vertical client: cfg configures the
 // row-partitioned residual (as in NewClient), and sensitiveCols names the
 // columns that must never appear in clear-text regardless of row
-// sensitivity.
+// sensitivity. Remote mode is rejected: the main and columns sub-clients
+// encrypt under different derived keys, and a qbcloud hosts a single
+// encrypted store, so their ciphertexts would interleave in one column
+// and every whole-column decryption (e.g. NoInd search) would fail.
 func NewVerticalClient(cfg Config, sensitiveCols []string) (*VerticalClient, error) {
+	if cfg.CloudAddr != "" {
+		return nil, errors.New("repro: vertical clients do not support a remote cloud (one qbcloud hosts a single encrypted store; the two sub-clients would interleave ciphertexts under different keys)")
+	}
 	main, err := NewClient(cfg)
 	if err != nil {
 		return nil, err
@@ -304,12 +399,25 @@ func NewVerticalClient(cfg Config, sensitiveCols []string) (*VerticalClient, err
 	colsCfg.MasterKey = append(append([]byte(nil), cfg.MasterKey...), []byte("/columns")...)
 	colsClient, err := NewClient(colsCfg)
 	if err != nil {
+		main.Close()
 		return nil, err
 	}
 	return &VerticalClient{
 		v:    owner.NewVertical(main.owner.Technique(), colsClient.owner.Technique(), cfg.Attr, sensitiveCols),
 		main: main,
+		cols: colsClient,
 	}, nil
+}
+
+// Close releases both underlying clients' resources. Currently a no-op
+// (vertical clients are always in-process), kept for symmetry with
+// Client.Close.
+func (c *VerticalClient) Close() error {
+	err := c.main.Close()
+	if cerr := c.cols.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Outsource splits r by column and row sensitivity and uploads all three

@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	qbcloud -addr :7040
+//	qbcloud -addr :7040 [-workers N] [-state FILE]
 //
-// Point a client at it with repro.Config{CloudAddr: "host:7040"}.
+// Point a client at it with repro.Config{CloudAddr: "host:7040"}. The
+// wire protocol is multiplexed: every connection's requests are
+// dispatched concurrently through a bounded worker pool (-workers per
+// connection, default GOMAXPROCS), so a single owner running QueryBatch
+// gets real server-side parallelism.
 package main
 
 import (
@@ -26,15 +30,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":7040", "listen address")
 	state := flag.String("state", "", "state file: restored at start if present, saved on SIGINT/SIGTERM")
+	workers := flag.Int("workers", 0, "concurrent ops dispatched per connection (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*addr, *state); err != nil {
+	if err := run(*addr, *state, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qbcloud:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, state string) error {
+func run(addr, state string, workers int) error {
 	cloud := wire.NewCloud()
+	cloud.SetConnWorkers(workers)
 	if state != "" {
 		f, err := os.Open(state)
 		switch {

@@ -45,6 +45,20 @@
 //		// res.Index, res.Tuples, res.Err arrive in completion order.
 //	}
 //
+// The cloud can run as a separate process (cmd/qbcloud) reached over a
+// multiplexed wire protocol: requests carry IDs, so a batch keeps many
+// calls in flight on one connection and the server dispatches them
+// concurrently — remote QueryBatch throughput scales with workers just
+// like the in-process path. CloudConns adds a small connection pool on
+// top for CPU-bound encrypted scans:
+//
+//	remote, err := repro.NewClient(repro.Config{
+//		MasterKey:  key,
+//		Attr:       "EId",
+//		CloudAddr:  "cloud-host:7040", // a running qbcloud process
+//		CloudConns: 4,                 // optional connection pool
+//	})
+//
 // Every query is rewritten by Algorithm 2 into one sensitive bin (sent
 // encrypted) and one non-sensitive bin (sent in clear-text), so the cloud's
 // view never pins the queried value down to fewer than a bin's worth of

@@ -2,7 +2,6 @@ package wire
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -16,29 +15,53 @@ import (
 // for the encrypted partition, so the standard owner and techniques work
 // over the network unchanged.
 //
-// Interface methods without error returns (Search, Add, ...) report
-// transport failures through a sticky error: the first failure poisons the
-// client, subsequent calls return zero values, and Err() exposes the
-// cause. Callers doing anything important should check Err() after a batch
-// of operations.
+// The connection is multiplexed: every request carries an ID, a writer
+// goroutine frames requests in submission order, and a reader goroutine
+// routes each response back to its caller, so any number of calls can be
+// in flight at once without head-of-line blocking. The batch query engine
+// therefore gains real cloud-side parallelism through a remote backend;
+// DialPool adds connection-level parallelism on top for CPU-bound
+// encrypted scans.
 //
-// Client is safe for concurrent use, but all round trips share one
-// connection and serialise on its mutex, so the batch query engine gains
-// no cloud-side parallelism through a remote backend yet (see ROADMAP
-// "remote-backend parallelism").
+// Error semantics: only transport failures are sticky. The first one
+// poisons the client — every in-flight and subsequent call fails with the
+// same cause, exposed by Err(). Server-side logical errors (e.g. a Search
+// before any Load) are per-call: methods with an error return surface
+// them directly, and interface methods without one (Search, Len, ...)
+// return zero values and record the error for LogicalErr(). Callers doing
+// anything important should check Err() and LogicalErr() after a batch of
+// operations.
+//
+// Client is safe for concurrent use.
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	err  error
+	enc  *gob.Encoder // owned by writeLoop
+	dec  *gob.Decoder // owned by readLoop
 
-	// pending buffers encrypted uploads so that bulk outsourcing does one
-	// round trip per Flush rather than per row.
+	// sendq feeds the writer goroutine; dead is closed on the first
+	// transport failure so blocked callers are released.
+	sendq chan *request
+	dead  chan struct{}
+
+	mu       sync.Mutex
+	err      error  // sticky transport error
+	logical  error  // last per-op error from a void method
+	logicalN uint64 // times logical was recorded (monotonic)
+	nextID   uint64
+	inflight map[uint64]chan *response
+
+	// bufMu guards the encrypted-upload buffer. It is held across the
+	// flush round trip so the buffer and serverLen stay consistent with
+	// the server.
+	bufMu   sync.Mutex
 	pending []EncUpload
-	// serverLen tracks the server-side row count after the last flush, so
-	// Add can assign addresses without a round trip.
+	// serverLen tracks the server-side row count after the last
+	// acknowledged flush, so Add can assign addresses without a round
+	// trip. It is synced from the server on first use (lenSynced), so a
+	// fresh client attaching to an already-populated cloud does not hand
+	// out addresses that collide with existing rows.
 	serverLen int
+	lenSynced bool
 }
 
 // Dial connects to a remote cloud at addr.
@@ -50,49 +73,83 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
-// NewClient wraps an established connection (e.g. net.Pipe in tests).
+// NewClient wraps an established connection (e.g. net.Pipe in tests) and
+// starts its writer and reader goroutines.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	c := &Client{
+		conn:     conn,
+		enc:      gob.NewEncoder(conn),
+		dec:      gob.NewDecoder(conn),
+		sendq:    make(chan *request),
+		dead:     make(chan struct{}),
+		inflight: make(map[uint64]chan *response),
+	}
+	c.start()
+	return c
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection and releases every in-flight call: they
+// and all later calls fail with a client-closed error. An explicit Close
+// is a clean shutdown, not a transport failure, so it does not surface
+// through Err.
+func (c *Client) Close() error {
+	return c.shutdown(errClientClosed)
+}
 
-// Err returns the sticky transport error, if any.
+// Err returns the sticky transport error, if any. Logical (server-side)
+// errors never poison the client (see LogicalErr), and an explicit Close
+// is not a failure.
 func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err == errClientClosed {
+		return nil
+	}
 	return c.err
 }
 
-// call performs one request/response round trip.
-func (c *Client) call(req *request) (*response, error) {
+// LogicalErr returns the most recent error reported by an interface
+// method that cannot return one (Search, Len, ...): usually a server-side
+// logical error, but also transport failures and use-after-close those
+// methods swallowed into zero values. A logical error never poisons the
+// connection, so this is a per-op record: later successful calls do not
+// clear it, later failing calls overwrite it.
+func (c *Client) LogicalErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.err != nil {
-		return nil, c.err
-	}
-	if err := c.flushLocked(); err != nil {
+	return c.logical
+}
+
+// LogicalErrCount reports how many times a void interface method has
+// recorded an error. Callers bracketing a batch of operations (e.g. one
+// query) snapshot it before and compare after: a changed count means some
+// op in the window failed silently — without the races of a shared
+// take-and-clear slot under concurrent batches.
+func (c *Client) LogicalErrCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logicalN
+}
+
+// noteLogical records a per-op error from a void interface method.
+// Transport failures and use-after-close are recorded too — they are
+// what the method's zero-value return just swallowed — so windows
+// bracketed by LogicalErrCount observe them even when Err() alone would
+// not surface them (clean close, or a pool whose other connections are
+// healthy).
+func (c *Client) noteLogical(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logical = err
+	c.logicalN++
+}
+
+// call flushes buffered uploads and performs one round trip.
+func (c *Client) call(req *request) (*response, error) {
+	if err := c.Flush(); err != nil {
 		return nil, err
 	}
 	return c.roundTrip(req)
-}
-
-// roundTrip must be called with mu held.
-func (c *Client) roundTrip(req *request) (*response, error) {
-	if err := c.enc.Encode(req); err != nil {
-		c.err = fmt.Errorf("wire: send: %w", err)
-		return nil, c.err
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.err = fmt.Errorf("wire: receive: %w", err)
-		return nil, c.err
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	return &resp, nil
 }
 
 // Ping checks liveness.
@@ -119,7 +176,7 @@ func (c *Client) Load(rns *relation.Relation, attr string) error {
 func (c *Client) Search(values []relation.Value) []relation.Tuple {
 	resp, err := c.call(&request{Op: opPlainSearch, Values: values})
 	if err != nil {
-		c.poison(err)
+		c.noteLogical(err)
 		return nil
 	}
 	return resp.Tuples
@@ -129,7 +186,7 @@ func (c *Client) Search(values []relation.Value) []relation.Tuple {
 func (c *Client) SearchRange(lo, hi relation.Value) []relation.Tuple {
 	resp, err := c.call(&request{Op: opPlainSearchRange, Lo: lo, Hi: hi})
 	if err != nil {
-		c.poison(err)
+		c.noteLogical(err)
 		return nil
 	}
 	return resp.Tuples
@@ -148,39 +205,73 @@ func (c *Client) Insert(t relation.Tuple) error {
 // Flush. The returned address is computed client-side (the server assigns
 // addresses sequentially in upload order).
 func (c *Client) Add(tupleCT, attrCT, token []byte) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	if c.stickyErr() != nil {
 		return -1
 	}
-	addr := c.knownLen() + len(c.pending)
+	if !c.lenSynced {
+		resp, err := c.roundTrip(&request{Op: opEncLen})
+		if err != nil {
+			c.noteLogical(err)
+			return -1
+		}
+		c.serverLen = resp.N
+		c.lenSynced = true
+	}
+	addr := c.serverLen + len(c.pending)
 	c.pending = append(c.pending, EncUpload{
 		TupleCT: cloneBytes(tupleCT), AttrCT: cloneBytes(attrCT), Token: cloneBytes(token),
 	})
 	return addr
 }
 
-// knownLen is the server-side length before pending uploads; tracked
-// client-side to assign addresses without a round trip. Must hold mu.
-func (c *Client) knownLen() int { return c.serverLen }
-
-// Flush uploads any pending encrypted rows.
+// Flush uploads any pending encrypted rows. On failure the rows stay
+// buffered — their addresses were already handed out by Add, so dropping
+// them would silently corrupt the technique's index — and a later Flush
+// retries them.
 func (c *Client) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.flushLocked()
-}
-
-func (c *Client) flushLocked() error {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	// Surface the sticky error even with nothing buffered: after a
+	// transport failure Add buffers nothing, so an empty-pending nil here
+	// would let an Outsource over a dead connection report success.
+	if err := c.stickyErr(); err != nil {
+		return err
+	}
 	if len(c.pending) == 0 {
 		return nil
 	}
 	batch := c.pending
-	c.pending = nil
 	resp, err := c.roundTrip(&request{Op: opEncAddBatch, Batch: batch})
 	if err != nil {
+		// Keep the batch buffered for retry: its addresses were already
+		// handed out by Add, so dropping the rows would silently corrupt
+		// the technique's index. If the server rejected the batch
+		// logically the connection is still healthy; confirm via opEncLen
+		// that nothing was applied, in which case the retained addresses
+		// are still the ones a retry will materialise. A shifted length
+		// means the batch was partially applied and the handed-out
+		// addresses can no longer be honoured — no retry can fix that, so
+		// fail the client loudly rather than let every later Fetch return
+		// the wrong row.
+		if c.stickyErr() == nil {
+			if lenResp, lerr := c.roundTrip(&request{Op: opEncLen}); lerr == nil {
+				if c.lenSynced && lenResp.N != c.serverLen {
+					c.fail(fmt.Errorf(
+						"wire: flush: server length %d after rejected batch, expected %d: batch partially applied, handed-out addresses lost (%w)",
+						lenResp.N, c.serverLen, err))
+					return err
+				}
+				c.serverLen = lenResp.N
+				c.lenSynced = true
+			}
+		}
 		return err
 	}
+	// bufMu is held across the whole round trip and Add requires it too,
+	// so pending cannot have grown since batch was taken.
+	c.pending = nil
 	c.serverLen += resp.N
 	return nil
 }
@@ -189,7 +280,7 @@ func (c *Client) flushLocked() error {
 func (c *Client) Len() int {
 	resp, err := c.call(&request{Op: opEncLen})
 	if err != nil {
-		c.poison(err)
+		c.noteLogical(err)
 		return 0
 	}
 	return resp.N
@@ -199,7 +290,7 @@ func (c *Client) Len() int {
 func (c *Client) AttrColumn() []storage.EncRow {
 	resp, err := c.call(&request{Op: opEncAttrColumn})
 	if err != nil {
-		c.poison(err)
+		c.noteLogical(err)
 		return nil
 	}
 	return resp.Rows
@@ -218,7 +309,7 @@ func (c *Client) Fetch(addrs []int) ([]storage.EncRow, error) {
 func (c *Client) LookupToken(tok []byte) []int {
 	resp, err := c.call(&request{Op: opEncLookupToken, Token: tok})
 	if err != nil {
-		c.poison(err)
+		c.noteLogical(err)
 		return nil
 	}
 	return resp.Addrs
@@ -228,20 +319,10 @@ func (c *Client) LookupToken(tok []byte) []int {
 func (c *Client) Rows() []storage.EncRow {
 	resp, err := c.call(&request{Op: opEncRows})
 	if err != nil {
-		c.poison(err)
+		c.noteLogical(err)
 		return nil
 	}
 	return resp.Rows
-}
-
-// poison records a sticky error from an interface method that cannot
-// return one.
-func (c *Client) poison(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = err
-	}
 }
 
 func cloneBytes(b []byte) []byte {

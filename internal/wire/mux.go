@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the client-side multiplexing core: one writer goroutine
+// frames requests in submission order, one reader goroutine demultiplexes
+// responses by ID, and any number of callers block on their own in-flight
+// entry. Transport failures tear the whole connection down (every waiter
+// is released with the same sticky error); server-side logical errors are
+// delivered only to the call that caused them.
+
+// errClientClosed is the sticky error after an explicit Close.
+var errClientClosed = errors.New("wire: client closed")
+
+// start launches the writer and reader goroutines. Called once from
+// NewClient.
+func (c *Client) start() {
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+// roundTrip submits one request and blocks until its response arrives or
+// the connection dies. Transport failures come back as the sticky error
+// (the client is poisoned); a server-side logical error comes back as a
+// plain error and leaves the connection healthy.
+func (c *Client) roundTrip(req *request) (*response, error) {
+	ch := make(chan *response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.inflight[req.ID] = ch
+	c.mu.Unlock()
+
+	select {
+	case c.sendq <- req:
+	case <-c.dead:
+		return nil, c.takeInflightErr(req.ID, ch)
+	}
+
+	select {
+	case resp := <-ch:
+		return respOrLogicalErr(resp)
+	case <-c.dead:
+		return nil, c.takeInflightErr(req.ID, ch)
+	}
+}
+
+// respOrLogicalErr converts a server error string into a per-call error.
+func respOrLogicalErr(resp *response) (*response, error) {
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// takeInflightErr resolves the race between connection death and a
+// response that was already demuxed to us: prefer the response, else
+// deregister and report the sticky error.
+func (c *Client) takeInflightErr(id uint64, ch chan *response) error {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	err := c.err
+	c.mu.Unlock()
+	select {
+	case resp := <-ch:
+		if _, lerr := respOrLogicalErr(resp); lerr != nil {
+			return lerr
+		}
+		// A successful response raced the teardown; the caller still has
+		// to treat the call as failed because we already returned the
+		// error path — report the sticky cause.
+		return err
+	default:
+	}
+	return err
+}
+
+// writeLoop frames queued requests in submission order. It owns the gob
+// encoder; nothing else may touch it.
+func (c *Client) writeLoop() {
+	for {
+		select {
+		case req := <-c.sendq:
+			if err := c.enc.Encode(req); err != nil {
+				c.fail(fmt.Errorf("wire: send: %w", err))
+				return
+			}
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// readLoop decodes response frames and demultiplexes them by ID to the
+// waiting caller. It owns the gob decoder; nothing else may touch it.
+func (c *Client) readLoop() {
+	for {
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			c.fail(fmt.Errorf("wire: receive: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.inflight[resp.ID]
+		if ok {
+			delete(c.inflight, resp.ID)
+		}
+		c.mu.Unlock()
+		if !ok {
+			// A response nobody asked for means the framing (or the
+			// server) is broken; nothing decoded after this point can be
+			// trusted.
+			c.fail(fmt.Errorf("wire: receive: unknown response ID %d", resp.ID))
+			return
+		}
+		ch <- &resp
+	}
+}
+
+// fail records the first transport error, closes the dead channel so
+// every blocked caller is released, and tears down the connection so both
+// loops exit.
+func (c *Client) fail(err error) { _ = c.shutdown(err) }
+
+// shutdown is fail with the underlying conn.Close result reported to the
+// caller that actually performed the teardown (nil on repeat calls).
+func (c *Client) shutdown(err error) error {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.err = err
+	close(c.dead)
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// stickyErr returns the raw sticky error, including an explicit Close
+// (unlike Err, which reports a clean close as nil).
+func (c *Client) stickyErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}

@@ -1,0 +1,671 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	mrand "math/rand/v2"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// pipeClient wires a Client to a scripted peer over net.Pipe and returns
+// both ends' codecs for the script side.
+func pipeClient(t *testing.T) (*Client, *gob.Decoder, *gob.Encoder) {
+	t.Helper()
+	cend, send := net.Pipe()
+	c := NewClient(cend)
+	t.Cleanup(func() { c.Close(); send.Close() })
+	return c, gob.NewDecoder(send), gob.NewEncoder(send)
+}
+
+// TestMuxOutOfOrderResponses proves the demux: two calls go out on one
+// connection, the scripted server answers them in reverse order, and each
+// caller still receives its own response.
+func TestMuxOutOfOrderResponses(t *testing.T) {
+	c, dec, enc := pipeClient(t)
+
+	done := make(chan error, 1)
+	go func() {
+		var reqs []request
+		for i := 0; i < 2; i++ {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				done <- err
+				return
+			}
+			reqs = append(reqs, req)
+		}
+		// Reply in reverse order; payload identifies the request it
+		// answers (Fetch addr echoed as N).
+		for i := len(reqs) - 1; i >= 0; i-- {
+			if err := enc.Encode(response{ID: reqs[i].ID, N: reqs[i].Addrs[0]}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(addr int) {
+			defer wg.Done()
+			resp, err := c.roundTrip(&request{Op: opEncFetch, Addrs: []int{addr}})
+			if err != nil {
+				errs[addr] = err
+				return
+			}
+			if resp.N != addr {
+				errs[addr] = fmt.Errorf("caller %d got response payload %d", addr, resp.N)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("scripted server: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", i, err)
+		}
+	}
+}
+
+// TestLogicalErrorDoesNotPoison: a server-side logical error is returned
+// to its call only; the client stays healthy and later calls succeed.
+func TestLogicalErrorDoesNotPoison(t *testing.T) {
+	c := startCloud(t)
+	if _, err := c.Fetch([]int{42}); err == nil {
+		t.Fatal("out-of-range fetch accepted")
+	}
+	if c.Err() != nil {
+		t.Fatalf("logical error became sticky: %v", c.Err())
+	}
+	// Void methods record the error instead.
+	if got := c.Search([]relation.Value{relation.Int(1)}); got != nil {
+		t.Fatalf("search before load = %v", got)
+	}
+	if c.LogicalErr() == nil || !strings.Contains(c.LogicalErr().Error(), "no relation loaded") {
+		t.Fatalf("LogicalErr = %v", c.LogicalErr())
+	}
+	if c.Err() != nil {
+		t.Fatalf("void-method logical error became sticky: %v", c.Err())
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("client unusable after logical errors: %v", err)
+	}
+}
+
+// TestTransportErrorPoisonsAndReleases: a mid-stream disconnect fails the
+// in-flight call, poisons the client, and every caller blocked on the
+// connection is released with the sticky transport error.
+func TestTransportErrorPoisonsAndReleases(t *testing.T) {
+	c, dec, _ := pipeClient(t)
+
+	const callers = 5
+	read := make(chan struct{})
+	go func() {
+		var req request
+		_ = dec.Decode(&req) // absorb one request...
+		close(read)          // ...then vanish without replying
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- c.Ping()
+		}()
+	}
+	<-read
+	// Server dies mid-conversation with responses owed.
+	c.conn.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("caller succeeded after mid-stream disconnect")
+		}
+	}
+	if c.Err() == nil {
+		t.Fatal("transport failure not sticky")
+	}
+	// Poisoned client fails fast without touching the dead conn.
+	if err := c.Ping(); err == nil {
+		t.Fatal("ping on poisoned client succeeded")
+	}
+	if c.Add([]byte("x"), nil, nil) != -1 {
+		t.Fatal("Add on poisoned client handed out an address")
+	}
+}
+
+// TestUnknownResponseIDFailsConnection: a response with an ID nobody is
+// waiting for means the stream is corrupt; the client must poison itself
+// rather than keep decoding garbage.
+func TestUnknownResponseIDFailsConnection(t *testing.T) {
+	c, dec, enc := pipeClient(t)
+	go func() {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		_ = enc.Encode(response{ID: req.ID + 1000})
+	}()
+	if err := c.Ping(); err == nil {
+		t.Fatal("call answered by a stray response ID succeeded")
+	}
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "unknown response ID") {
+		t.Fatalf("Err = %v, want unknown-response-ID poison", c.Err())
+	}
+}
+
+// TestFlushFailureRetainsPending: a logically rejected upload batch stays
+// buffered (its addresses are already live in the technique), serverLen
+// is resynced via opEncLen, and a retry delivers the same rows at the
+// same addresses.
+func TestFlushFailureRetainsPending(t *testing.T) {
+	c, dec, enc := pipeClient(t)
+
+	serverRows := 0
+	rejected := false
+	done := make(chan error, 1)
+	go func() {
+		for {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				done <- nil // client closed at test end
+				return
+			}
+			var resp response
+			resp.ID = req.ID
+			switch req.Op {
+			case opEncAddBatch:
+				if !rejected {
+					rejected = true
+					resp.Err = "enc store: simulated rejection"
+				} else {
+					serverRows += len(req.Batch)
+					resp.N = len(req.Batch)
+				}
+			case opEncLen:
+				resp.N = serverRows
+			default:
+				resp.Err = "unexpected op in script"
+			}
+			if err := enc.Encode(resp); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	a0 := c.Add([]byte("ct0"), []byte("a0"), nil)
+	a1 := c.Add([]byte("ct1"), []byte("a1"), nil)
+	if a0 != 0 || a1 != 1 {
+		t.Fatalf("addresses %d, %d", a0, a1)
+	}
+
+	if err := c.Flush(); err == nil {
+		t.Fatal("rejected flush reported success")
+	}
+	if c.Err() != nil {
+		t.Fatalf("logical flush failure poisoned the client: %v", c.Err())
+	}
+	c.bufMu.Lock()
+	retained, syncedLen := len(c.pending), c.serverLen
+	c.bufMu.Unlock()
+	if retained != 2 {
+		t.Fatalf("failed flush dropped rows: %d pending, want 2", retained)
+	}
+	if syncedLen != 0 {
+		t.Fatalf("serverLen = %d after resync, want 0", syncedLen)
+	}
+	// Addresses handed out before the failure are still the ones the
+	// retry will materialise.
+	if a2 := c.Add([]byte("ct2"), nil, nil); a2 != 2 {
+		t.Fatalf("post-failure Add returned %d, want 2", a2)
+	}
+
+	if err := c.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	c.bufMu.Lock()
+	retained, syncedLen = len(c.pending), c.serverLen
+	c.bufMu.Unlock()
+	if retained != 0 || syncedLen != 3 {
+		t.Fatalf("after retry: pending=%d serverLen=%d, want 0/3", retained, syncedLen)
+	}
+	if serverRows != 3 {
+		t.Fatalf("server applied %d rows, want 3", serverRows)
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("scripted server: %v", err)
+	}
+}
+
+// TestFlushPartialApplicationPoisons: if the resync after a rejected
+// batch reveals the server applied part of it, the addresses Add handed
+// out can no longer be honoured — the client must fail loudly instead of
+// retrying the rows at shifted addresses.
+func TestFlushPartialApplicationPoisons(t *testing.T) {
+	c, dec, enc := pipeClient(t)
+	go func() {
+		serverRows := 0
+		for {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			resp := response{ID: req.ID}
+			switch req.Op {
+			case opEncAddBatch:
+				serverRows++ // applies ONE row, then rejects the batch
+				resp.Err = "enc store: simulated mid-batch failure"
+			case opEncLen:
+				resp.N = serverRows
+			}
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		}
+	}()
+
+	c.Add([]byte("ct0"), nil, nil)
+	c.Add([]byte("ct1"), nil, nil)
+	if err := c.Flush(); err == nil {
+		t.Fatal("partially applied flush reported success")
+	}
+	if c.Err() == nil || !strings.Contains(c.Err().Error(), "partially applied") {
+		t.Fatalf("Err = %v, want partial-application poison", c.Err())
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("client usable after address space corruption")
+	}
+}
+
+// TestFlushRejectedByRealServer: the real Cloud rejects an upload batch
+// containing an empty tuple ciphertext before applying any of it — the
+// reachable logical-rejection case the client's retention/resync handles:
+// the connection stays healthy, the rows stay buffered, and serverLen
+// confirms nothing was applied.
+func TestFlushRejectedByRealServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() { _ = NewCloud().Serve(lis) }()
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if addr := c.Add([]byte("good"), nil, nil); addr != 0 {
+		t.Fatalf("Add = %d", addr)
+	}
+	if addr := c.Add(nil, nil, nil); addr != 1 { // empty TupleCT: invalid row
+		t.Fatalf("Add = %d", addr)
+	}
+	if err := c.Flush(); err == nil || !strings.Contains(err.Error(), "empty tuple ciphertext") {
+		t.Fatalf("Flush = %v, want empty-ciphertext rejection", err)
+	}
+	if c.Err() != nil {
+		t.Fatalf("logical rejection poisoned the client: %v", c.Err())
+	}
+	c.bufMu.Lock()
+	retained, syncedLen := len(c.pending), c.serverLen
+	c.bufMu.Unlock()
+	if retained != 2 || syncedLen != 0 {
+		t.Fatalf("after rejection: pending=%d serverLen=%d, want 2/0", retained, syncedLen)
+	}
+	// The batch was all-or-nothing: a second client sees an untouched
+	// store — the good row was not applied either.
+	c2, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if n := c2.Len(); n != 0 {
+		t.Fatalf("server applied part of a rejected batch: Len = %d", n)
+	}
+}
+
+// TestFlushTransportFailureRetainsPending: when the flush dies on the
+// transport the rows are still retained (a reconnecting wrapper could
+// resend them) and the client is poisoned.
+func TestFlushTransportFailureRetainsPending(t *testing.T) {
+	c, dec, enc := pipeClient(t)
+	// Serve Add's first-use length sync, then vanish before the flush.
+	go func() {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		_ = enc.Encode(response{ID: req.ID})
+		var next request
+		_ = dec.Decode(&next)
+		c.conn.Close()
+	}()
+
+	if addr := c.Add([]byte("ct0"), nil, nil); addr != 0 {
+		t.Fatalf("Add = %d", addr)
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("flush over dead transport succeeded")
+	}
+	if c.Err() == nil {
+		t.Fatal("transport flush failure not sticky")
+	}
+	c.bufMu.Lock()
+	retained := len(c.pending)
+	c.bufMu.Unlock()
+	if retained != 1 {
+		t.Fatalf("transport flush failure dropped rows: %d pending, want 1", retained)
+	}
+}
+
+// TestServerClosesOnMalformedFrame: garbage on the wire must close the
+// connection without the server attempting to encode a reply onto the
+// desynchronised stream.
+func TestServerClosesOnMalformedFrame(t *testing.T) {
+	cl := NewCloud()
+	cend, send := net.Pipe()
+	srvDone := make(chan struct{})
+	go func() { cl.ServeConn(send); close(srvDone) }()
+
+	if _, err := cend.Write([]byte("\x13garbage that is not a gob frame")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the conn; the read observes EOF/closed rather
+	// than an error response frame.
+	buf := make([]byte, 64)
+	n, err := cend.Read(buf)
+	if err == nil {
+		t.Fatalf("server wrote %d bytes onto a desynchronised stream: %q", n, buf[:n])
+	}
+	<-srvDone
+}
+
+// TestMuxConcurrentStress drives one multiplexed connection (and then a
+// pool) from many goroutines — readers fetching specific addresses and
+// checking they get their own rows back, writers adding + flushing new
+// rows, and a loader goroutine interleaving exclusive opPlainLoad — under
+// -race. It is both the demux correctness check (a crossed response would
+// return the wrong row) and the concurrency stress for the server's
+// per-connection worker pool.
+func TestMuxConcurrentStress(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	cl := NewCloud()
+	cl.SetConnWorkers(4)
+	go func() { _ = cl.Serve(lis) }()
+
+	newBackend := func(t *testing.T, conns int) Backend {
+		if conns == 1 {
+			c, err := Dial(lis.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		p, err := DialPool(lis.Addr().String(), conns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+
+	for _, tc := range []struct {
+		name  string
+		conns int
+	}{{"single-conn", 1}, {"pool-3", 3}} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newBackend(t, tc.conns)
+
+			// Seed rows whose payload encodes their address.
+			rowCT := func(addr int) string { return fmt.Sprintf("ct-%04d", addr) }
+			const seeded = 64
+			base := b.Len() // cloud is shared across subtests
+			for i := 0; i < seeded; i++ {
+				addr := b.Add([]byte(rowCT(base+i)), []byte("attr"), []byte(fmt.Sprintf("tok%d", i%8)))
+				if addr != base+i {
+					t.Fatalf("seed addr = %d, want %d", addr, base+i)
+				}
+			}
+			if err := b.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			rel := relation.New(relation.MustSchema("T",
+				relation.Column{Name: "K", Kind: relation.KindInt},
+			))
+			for i := 0; i < 10; i++ {
+				rel.MustInsert(relation.Int(int64(i)))
+			}
+			if err := b.Load(rel, "K"); err != nil {
+				t.Fatal(err)
+			}
+
+			var wg sync.WaitGroup
+			fail := make(chan error, 64)
+			report := func(format string, args ...any) {
+				select {
+				case fail <- fmt.Errorf(format, args...):
+				default:
+				}
+			}
+
+			// Readers: fetch a random seeded address, expect that row.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := mrand.New(mrand.NewPCG(uint64(g), 99))
+					for i := 0; i < 60; i++ {
+						addr := base + rng.IntN(seeded)
+						rows, err := b.Fetch([]int{addr})
+						if err != nil {
+							report("fetch(%d): %v", addr, err)
+							return
+						}
+						if len(rows) != 1 || string(rows[0].TupleCT) != rowCT(addr) {
+							report("fetch(%d) returned %q — crossed responses", addr, rows[0].TupleCT)
+							return
+						}
+						if got := b.Search([]relation.Value{relation.Int(int64(i % 10))}); len(got) != 1 {
+							report("search mid-stress = %d tuples", len(got))
+							return
+						}
+						_ = b.Len()
+					}
+				}(g)
+			}
+			// Writer: grow the store, then read each new row back.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					addr := b.Add([]byte("w"), nil, nil)
+					if addr < base+seeded {
+						report("writer addr %d collides with seeded range", addr)
+						return
+					}
+					if err := b.Flush(); err != nil {
+						report("writer flush: %v", err)
+						return
+					}
+				}
+			}()
+			// Loader: interleave the exclusive opPlainLoad.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 15; i++ {
+					if err := b.Load(rel, "K"); err != nil {
+						report("load: %v", err)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(fail)
+			for err := range fail {
+				t.Error(err)
+			}
+			if err := b.Err(); err != nil {
+				t.Fatalf("sticky transport error after stress: %v", err)
+			}
+			if err := b.LogicalErr(); err != nil {
+				t.Fatalf("logical error after stress: %v", err)
+			}
+		})
+	}
+}
+
+// TestPoolBasics covers the pool's read/write routing: buffered uploads
+// on the primary are visible to reads served by other connections, and
+// plain ops work regardless of which connection serves them.
+func TestPoolBasics(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() { _ = NewCloud().Serve(lis) }()
+
+	p, err := DialPool(lis.Addr().String(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if err := p.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enc reads see buffered uploads no matter which conn serves them.
+	if a := p.Add([]byte("ct0"), []byte("a0"), []byte("tok")); a != 0 {
+		t.Fatalf("Add = %d", a)
+	}
+	for i := 0; i < p.Size()+1; i++ { // cycle through every connection
+		if n := p.Len(); n != 1 {
+			t.Fatalf("Len via conn %d = %d, want 1", i, n)
+		}
+	}
+	if got := p.LookupToken([]byte("tok")); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("LookupToken = %v", got)
+	}
+	rows, err := p.Fetch([]int{0})
+	if err != nil || len(rows) != 1 || string(rows[0].TupleCT) != "ct0" {
+		t.Fatalf("Fetch = %v, %v", rows, err)
+	}
+	if got := p.AttrColumn(); len(got) != 1 || string(got[0].AttrCT) != "a0" {
+		t.Fatalf("AttrColumn = %v", got)
+	}
+	if got := p.Rows(); len(got) != 1 {
+		t.Fatalf("Rows = %v", got)
+	}
+
+	rel := relation.New(relation.MustSchema("T",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+	))
+	rel.MustInsert(relation.Int(1))
+	if err := p.Load(rel, "K"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(relation.Tuple{ID: 2, Values: []relation.Value{relation.Int(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Size()+1; i++ {
+		if got := p.Search([]relation.Value{relation.Int(5)}); len(got) != 1 {
+			t.Fatalf("Search via conn %d = %v", i, got)
+		}
+		if got := p.SearchRange(relation.Int(0), relation.Int(9)); len(got) != 2 {
+			t.Fatalf("SearchRange via conn %d = %v", i, got)
+		}
+	}
+	if p.Err() != nil || p.LogicalErr() != nil {
+		t.Fatalf("pool errors: %v / %v", p.Err(), p.LogicalErr())
+	}
+}
+
+// TestPoolSkipsPoisonedConnections: after a secondary connection dies,
+// round-robined reads must route around it instead of periodically
+// returning silent zero values.
+func TestPoolSkipsPoisonedConnections(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() { _ = NewCloud().Serve(lis) }()
+
+	p, err := DialPool(lis.Addr().String(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	rel := relation.New(relation.MustSchema("T",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+	))
+	rel.MustInsert(relation.Int(1))
+	if err := p.Load(rel, "K"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one secondary's transport and let its teardown land.
+	p.conns[1].conn.Close()
+	for p.conns[1].stickyErr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Every read must keep succeeding: the dead conn is skipped.
+	for i := 0; i < 3*p.Size(); i++ {
+		if got := p.Search([]relation.Value{relation.Int(1)}); len(got) != 1 {
+			t.Fatalf("read %d routed to poisoned conn: %v", i, got)
+		}
+	}
+	// A dead secondary is degradation, not failure: the pool stays
+	// healthy (queries keep working), and the capacity loss is visible.
+	if err := p.Err(); err != nil {
+		t.Fatalf("dead secondary failed the pool: %v", err)
+	}
+	if got := p.Alive(); got != 2 {
+		t.Fatalf("Alive = %d, want 2", got)
+	}
+	// A dead primary, by contrast, is a pool failure: writes and flushes
+	// depend on it.
+	p.conns[0].conn.Close()
+	for p.conns[0].stickyErr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Err() == nil {
+		t.Fatal("dead primary not reported by pool Err()")
+	}
+}
+
+// TestDialPoolUnreachable: a failed dial cleans up already-open conns.
+func TestDialPoolUnreachable(t *testing.T) {
+	if _, err := DialPool("127.0.0.1:1", 2); err == nil {
+		t.Fatal("DialPool to unreachable addr succeeded")
+	}
+}

@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cloud"
+	"repro/internal/relation"
+	"repro/internal/storage"
+	"repro/internal/technique"
+)
+
+// Backend is the owner-side view of a remote cloud: cloud.PlainBackend
+// plus technique.EncStore plus the lifecycle and error surface. Both
+// *Client (one multiplexed connection) and *Pool (several) implement it,
+// so callers can pick connection-level parallelism without changing
+// anything else.
+type Backend interface {
+	cloud.PlainBackend
+	technique.EncStore
+
+	// Lifecycle and errors.
+	Ping() error
+	Flush() error
+	Err() error
+	LogicalErr() error
+	LogicalErrCount() uint64
+	Close() error
+}
+
+var (
+	_ Backend = (*Client)(nil)
+	_ Backend = (*Pool)(nil)
+)
+
+// Pool fans calls out over several multiplexed connections to the same
+// cloud. A single connection already supports unbounded in-flight calls,
+// but its frames share one gob stream and one server-side decode loop;
+// for CPU-bound encrypted scans a few extra connections let the server
+// decode, dispatch and encode in parallel.
+//
+// All mutating state lives on the primary connection (conns[0]): the
+// encrypted upload buffer and its client-side address arithmetic cannot
+// be split across connections. Read ops round-robin; ops that read the
+// encrypted store flush the primary first so buffered uploads are visible
+// regardless of which connection serves the read. Blocking call semantics
+// make this safe: an op's server-side effect completes before the call
+// returns, and the stores are shared across connections.
+type Pool struct {
+	conns []*Client
+	next  atomic.Uint64
+}
+
+// DialPool connects n multiplexed connections to the cloud at addr.
+// n <= 1 degrades to a pool over a single connection.
+func DialPool(addr string, n int) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	conns := make([]*Client, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			for _, open := range conns {
+				open.Close()
+			}
+			return nil, fmt.Errorf("wire: dial pool conn %d/%d: %w", i+1, n, err)
+		}
+		conns = append(conns, c)
+	}
+	return NewPool(conns), nil
+}
+
+// NewPool wraps established clients (e.g. net.Pipe pairs in tests) into a
+// pool. It panics on an empty slice.
+func NewPool(conns []*Client) *Pool {
+	if len(conns) == 0 {
+		panic("wire: NewPool with no connections")
+	}
+	return &Pool{conns: conns}
+}
+
+// Size reports the number of pooled connections.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// primary is the designated connection for mutating ops.
+func (p *Pool) primary() *Client { return p.conns[0] }
+
+// pick round-robins across all connections for read ops, skipping
+// poisoned ones: a dead secondary must not keep swallowing reads as
+// silent zero values while the rest of the pool works. With every
+// connection poisoned it falls back to the primary, whose fail-fast
+// errors surface the cause.
+func (p *Pool) pick() *Client {
+	n := uint64(len(p.conns))
+	start := p.next.Add(1)
+	for i := uint64(0); i < n; i++ {
+		if c := p.conns[(start+i)%n]; c.stickyErr() == nil {
+			return c
+		}
+	}
+	return p.primary()
+}
+
+// flushPrimary makes buffered encrypted uploads durable before a read
+// that may be served by another connection. The no-pending fast path is a
+// single mutex acquisition.
+func (p *Pool) flushPrimary() error { return p.primary().Flush() }
+
+// Close closes every connection, returning the first error.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ping checks liveness of every pooled connection.
+func (p *Pool) Ping() error {
+	for _, c := range p.conns {
+		if err := c.Ping(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Err returns the primary connection's sticky transport error. A dead
+// secondary is degradation, not failure — writes never touch it and
+// pick() routes reads around it — so it must not permanently fail an
+// otherwise healthy pool. Ops that failed on a secondary before the
+// routing kicked in are observable through LogicalErr/LogicalErrCount,
+// and the capacity loss through Alive.
+func (p *Pool) Err() error { return p.primary().Err() }
+
+// Alive reports how many pooled connections are not poisoned.
+func (p *Pool) Alive() int {
+	n := 0
+	for _, c := range p.conns {
+		if c.stickyErr() == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// LogicalErr returns the first recorded per-op error across the pool.
+func (p *Pool) LogicalErr() error {
+	for _, c := range p.conns {
+		if err := c.LogicalErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogicalErrCount sums the per-op error counts across the pool, so a
+// bracketed window observes a silent failure on any connection.
+func (p *Pool) LogicalErrCount() uint64 {
+	var n uint64
+	for _, c := range p.conns {
+		n += c.LogicalErrCount()
+	}
+	return n
+}
+
+// --- cloud.PlainBackend -----------------------------------------------
+
+// Load ships the clear-text partition through the primary connection.
+func (p *Pool) Load(rns *relation.Relation, attr string) error {
+	return p.primary().Load(rns, attr)
+}
+
+// Search round-robins across connections.
+func (p *Pool) Search(values []relation.Value) []relation.Tuple {
+	return p.pick().Search(values)
+}
+
+// SearchRange round-robins across connections.
+func (p *Pool) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	return p.pick().SearchRange(lo, hi)
+}
+
+// Insert goes through the primary connection.
+func (p *Pool) Insert(t relation.Tuple) error {
+	return p.primary().Insert(t)
+}
+
+// --- technique.EncStore -------------------------------------------------
+
+// Add buffers on the primary connection, which owns the client-side
+// address arithmetic.
+func (p *Pool) Add(tupleCT, attrCT, token []byte) int {
+	return p.primary().Add(tupleCT, attrCT, token)
+}
+
+// Flush uploads the primary connection's pending rows.
+func (p *Pool) Flush() error { return p.flushPrimary() }
+
+// Len round-robins after flushing pending uploads.
+func (p *Pool) Len() int {
+	if err := p.flushPrimary(); err != nil {
+		p.primary().noteLogical(err)
+		return 0
+	}
+	return p.pick().Len()
+}
+
+// AttrColumn round-robins after flushing pending uploads.
+func (p *Pool) AttrColumn() []storage.EncRow {
+	if err := p.flushPrimary(); err != nil {
+		p.primary().noteLogical(err)
+		return nil
+	}
+	return p.pick().AttrColumn()
+}
+
+// Fetch round-robins after flushing pending uploads.
+func (p *Pool) Fetch(addrs []int) ([]storage.EncRow, error) {
+	if err := p.flushPrimary(); err != nil {
+		return nil, err
+	}
+	return p.pick().Fetch(addrs)
+}
+
+// LookupToken round-robins after flushing pending uploads.
+func (p *Pool) LookupToken(tok []byte) []int {
+	if err := p.flushPrimary(); err != nil {
+		p.primary().noteLogical(err)
+		return nil
+	}
+	return p.pick().LookupToken(tok)
+}
+
+// Rows round-robins after flushing pending uploads.
+func (p *Pool) Rows() []storage.EncRow {
+	if err := p.flushPrimary(); err != nil {
+		p.primary().noteLogical(err)
+		return nil
+	}
+	return p.pick().Rows()
+}

@@ -1,9 +1,20 @@
-// Package wire implements a minimal owner↔cloud network protocol so the
-// untrusted cloud can run as a separate process: gob-framed
+// Package wire implements a multiplexed owner↔cloud network protocol so
+// the untrusted cloud can run as a separate process: gob-framed
 // request/response messages over any net.Conn, a server hosting the
 // clear-text store and the encrypted store, and a client that plugs into
 // the owner as a cloud.PlainBackend and into any technique as a
 // technique.EncStore.
+//
+// Every request carries a client-assigned ID echoed by its response, so
+// many calls can be in flight on one connection at once: the client runs
+// a writer goroutine (frames requests in submission order) and a
+// reader goroutine (demultiplexes responses by ID back to the waiting
+// callers), and the server dispatches the ops decoded from one connection
+// concurrently through a bounded worker pool, serialising only the
+// response frames. Responses may therefore arrive in any order; ordering
+// guarantees come from callers blocking on their own response, not from
+// the transport. For CPU-bound encrypted scans a small connection pool
+// (DialPool) spreads calls over several multiplexed connections.
 //
 // The protocol deliberately mirrors what the paper's adversary observes:
 // the clear-text side travels in the clear (the cloud owns that data
@@ -39,6 +50,10 @@ const (
 // request is the single wire request envelope; fields are populated
 // according to Op.
 type request struct {
+	// ID is assigned by the client, unique per connection, and echoed in
+	// the matching response so concurrent in-flight calls can share one
+	// connection.
+	ID uint64
 	Op op
 
 	// Clear-text store fields.
@@ -66,6 +81,8 @@ type EncUpload struct {
 
 // response is the single wire response envelope.
 type response struct {
+	// ID echoes the request ID this response answers.
+	ID     uint64
 	Err    string
 	Addr   int
 	N      int

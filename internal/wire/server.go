@@ -3,8 +3,9 @@ package wire
 import (
 	"encoding/gob"
 	"errors"
-	"io"
+	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"repro/internal/relation"
@@ -13,14 +14,21 @@ import (
 
 // Cloud is the server-side state: one clear-text store (loaded on demand)
 // and one encrypted store. It is what an honest-but-curious operator would
-// run. Connections are handled in their own goroutines and the stores
-// synchronise internally, so requests from different owners execute in
-// parallel; the cloud-level lock only guards swapping the plaintext store
-// on load.
+// run. Each connection is handled in its own goroutine, and the ops
+// decoded from one connection are themselves dispatched concurrently
+// through a bounded per-connection worker pool (responses are serialised
+// by a send mutex, so frames never interleave). The stores synchronise
+// internally; the cloud-level lock only guards swapping the plaintext
+// store, which keeps opPlainLoad (and snapshot Restore) exclusive against
+// every in-flight op.
 type Cloud struct {
 	mu    sync.RWMutex // guards the plain pointer, not the stores
 	plain *storage.PlainStore
 	enc   *storage.EncryptedStore
+
+	// connWorkers bounds concurrent dispatch per connection; 0 selects
+	// GOMAXPROCS.
+	connWorkers int
 }
 
 // NewCloud returns an empty cloud.
@@ -28,8 +36,19 @@ func NewCloud() *Cloud {
 	return &Cloud{enc: storage.NewEncryptedStore()}
 }
 
+// SetConnWorkers bounds how many ops from a single connection may execute
+// concurrently (<= 0 selects GOMAXPROCS). It must be called before Serve.
+func (c *Cloud) SetConnWorkers(n int) { c.connWorkers = n }
+
+func (c *Cloud) workersPerConn() int {
+	if c.connWorkers > 0 {
+		return c.connWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Serve accepts connections until the listener is closed, handling each
-// connection's requests sequentially in its own goroutine.
+// connection in its own goroutine.
 func (c *Cloud) Serve(lis net.Listener) error {
 	for {
 		conn, err := lis.Accept()
@@ -39,28 +58,53 @@ func (c *Cloud) Serve(lis net.Listener) error {
 			}
 			return err
 		}
-		go c.handle(conn)
+		go c.ServeConn(conn)
 	}
 }
 
-func (c *Cloud) handle(conn net.Conn) {
+// ServeConn serves one established connection (e.g. net.Pipe in tests and
+// benchmarks) until it fails or closes, then closes it. Decoded requests
+// are dispatched concurrently through the per-connection worker pool.
+func (c *Cloud) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
-	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
-			if err != io.EOF {
-				// Connection-level failure: nothing sensible to reply.
-				_ = enc.Encode(response{Err: err.Error()})
-			}
-			return
-		}
-		resp := c.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
-			return
+
+	// sendMu serialises response frames from the dispatch workers.
+	var sendMu sync.Mutex
+	send := func(resp *response) {
+		sendMu.Lock()
+		err := enc.Encode(resp)
+		sendMu.Unlock()
+		if err != nil {
+			// The response stream is broken; closing the conn unblocks
+			// the decode loop so the whole handler winds down.
+			conn.Close()
 		}
 	}
+
+	sem := make(chan struct{}, c.workersPerConn())
+	var wg sync.WaitGroup
+	for {
+		req := new(request)
+		if err := dec.Decode(req); err != nil {
+			// io.EOF is a clean shutdown; anything else means the frame
+			// stream is desynchronised. Either way no reply can safely be
+			// written — only well-formed frames (with an ID to echo) get
+			// responses — so just close the connection.
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := c.dispatch(req)
+			resp.ID = req.ID
+			send(&resp)
+		}()
+	}
+	wg.Wait()
 }
 
 func (c *Cloud) dispatch(req *request) response {
@@ -113,6 +157,15 @@ func (c *Cloud) dispatch(req *request) response {
 	case opEncAdd:
 		return response{Addr: c.enc.Add(req.TupleCT, req.AttrCT, req.Token)}
 	case opEncAddBatch:
+		// Validate before applying anything: the client's flush-retry
+		// logic relies on a rejected batch being all-or-nothing (a
+		// partially-applied batch would shift the addresses it already
+		// handed out).
+		for i, u := range req.Batch {
+			if len(u.TupleCT) == 0 {
+				return response{Err: fmt.Sprintf("wire: enc add batch: row %d has empty tuple ciphertext", i)}
+			}
+		}
 		last := -1
 		for _, u := range req.Batch {
 			last = c.enc.Add(u.TupleCT, u.AttrCT, u.Token)

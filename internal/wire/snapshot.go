@@ -13,6 +13,10 @@ import (
 // persisted — clear-text tuples and opaque ciphertexts — never owner
 // secrets, so a stolen snapshot is no worse than a compromised cloud,
 // which the threat model already assumes.
+//
+// Save and Restore take the cloud-level write lock, so like opPlainLoad
+// they are exclusive against every op in flight on the concurrent
+// per-connection dispatchers.
 type snapshot struct {
 	HasPlain bool
 	Schema   relation.Schema

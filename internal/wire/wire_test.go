@@ -74,12 +74,27 @@ func TestPlainBackendOverWire(t *testing.T) {
 
 func TestPlainErrorsOverWire(t *testing.T) {
 	c := startCloud(t)
-	// Search before Load is a protocol error.
+	// Search before Load is a server-side logical error: recorded per-op,
+	// but the connection stays healthy.
 	if got := c.Search([]relation.Value{relation.Int(1)}); got != nil {
 		t.Fatalf("search before load returned %v", got)
 	}
-	if c.Err() == nil {
-		t.Fatal("protocol error not surfaced via Err()")
+	if c.LogicalErr() == nil {
+		t.Fatal("logical error not surfaced via LogicalErr()")
+	}
+	if c.Err() != nil {
+		t.Fatalf("logical error poisoned the client: %v", c.Err())
+	}
+	// The client recovers: a Load and a Search succeed on the same conn.
+	rel := relation.New(relation.MustSchema("T",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+	))
+	rel.MustInsert(relation.Int(7))
+	if err := c.Load(rel, "K"); err != nil {
+		t.Fatalf("Load after logical error: %v", err)
+	}
+	if got := c.Search([]relation.Value{relation.Int(7)}); len(got) != 1 {
+		t.Fatalf("Search after recovery = %v", got)
 	}
 }
 
@@ -202,16 +217,33 @@ func TestTwoClientsShareOneCloud(t *testing.T) {
 	}
 }
 
-func TestClientPoisonedAfterConnClose(t *testing.T) {
+func TestClientCloseIsClean(t *testing.T) {
 	client := startCloud(t)
 	if err := client.Ping(); err != nil {
 		t.Fatal(err)
 	}
-	client.Close()
-	if err := client.Ping(); err == nil {
-		t.Fatal("ping on closed conn succeeded")
+	if err := client.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
-	if client.Err() == nil {
-		t.Fatal("no sticky error after transport failure")
+	// Ops on a closed client fail fast...
+	if err := client.Ping(); err == nil {
+		t.Fatal("ping on closed client succeeded")
+	}
+	if client.Add([]byte("x"), nil, nil) != -1 {
+		t.Fatal("Add on closed client handed out an address")
+	}
+	// ...but an explicit Close is a clean shutdown, not a transport
+	// failure (see TestTransportErrorPoisonsAndReleases for the sticky
+	// path).
+	if err := client.Err(); err != nil {
+		t.Fatalf("clean close surfaced as transport error: %v", err)
+	}
+	// Void methods on a closed client are not silent: the use-after-close
+	// is recorded for LogicalErr.
+	if got := client.Search([]relation.Value{relation.Int(1)}); got != nil {
+		t.Fatalf("search on closed client = %v", got)
+	}
+	if client.LogicalErr() == nil {
+		t.Fatal("use-after-close not recorded by LogicalErr()")
 	}
 }

@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"fmt"
+	mrand "math/rand/v2"
+	"net"
+	"runtime"
+	"slices"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/owner"
+	"repro/internal/technique"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// remoteBenchOwner builds an owner whose clear-text AND encrypted stores
+// live behind the given wire backend.
+func remoteBenchOwner(b *testing.B, ds *workload.Dataset, backend wire.Backend) *owner.Owner {
+	b.Helper()
+	tech, err := technique.NewNoIndOn(crypto.DeriveKeys([]byte("bench-remote")), backend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := owner.New(tech, workload.Attr)
+	o.SetCloudBackend(backend)
+	opts := core.Options{Rand: mrand.New(mrand.NewPCG(1, 2))}
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, opts); err != nil {
+		b.Fatal(err)
+	}
+	if err := backend.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkRemoteQueryBatch is the remote-parallelism headline: a
+// 256-selection batch against a cloud reached over the multiplexed wire
+// protocol, sequential vs QueryBatch at 1, 4 and GOMAXPROCS workers, on
+// both an in-memory net.Pipe transport and real TCP loopback. With the
+// multiplexed client many calls share each connection concurrently, so
+// queries/sec scales with workers on multi-core (on a single CPU it
+// should at least not regress vs sequential remote Query). The pool holds
+// min(workers, GOMAXPROCS) connections.
+func BenchmarkRemoteQueryBatch(b *testing.B) {
+	ds := benchDataset(b, 2_000, 0.3)
+	queries := workload.QueryStream(ds, workload.QuerySpec{Queries: 64, Seed: 9})
+	const batch = 256
+	ws := slices.Repeat(queries, batch/len(queries))
+
+	poolSize := runtime.GOMAXPROCS(0)
+	if poolSize > 4 {
+		poolSize = 4
+	}
+
+	sweep := func(b *testing.B, backend wire.Backend) {
+		b.Helper()
+		o := remoteBenchOwner(b, ds, backend)
+		qps := func(b *testing.B) {
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		}
+		b.Run("sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, w := range ws {
+					if _, _, err := o.Query(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				o.Server().ResetViews()
+			}
+			qps(b)
+		})
+		workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+		slices.Sort(workerCounts)
+		for _, workers := range slices.Compact(workerCounts) {
+			b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := o.QueryBatch(ws, workers); err != nil {
+						b.Fatal(err)
+					}
+					o.Server().ResetViews()
+				}
+				qps(b)
+			})
+		}
+		if err := backend.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("pipe", func(b *testing.B) {
+		cloud := wire.NewCloud()
+		conns := make([]*wire.Client, poolSize)
+		for i := range conns {
+			cend, send := net.Pipe()
+			go cloud.ServeConn(send)
+			conns[i] = wire.NewClient(cend)
+			defer conns[i].Close()
+		}
+		sweep(b, wire.NewPool(conns))
+	})
+
+	b.Run("tcp-loopback", func(b *testing.B) {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lis.Close()
+		go func() { _ = wire.NewCloud().Serve(lis) }()
+		pool, err := wire.DialPool(lis.Addr().String(), poolSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		sweep(b, pool)
+	})
+}

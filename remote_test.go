@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"reflect"
 	"testing"
@@ -39,6 +40,7 @@ func TestClientAgainstRemoteCloud(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer c.Close()
 			emp := workload.Employee()
 			if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
 				t.Fatal(err)
@@ -56,6 +58,17 @@ func TestClientAgainstRemoteCloud(t *testing.T) {
 		})
 	}
 	_ = addr
+}
+
+// TestRemoteCloudRejectsVerticalClient: one qbcloud hosts a single
+// encrypted store, so the two differently-keyed sub-clients of a
+// vertical client cannot share it.
+func TestRemoteCloudRejectsVerticalClient(t *testing.T) {
+	if _, err := NewVerticalClient(Config{
+		MasterKey: []byte("k"), Attr: "EId", CloudAddr: startRemoteCloud(t),
+	}, []string{"Salary"}); err == nil {
+		t.Fatal("vertical client accepted a remote cloud")
+	}
 }
 
 func TestRemoteCloudRejectsScanTechniques(t *testing.T) {
@@ -83,6 +96,7 @@ func TestSaveResumeOverRemoteCloud(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { c.Close() })
 		return c
 	}
 	emp := workload.Employee()
@@ -115,6 +129,154 @@ func TestSaveResumeOverRemoteCloud(t *testing.T) {
 	}
 	if err := local.Resume(&buf); err == nil {
 		t.Error("local Resume accepted")
+	}
+}
+
+// TestRemoteQueryBatchMatchesSequential is the observational-equivalence
+// property test against the remote backend: with the multiplexed wire
+// client (and optionally a connection pool) underneath, QueryBatch must
+// return the same per-query answers and log the same adversarial views,
+// in the same order, as a sequential Query loop — exactly as it does
+// against the in-process cloud.
+func TestRemoteQueryBatchMatchesSequential(t *testing.T) {
+	for _, tech := range []Technique{TechNoInd, TechArx} {
+		for _, conns := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%v/conns=%d", tech, conns), func(t *testing.T) {
+				ds, err := workload.Generate(workload.GenSpec{
+					Tuples: 160, DistinctValues: 16, Alpha: 0.4,
+					AssocFraction: 0.5, Seed: 21,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := NewClient(Config{
+					MasterKey:  []byte("remote batch equivalence"),
+					Attr:       workload.Attr,
+					Technique:  tech,
+					Seed:       seed(29),
+					CloudAddr:  startRemoteCloud(t),
+					CloudConns: conns,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				if err := c.Outsource(ds.Relation.Clone(), ds.Sensitive); err != nil {
+					t.Fatal(err)
+				}
+				ws := batchWorkload(ds, 12, 321)
+
+				seq := make([][]Tuple, len(ws))
+				for i, w := range ws {
+					got, err := c.Query(w)
+					if err != nil {
+						t.Fatalf("sequential Query(%v): %v", w, err)
+					}
+					seq[i] = got
+				}
+				seqViews := c.AdversarialViews()
+				if len(seqViews) != len(ws) {
+					t.Fatalf("sequential run recorded %d views, want %d", len(seqViews), len(ws))
+				}
+
+				batch, err := c.QueryBatchN(ws, 4)
+				if err != nil {
+					t.Fatalf("QueryBatch: %v", err)
+				}
+				views := c.AdversarialViews()
+				if len(views) != 2*len(ws) {
+					t.Fatalf("after batch: %d views, want %d", len(views), 2*len(ws))
+				}
+				batchViews := views[len(ws):]
+				for i := range ws {
+					if !reflect.DeepEqual(relation.IDs(seq[i]), relation.IDs(batch[i])) {
+						t.Errorf("query %d (%v): batch IDs %v != sequential %v",
+							i, ws[i], relation.IDs(batch[i]), relation.IDs(seq[i]))
+					}
+					if viewKey(batchViews[i]) != viewKey(seqViews[i]) {
+						t.Errorf("query %d (%v): batch view %s != sequential view %s",
+							i, ws[i], viewKey(batchViews[i]), viewKey(seqViews[i]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteQueryAsync smoke-tests the streaming batch against a remote
+// cloud through a connection pool: every answer matches the sequential
+// one and no transport error sticks.
+func TestRemoteQueryAsync(t *testing.T) {
+	c, err := NewClient(Config{
+		MasterKey:  []byte("remote async"),
+		Attr:       "EId",
+		Seed:       seed(5),
+		CloudAddr:  startRemoteCloud(t),
+		CloudConns: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	emp := workload.Employee()
+	if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	ws := []Value{Str("E101"), Str("E259"), Str("E199"), Str("E152"), Str("E000")}
+	for res := range c.QueryAsyncN(ws, 3) {
+		if res.Err != nil {
+			t.Fatalf("query %d: %v", res.Index, res.Err)
+		}
+		want, _ := emp.Select("EId", ws[res.Index])
+		if !reflect.DeepEqual(relation.IDs(res.Tuples), relation.IDs(want)) {
+			t.Errorf("query %d = %v, want %v", res.Index, relation.IDs(res.Tuples), relation.IDs(want))
+		}
+	}
+}
+
+// TestRemoteQueryAfterConnectionLost: once the transport to the cloud is
+// gone, queries must return an error — not silently empty results — even
+// though the backend's void interface methods cannot return errors
+// in-band.
+func TestRemoteQueryAfterConnectionLost(t *testing.T) {
+	c, err := NewClient(Config{
+		MasterKey: []byte("remote severed"),
+		Attr:      "EId",
+		Seed:      seed(61),
+		CloudAddr: startRemoteCloud(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp := workload.Employee()
+	if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(Str("E101")); err != nil {
+		t.Fatalf("query before severing: %v", err)
+	}
+
+	// Sever the transport (an explicit Close stands in for a crashed
+	// qbcloud; either way the connection is unusable).
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Query(Str("E101")); err == nil {
+		t.Fatalf("query over severed connection returned %v with nil error", got)
+	}
+	if _, err := c.QueryBatch([]Value{Str("E101"), Str("E259")}); err == nil {
+		t.Fatal("batch over severed connection reported success")
+	}
+	for res := range c.QueryAsync([]Value{Str("E101")}) {
+		if res.Err == nil {
+			t.Fatal("async result over severed connection carried no error")
+		}
+	}
+	// Writes fail too: nothing pending must not read as durable success.
+	if err := c.Insert(Tuple{ID: 1, Values: []Value{
+		Str("E900"), Str("X"), Str("Y"), Int(1), Int(1), Str("Design"),
+	}}, true); err == nil {
+		t.Fatal("insert over severed connection reported success")
 	}
 }
 
