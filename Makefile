@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-remote ci
+.PHONY: build test vet race bench bench-remote docs ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ test: vet
 race:
 	$(GO) test -race ./...
 
+# Documentation hygiene: vet, run every runnable Example against its
+# expected output, and build the examples/ programs so the documented
+# snippets cannot rot.
+docs: vet
+	$(GO) test -run 'Example' ./...
+	$(GO) build ./examples/...
+
 # Root-package benchmarks only: they include every paper table/figure plus
 # the batch-engine throughput sweep (BenchmarkQueryBatch).
 bench:
@@ -24,4 +31,4 @@ bench:
 bench-remote:
 	$(GO) test -bench=BenchmarkRemoteQueryBatch -benchmem -run='^$$' .
 
-ci: build test race
+ci: build test race docs

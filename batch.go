@@ -6,22 +6,30 @@ import "repro/internal/owner"
 // Client.QueryAsync).
 type BatchResult = owner.BatchResult
 
-// QueryBatch executes many selections concurrently through a bounded
-// worker pool (GOMAXPROCS workers) and returns one answer slice per query,
-// indexed like ws. It is observationally equivalent to looping Query
-// sequentially: per-query results are identical and the adversarial views
-// are logged in input order, so AdversarialViews is deterministic. On
-// failure the error of the lowest-index failing query is returned.
+// QueryBatch executes many selections as one batch, sharing cloud-side
+// work across them: the encrypted side of every query goes to the
+// technique in a single batched search (scan-shaped techniques pull the
+// attribute column or scan their table once per batch instead of once per
+// query; on a remote cloud, one round trip serves the whole batch's bin
+// fetches), while the plaintext bin fetches fan out over a bounded worker
+// pool. It returns one answer slice per query, indexed like ws.
+//
+// The batch is observationally equivalent to looping Query sequentially:
+// per-query results are identical and the adversarial views are logged in
+// input order, so AdversarialViews is deterministic. On failure the error
+// of the lowest-index failing query is returned.
 func (c *Client) QueryBatch(ws []Value) ([][]Tuple, error) {
 	return c.QueryBatchN(ws, 0)
 }
 
 // QueryBatchN is QueryBatch with an explicit worker count (<= 0 selects
-// GOMAXPROCS). The count bounds client-side parallelism: each worker runs
-// one query at a time, itself fanning the sensitive and non-sensitive bin
-// retrievals out in parallel. With a remote cloud the batch keeps many
-// calls in flight on the multiplexed connection(s), and a remote failure
-// mid-batch fails the batch rather than thinning its results.
+// GOMAXPROCS). The count bounds the plaintext-side fan-out, and the
+// per-query concurrency when a shared-path failure forces the batch onto
+// the per-query engine. It does not reach inside the technique: an
+// index-shaped technique's internal per-query fallback runs at
+// GOMAXPROCS. With a remote cloud the batch keeps many calls in flight on
+// the multiplexed connection(s), and a remote failure mid-batch fails the
+// batch rather than thinning its results.
 func (c *Client) QueryBatchN(ws []Value, workers int) ([][]Tuple, error) {
 	return withRemoteCheck(c, func() ([][]Tuple, error) {
 		out, _, err := c.owner.QueryBatch(ws, workers)
@@ -30,6 +38,10 @@ func (c *Client) QueryBatchN(ws []Value, workers int) ([][]Tuple, error) {
 }
 
 // QueryBatchWithStats is QueryBatchN plus the per-query cost breakdowns.
+// On the batched path each QueryStats.Enc is the query's attributable
+// slice of the shared batch search — its access pattern and result
+// transfers — with work shared across the batch (the column pull or table
+// scan) counted once at the technique level rather than per query.
 func (c *Client) QueryBatchWithStats(ws []Value, workers int) ([][]Tuple, []*QueryStats, error) {
 	before := c.remoteLogicalCount()
 	out, stats, err := c.owner.QueryBatch(ws, workers)

@@ -8,9 +8,12 @@
 //
 // The top-level package is the public API: a Client that partitions,
 // outsources and queries a relation through QB over a pluggable
-// cryptographic technique. The building blocks live under internal/ (see
-// DESIGN.md for the system inventory) and are re-exported here as type
-// aliases where downstream code needs them.
+// cryptographic technique. The building blocks live under internal/ and
+// are re-exported here as type aliases where downstream code needs them.
+// README.md covers the paper's claims, the quickstarts and the technique
+// matrix; docs/ARCHITECTURE.md has the layer diagram, the concurrency
+// model and the batched-search flow; docs/BENCHMARKS.md records the bench
+// methodology and numbers.
 //
 // Quick start:
 //
@@ -32,9 +35,13 @@
 //	// handle err
 //	tuples, err := client.Query(repro.Str("E101"))
 //
-// Batches of selections execute concurrently through a bounded worker
-// pool, with per-query results and the cloud's adversarial-view log
-// identical to looping Query sequentially:
+// Batches of selections execute as one unit, with per-query results and
+// the cloud's adversarial-view log identical to looping Query
+// sequentially. The encrypted side of the whole batch goes to the
+// technique in a single batched search, so scan-shaped techniques pull
+// their attribute column / scan their table once per batch instead of
+// once per query, while the plaintext bin fetches fan out over a bounded
+// worker pool (see ExampleClient_QueryBatch):
 //
 //	answers, err := client.QueryBatch([]repro.Value{
 //		repro.Str("E101"), repro.Str("E259"),
@@ -48,9 +55,9 @@
 // The cloud can run as a separate process (cmd/qbcloud) reached over a
 // multiplexed wire protocol: requests carry IDs, so a batch keeps many
 // calls in flight on one connection and the server dispatches them
-// concurrently — remote QueryBatch throughput scales with workers just
-// like the in-process path. CloudConns adds a small connection pool on
-// top for CPU-bound encrypted scans:
+// concurrently, and a batched query pays a single round trip for the
+// whole batch's encrypted bin fetches. CloudConns adds a small connection
+// pool on top for CPU-bound encrypted scans:
 //
 //	remote, err := repro.NewClient(repro.Config{
 //		MasterKey:  key,

@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"fmt"
+	"log"
+)
+
+// ExampleClient_QueryBatch outsources a small relation with mixed
+// sensitivity and answers a whole batch of selections in one call. The
+// batch is observationally equivalent to looping Query — same answers,
+// same adversarial view log — but scan-shaped techniques (the default
+// NoInd among them) pull the encrypted attribute column once for the whole
+// batch instead of once per query, and a remote cloud serves all the bin
+// fetches in a single round trip.
+func ExampleClient_QueryBatch() {
+	schema := MustSchema("Employee",
+		Column{Name: "EId", Kind: KindString},
+		Column{Name: "Dept", Kind: KindString},
+	)
+	rel := NewRelation(schema)
+	for _, r := range [][2]string{
+		{"E101", "Defense"}, {"E259", "Design"}, {"E199", "Design"},
+		{"E259", "Defense"}, {"E152", "Defense"}, {"E254", "Design"},
+	} {
+		rel.MustInsert(Str(r[0]), Str(r[1]))
+	}
+
+	client, err := NewClient(Config{
+		MasterKey: []byte("replace me with a real 32-byte secret"),
+		Attr:      "EId",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Rows of the Defense department are sensitive: they are encrypted
+	// under the configured technique, the rest is outsourced in clear-text.
+	if err := client.Outsource(rel, func(t Tuple) bool {
+		return t.Values[1].Str() == "Defense"
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []Value{Str("E259"), Str("E101"), Str("E999")}
+	answers, err := client.QueryBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, tuples := range answers {
+		fmt.Printf("%s -> %d matching tuple(s)\n", queries[i].Str(), len(tuples))
+	}
+	// Output:
+	// E259 -> 2 matching tuple(s)
+	// E101 -> 1 matching tuple(s)
+	// E999 -> 0 matching tuple(s)
+}

@@ -3,6 +3,12 @@
 // non-sensitive relation and (via the technique's encrypted store) the
 // encrypted sensitive relation, answers bin queries faithfully, and records
 // the adversarial view AV = Inc ∪ Opc of every query for the attack suite.
+//
+// The view log is the ground truth the batch engine's equivalence property
+// is stated against: however a batch executes — shared scans, worker
+// pools, batched round trips — the recorded views must equal those of a
+// sequential query loop. PlainBackend abstracts the clear-text store so it
+// can live in process or behind the wire protocol.
 package cloud
 
 import (

@@ -1,21 +1,25 @@
 package owner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cloud"
 	"repro/internal/relation"
+	"repro/internal/technique"
 )
 
-// This file implements the concurrent batch query engine: many selections
-// executed through a bounded worker pool, parallel both across queries and
-// (via executeView's fan-out) across each query's sensitive/non-sensitive
-// bin retrievals. Batch execution is observationally equivalent to a
-// sequential loop over Query: the same result per query, and — because
-// views are detached from execution and logged in input order — the same
-// adversarial-view log.
+// This file implements the concurrent batch query engine. A batch executes
+// through executeViewBatch: the encrypted side of every query goes to the
+// cloud as ONE technique.SearchBatch call — scan-shaped techniques share
+// their column pull / table scan across the whole batch instead of
+// re-doing it per query — while the plaintext bin fetches fan out over a
+// bounded worker pool concurrently with it. Batch execution is
+// observationally equivalent to a sequential loop over Query: the same
+// result per query, and — because views are detached from execution and
+// logged in input order — the same adversarial-view log.
 
 // BatchResult is one completed query of a streaming batch.
 type BatchResult struct {
@@ -71,9 +75,16 @@ func runPool(n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
-// QueryBatch executes the selections ws concurrently through a bounded
-// worker pool (workers <= 0 selects GOMAXPROCS) and returns the per-query
-// answers and stats, indexed like ws.
+// QueryBatch executes the selections ws as one batch, sharing cloud-side
+// work across them: every query's sensitive bin goes to the technique in a
+// single SearchBatch call (so NoInd pulls the attribute column once per
+// batch, DPF-PIR and ShamirScan scan their tables once per batch), the
+// matched tuples come back in one batched fetch round trip on remote
+// backends, and the plaintext bin fetches fan out over a bounded worker
+// pool (workers <= 0 selects GOMAXPROCS). It returns the per-query answers
+// and stats, indexed like ws; on the batched path each QueryStats.Enc is
+// the query's attributable slice of the batch (its access pattern and
+// result transfers), with shared work counted once at the technique level.
 //
 // The batch is observationally equivalent to a sequential loop over Query:
 // each answer is identical, and the adversarial views are recorded with the
@@ -89,6 +100,59 @@ func (o *Owner) QueryBatch(ws []relation.Value, workers int) ([][]relation.Tuple
 	if n == 0 {
 		return nil, nil, nil
 	}
+	out, stats, views, err := o.queryBatchShared(ws, workers)
+	if err != nil {
+		// A shared-path failure cannot be attributed to a single query
+		// (the whole batch shares one search), so re-run per query to
+		// reproduce the sequential failure semantics exactly: lowest-index
+		// error, prefix of views. The shared attempt's cloud interactions
+		// happened but are not logged — the same contract as a crashed
+		// sequential client.
+		return o.queryBatchPerQuery(ws, workers)
+	}
+	for _, v := range views {
+		o.RecordView(v)
+	}
+	return out, stats, nil
+}
+
+// queryBatchShared is the batched fast path: one bins.Retrieve per query,
+// then executeViewBatch under a single read lock.
+func (o *Owner) queryBatchShared(ws []relation.Value, workers int) ([][]relation.Tuple, []*QueryStats, []cloud.View, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if o.bins == nil || o.server == nil {
+		return nil, nil, nil, ErrNotOutsourced
+	}
+	n := len(ws)
+	stats := make([]*QueryStats, n)
+	matches := make([]func(relation.Value) bool, n)
+	sens := make([][]relation.Value, n)
+	ns := make([][]relation.Value, n)
+	for i, w := range ws {
+		w := w
+		stats[i] = &QueryStats{}
+		matches[i] = func(v relation.Value) bool { return v.Equal(w) }
+		if ret, ok := o.bins.Retrieve(w); ok {
+			sens[i], ns[i] = ret.SensValues, ret.NSValues
+		}
+		// A value absent from both partitions fetches nothing; its view
+		// stays empty, exactly like sequential Query.
+	}
+	out, views, err := o.executeViewBatch(matches, sens, ns, stats, workers)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, stats, views, nil
+}
+
+// queryBatchPerQuery is the per-query engine (one QueryDetached per
+// selection over the worker pool). QueryBatch falls back to it when the
+// shared path fails, because only per-query execution can attribute a
+// failure to the lowest-index failing query the way a sequential loop
+// would.
+func (o *Owner) queryBatchPerQuery(ws []relation.Value, workers int) ([][]relation.Tuple, []*QueryStats, error) {
+	n := len(ws)
 	results := make([]BatchResult, n)
 	runPool(n, normalizeWorkers(workers, n), func(i int) {
 		ts, st, view, err := o.QueryDetached(ws[i])
@@ -109,6 +173,93 @@ func (o *Owner) QueryBatch(ws []relation.Value, workers int) ([][]relation.Tuple
 		stats[i] = r.Stats
 	}
 	return out, stats, nil
+}
+
+// executeViewBatch is the batched counterpart of executeView: it runs n
+// selections' sub-queries with the encrypted side going through one
+// technique.SearchBatch call — sharing column pulls and table scans across
+// the batch — while the plaintext side fans out over the worker pool
+// concurrently with it, and returns the merged per-query results together
+// with the per-query adversarial views. Must be called with o.mu held
+// (read suffices); views are NOT recorded — the caller logs them in input
+// order so the view log matches a sequential loop.
+func (o *Owner) executeViewBatch(matches []func(relation.Value) bool, sensValues, nsValues [][]relation.Value, sts []*QueryStats, workers int) ([][]relation.Tuple, []cloud.View, error) {
+	n := len(matches)
+	out := make([][]relation.Tuple, n)
+	views := make([]cloud.View, n)
+	var encIdx, plainIdx []int
+	for i := range matches {
+		views[i] = cloudView(nsValues[i], len(sensValues[i]))
+		if len(sensValues[i]) > 0 {
+			encIdx = append(encIdx, i)
+		}
+		if len(nsValues[i]) > 0 {
+			plainIdx = append(plainIdx, i)
+		}
+	}
+
+	// The plaintext fetches do not depend on the cryptographic work, so
+	// they run on the worker pool concurrently with the batched search
+	// below. Unlike executeView's buffered-channel early return, the pool
+	// is always drained (<-done on every path) so no goroutine outlives
+	// the caller's lock.
+	plains := make([][]relation.Tuple, n)
+	done := make(chan struct{})
+	srv := o.server
+	go func() {
+		defer close(done)
+		if len(plainIdx) == 0 {
+			return
+		}
+		runPool(len(plainIdx), normalizeWorkers(workers, len(plainIdx)), func(k int) {
+			i := plainIdx[k]
+			plains[i] = srv.SearchPlain(nsValues[i])
+		})
+	}()
+
+	var payloadBatches [][][]byte
+	var encSt *technique.Stats
+	if len(encIdx) > 0 {
+		queries := make([][]relation.Value, len(encIdx))
+		for k, i := range encIdx {
+			queries[k] = sensValues[i]
+		}
+		var err error
+		payloadBatches, encSt, err = o.tech.SearchBatch(queries)
+		if err != nil {
+			<-done
+			return nil, nil, err
+		}
+		if len(payloadBatches) != len(encIdx) || encSt == nil || len(encSt.PerQuery) != len(encIdx) {
+			<-done
+			return nil, nil, fmt.Errorf("owner: SearchBatch returned %d payload sets and malformed stats for %d queries",
+				len(payloadBatches), len(encIdx))
+		}
+	}
+	<-done
+
+	for k, i := range encIdx {
+		per := encSt.PerQuery[k]
+		if per == nil {
+			per = &technique.Stats{}
+		}
+		sts[i].Enc = *per
+		views[i].EncResultAddrs = per.ReturnedAddrs
+		var err error
+		out[i], err = o.mergeEnc(payloadBatches[k], matches[i], sts[i], out[i])
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, i := range plainIdx {
+		views[i].PlainResults = plains[i]
+		out[i] = o.mergePlain(plains[i], matches[i], sts[i], out[i])
+	}
+	for i := range out {
+		relation.SortByID(out[i])
+		sts[i].Result = len(out[i])
+	}
+	return out, views, nil
 }
 
 // QueryAsync streams the batch: it launches the same worker pool as

@@ -3,9 +3,12 @@ package owner
 import (
 	"errors"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/crypto"
 	"repro/internal/relation"
+	"repro/internal/storage"
 	"repro/internal/technique"
 	"repro/internal/workload"
 )
@@ -29,6 +32,23 @@ func (f *valueFaultTechnique) Search(values []relation.Value) ([][]byte, *techni
 		}
 	}
 	return f.Technique.Search(values)
+}
+
+// SearchBatch mirrors the injection on the batched path (otherwise the
+// embedded technique's batch implementation would dodge the fault): a
+// batch containing the target anywhere fails as a whole, which forces the
+// owner onto its per-query fallback and its sequential failure semantics.
+func (f *valueFaultTechnique) SearchBatch(queries [][]relation.Value) ([][][]byte, *technique.Stats, error) {
+	if f.armed {
+		for _, q := range queries {
+			for _, v := range q {
+				if v.Equal(f.target) {
+					return nil, nil, errInjected
+				}
+			}
+		}
+	}
+	return f.Technique.SearchBatch(queries)
 }
 
 // sensitiveValue returns the first dataset value binned as sensitive.
@@ -138,6 +158,107 @@ func TestQueryAsyncDeliversPerQueryErrors(t *testing.T) {
 	}
 	if failures == 0 {
 		t.Fatal("no per-query failure delivered")
+	}
+}
+
+// countingStore wraps the encrypted store and counts cloud read
+// operations — the end-to-end evidence that the batched query path shares
+// its work: one column pull and one fetch round trip per batch, however
+// many queries it carries.
+type countingStore struct {
+	*storage.EncryptedStore
+	attrPulls   atomic.Int64
+	fetches     atomic.Int64 // single-query Fetch round trips
+	batchRounds atomic.Int64 // batched fetch round trips
+}
+
+func (c *countingStore) AttrColumn() []storage.EncRow {
+	c.attrPulls.Add(1)
+	return c.EncryptedStore.AttrColumn()
+}
+
+func (c *countingStore) Fetch(addrs []int) ([]storage.EncRow, error) {
+	c.fetches.Add(1)
+	return c.EncryptedStore.Fetch(addrs)
+}
+
+func (c *countingStore) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	c.batchRounds.Add(1)
+	return c.EncryptedStore.FetchBatch(addrBatches)
+}
+
+// TestQueryBatchSharesColumnPull: a QueryBatch of q selections over NoInd
+// pulls the encrypted attribute column from the store exactly once and
+// fetches all matches in one batched round trip, where the sequential loop
+// pays one pull and one fetch per query.
+func TestQueryBatchSharesColumnPull(t *testing.T) {
+	cs := &countingStore{EncryptedStore: storage.NewEncryptedStore()}
+	tech, err := technique.NewNoIndOn(crypto.DeriveKeys([]byte("count")), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 120, DistinctValues: 12, Alpha: 0.5, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(tech, workload.Attr)
+	if err := o.Outsource(ds.Relation.Clone(), ds.Sensitive, seededOpts(62)); err != nil {
+		t.Fatal(err)
+	}
+	ws := workload.QueryStream(ds, workload.QuerySpec{Queries: 8, Seed: 63})
+
+	cs.attrPulls.Store(0)
+	cs.fetches.Store(0)
+	cs.batchRounds.Store(0)
+	if _, _, err := o.QueryBatch(ws, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.attrPulls.Load(); got != 1 {
+		t.Errorf("batch of %d pulled the attribute column %d times, want 1", len(ws), got)
+	}
+	if got := cs.batchRounds.Load(); got != 1 {
+		t.Errorf("batch of %d used %d batched fetch round trips, want 1", len(ws), got)
+	}
+	if got := cs.fetches.Load(); got != 0 {
+		t.Errorf("batch of %d fell back to %d per-query fetches, want 0", len(ws), got)
+	}
+
+	cs.attrPulls.Store(0)
+	for _, w := range ws {
+		if _, _, err := o.Query(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cs.attrPulls.Load(); got != int64(len(ws)) {
+		t.Errorf("sequential loop pulled the column %d times, want %d (one per query)", got, len(ws))
+	}
+}
+
+// TestQueryBatchPerQueryStats: on the batched path every query still gets
+// its own stats — result counts match and the per-query Enc slice carries
+// the query's access pattern.
+func TestQueryBatchPerQueryStats(t *testing.T) {
+	o, ds := batchOwner(t, newNoInd(t), 71)
+	ws := workload.QueryStream(ds, workload.QuerySpec{Queries: 6, Seed: 72})
+	out, stats, err := o.QueryBatch(ws, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		if stats[i] == nil {
+			t.Fatalf("stats[%d] is nil", i)
+		}
+		if stats[i].Result != len(out[i]) {
+			t.Errorf("stats[%d].Result = %d, want %d", i, stats[i].Result, len(out[i]))
+		}
+		// Every sensitive-side retrieval is volume-padded, so a query that
+		// touched the encrypted store must report its access pattern.
+		if ret, ok := o.Bins().Retrieve(ws[i]); ok && len(ret.SensValues) > 0 &&
+			len(stats[i].Enc.ReturnedAddrs) == 0 {
+			t.Errorf("stats[%d].Enc has no returned addresses for a sensitive retrieval", i)
+		}
 	}
 }
 

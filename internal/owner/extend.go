@@ -199,37 +199,57 @@ func (o *Owner) executeView(match func(relation.Value) bool, sensValues, nsValue
 		}
 		st.Enc = *encSt
 		view.EncResultAddrs = encSt.ReturnedAddrs
-		for _, p := range payloads {
-			t, fake, err := decodePayload(p)
-			if err != nil {
-				return nil, cloud.View{}, err
-			}
-			if fake {
-				st.FakeDiscarded++
-				continue
-			}
-			if match(t.Values[o.attrIdx]) {
-				out = append(out, t)
-			} else {
-				st.BinDiscarded++
-			}
+		out, err = o.mergeEnc(payloads, match, st, out)
+		if err != nil {
+			return nil, cloud.View{}, err
 		}
 	}
 	if plainCh != nil {
 		plain := <-plainCh
-		st.PlainTuples = len(plain)
 		view.PlainResults = plain
-		for _, t := range plain {
-			if match(t.Values[o.attrIdx]) {
-				out = append(out, t)
-			} else {
-				st.BinDiscarded++
-			}
-		}
+		out = o.mergePlain(plain, match, st, out)
 	}
 	relation.SortByID(out)
 	st.Result = len(out)
 	return out, view, nil
+}
+
+// mergeEnc is the encrypted half of q_merge for one query: it decodes the
+// technique's payloads, discards fakes and bin co-residents, and appends
+// the matches to out. Shared by the sequential and batched paths so their
+// merge semantics cannot diverge.
+func (o *Owner) mergeEnc(payloads [][]byte, match func(relation.Value) bool, st *QueryStats, out []relation.Tuple) ([]relation.Tuple, error) {
+	for _, p := range payloads {
+		t, fake, err := decodePayload(p)
+		if err != nil {
+			return nil, err
+		}
+		if fake {
+			st.FakeDiscarded++
+			continue
+		}
+		if match(t.Values[o.attrIdx]) {
+			out = append(out, t)
+		} else {
+			st.BinDiscarded++
+		}
+	}
+	return out, nil
+}
+
+// mergePlain is the clear-text half of q_merge for one query: it filters
+// the non-sensitive bin's tuples down to the actual matches. Shared by the
+// sequential and batched paths.
+func (o *Owner) mergePlain(plain []relation.Tuple, match func(relation.Value) bool, st *QueryStats, out []relation.Tuple) []relation.Tuple {
+	st.PlainTuples = len(plain)
+	for _, t := range plain {
+		if match(t.Values[o.attrIdx]) {
+			out = append(out, t)
+		} else {
+			st.BinDiscarded++
+		}
+	}
+	return out
 }
 
 // AggOp is an aggregation operator for QueryAggregate.

@@ -4,6 +4,14 @@
 // under a pluggable cryptographic technique, keeps the binning metadata,
 // rewrites selection queries through QB (or naively, for the attack
 // baselines), and merges, decrypts and filters the results (q_merge).
+//
+// All exported methods are safe for concurrent use: queries share a read
+// lock and run in parallel, mutations serialise behind the write lock.
+// Batches (QueryBatch, QueryAsync) are observationally equivalent to a
+// sequential Query loop — identical per-query answers and an identical
+// adversarial-view log — with QueryBatch executing the encrypted side of
+// the whole batch as one technique.SearchBatch call so scan-shaped
+// techniques do their store scan once per batch (see batch.go).
 package owner
 
 import (

@@ -88,6 +88,26 @@ func (s *EncryptedStore) Fetch(addrs []int) ([]EncRow, error) {
 	return out, nil
 }
 
+// FetchBatch returns the full rows for each address list in addrBatches —
+// the batched second round: one call (one wire round trip, when the store
+// is remote) serves every query in a batch.
+func (s *EncryptedStore) FetchBatch(addrBatches [][]int) ([][]EncRow, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]EncRow, len(addrBatches))
+	for i, addrs := range addrBatches {
+		rows := make([]EncRow, 0, len(addrs))
+		for _, a := range addrs {
+			if a < 0 || a >= len(s.rows) {
+				return nil, fmt.Errorf("storage: address %d out of range [0,%d)", a, len(s.rows))
+			}
+			rows = append(rows, s.rows[a])
+		}
+		out[i] = rows
+	}
+	return out, nil
+}
+
 // LookupToken returns the addresses whose token equals tok (indexable
 // techniques only).
 func (s *EncryptedStore) LookupToken(tok []byte) []int {

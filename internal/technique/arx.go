@@ -126,3 +126,10 @@ func (a *Arx) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	st.ReturnedAddrs = addrs
 	return payloads, st, nil
 }
+
+// SearchBatch implements Technique as a per-query fallback: Arx probes the
+// index once per occurrence token, so there is no shared scan for a batch
+// to amortise. The queries run concurrently over a bounded worker pool.
+func (a *Arx) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	return fallbackSearchBatch(a, queries)
+}

@@ -1,0 +1,88 @@
+package technique
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/storage"
+)
+
+// This file holds the batch-search plumbing shared by the technique
+// implementations. The scan-shaped techniques (NoInd, DPF-PIR, ShamirScan)
+// implement SearchBatch with real cross-query sharing in their own files;
+// the index-shaped ones (Arx, DetIndex) and the simulated cost models have
+// nothing to amortise and delegate to fallbackSearchBatch.
+
+// fallbackSearchBatch implements SearchBatch for techniques with no
+// cross-query work to share: every query runs through Search, concurrently
+// over a bounded worker pool (Technique implementations are documented as
+// safe for concurrent Search), and the per-query stats are folded into one
+// batch-level aggregate. Results and stats are identical to a sequential
+// loop; on failure the lowest-index error is returned and the whole batch
+// fails.
+func fallbackSearchBatch(t Technique, queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	nq := len(queries)
+	agg := &Stats{PerQuery: make([]*Stats, nq)}
+	out := make([][][]byte, nq)
+	if nq == 0 {
+		return out, agg, nil
+	}
+	errs := make([]error, nq)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nq {
+		workers = nq
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nq {
+					return
+				}
+				out[i], agg.PerQuery[i], errs[i] = t.Search(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, st := range agg.PerQuery {
+		agg.Add(st)
+	}
+	return out, agg, nil
+}
+
+// fetchBatch retrieves each address list's rows: in one batched round trip
+// when the store supports it (BatchEncStore — in particular the wire
+// backends), and with one Fetch per list otherwise.
+func fetchBatch(store EncStore, addrBatches [][]int) ([][]storage.EncRow, error) {
+	if bs, ok := store.(BatchEncStore); ok {
+		out, err := bs.FetchBatch(addrBatches)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != len(addrBatches) {
+			return nil, fmt.Errorf("technique: batched fetch returned %d row sets for %d address lists", len(out), len(addrBatches))
+		}
+		return out, nil
+	}
+	out := make([][]storage.EncRow, len(addrBatches))
+	for i, addrs := range addrBatches {
+		rows, err := store.Fetch(addrs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+	}
+	return out, nil
+}

@@ -100,3 +100,11 @@ func (d *DetIndex) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	st.ReturnedAddrs = addrs
 	return payloads, st, nil
 }
+
+// SearchBatch implements Technique as a per-query fallback: the cloud-side
+// index answers each predicate with a point probe, so there is no shared
+// scan for a batch to amortise. The queries run concurrently over a
+// bounded worker pool.
+func (d *DetIndex) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	return fallbackSearchBatch(d, queries)
+}

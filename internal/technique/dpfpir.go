@@ -145,12 +145,13 @@ func (d *DPFPIR) cloudAnswer(key crypto.DPFKey, bits int, st *Stats) ([]byte, er
 	return answer, nil
 }
 
-// Search implements Technique: one PIR round per predicate.
-func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
+// lockForScan takes the read lock for a search, first rebuilding the
+// padded table if an outsource dirtied it: the rebuild upgrades to the
+// write lock with a double check (another searcher may have rebuilt in the
+// window). The caller must RUnlock.
+func (d *DPFPIR) lockForScan() {
 	d.mu.RLock()
 	if d.dirty {
-		// Upgrade to the write lock for the rebuild; another searcher may
-		// have rebuilt in the window, hence the second check.
 		d.mu.RUnlock()
 		d.mu.Lock()
 		if d.dirty {
@@ -159,6 +160,11 @@ func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
 		d.mu.Unlock()
 		d.mu.RLock()
 	}
+}
+
+// Search implements Technique: one PIR round per predicate.
+func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	d.lockForScan()
 	defer d.mu.RUnlock()
 	st := &Stats{Rounds: 1}
 	if len(d.table) == 0 {
@@ -211,4 +217,132 @@ func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	}
 	// No ReturnedAddrs: the clouds never learn which rows were touched.
 	return payloads, st, nil
+}
+
+// maxInflightRetrievals bounds how many PIR retrievals share one table
+// scan: each in-flight retrieval holds two domain-length bit vectors and
+// two bucket-sized accumulators, so scanning a whole huge batch at once
+// would cost O(batch x table) memory. Chunking keeps memory at
+// O(chunk x table) while still amortising the scan across up to this many
+// predicates.
+const maxInflightRetrievals = 64
+
+// SearchBatch implements Technique with a shared oblivious scan: the DPF
+// keys of the batch's predicates are evaluated, and then each of the two
+// clouds streams its padded table ONCE per chunk of up to
+// maxInflightRetrievals predicates, XORing every in-flight query's answer
+// as it goes — one table scan per chunk instead of one per predicate. The
+// per-key PRF evaluations and the XOR accumulation are inherently
+// per-query and stay attributed per query; only the scan (TuplesScanned)
+// is shared and counted once per chunk in the batch-level Stats.
+func (d *DPFPIR) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	nq := len(queries)
+	agg := &Stats{Rounds: 1, PerQuery: make([]*Stats, nq)}
+	out := make([][][]byte, nq)
+	for i := range agg.PerQuery {
+		agg.PerQuery[i] = &Stats{Rounds: 1}
+	}
+	if nq == 0 {
+		return out, agg, nil
+	}
+	d.lockForScan()
+	defer d.mu.RUnlock()
+	if len(d.table) == 0 {
+		return out, agg, nil
+	}
+	bits := crypto.DPFDomainBits(len(d.table))
+
+	// Plan one PIR retrieval per (query, live value), values in the same
+	// deterministic order Search uses. The plan holds only indices; the
+	// memory-heavy bit vectors and accumulators are materialised per
+	// chunk below.
+	type target struct {
+		qi    int
+		value relation.Value
+		idx   int
+	}
+	var plan []target
+	for qi, q := range queries {
+		sorted := append([]relation.Value(nil), q...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		for _, v := range sorted {
+			if idx, ok := d.valueIdx[v.Key()]; ok {
+				plan = append(plan, target{qi: qi, value: v, idx: idx})
+			}
+		}
+	}
+
+	type retrieval struct {
+		target
+		b0, b1 []byte
+		a0, a1 []byte
+	}
+	for start := 0; start < len(plan); start += maxInflightRetrievals {
+		chunk := plan[start:min(start+maxInflightRetrievals, len(plan))]
+		inflight := make([]*retrieval, 0, len(chunk))
+		for _, tg := range chunk {
+			k0, k1, err := crypto.DPFGen(uint64(tg.idx), bits, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			b0, err := crypto.DPFEvalAll(k0, len(d.table), bits)
+			if err != nil {
+				return nil, nil, err
+			}
+			b1, err := crypto.DPFEvalAll(k1, len(d.table), bits)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Key generation plus the per-key PRF work; not shareable.
+			agg.PerQuery[tg.qi].EncOps += 2 + 2*len(d.table)
+			sz := d.slots * d.slotSize
+			inflight = append(inflight, &retrieval{
+				target: tg, b0: b0, b1: b1,
+				a0: make([]byte, sz), a1: make([]byte, sz),
+			})
+		}
+
+		// The shared scan: both clouds stream the padded table once per
+		// chunk, serving every retrieval in flight.
+		agg.TuplesScanned += 2 * d.slots * len(d.table)
+		for j, blob := range d.table {
+			for _, r := range inflight {
+				if r.b0[j] == 1 {
+					xorInto(r.a0, blob)
+				}
+				if r.b1[j] == 1 {
+					xorInto(r.a1, blob)
+				}
+			}
+		}
+
+		for _, r := range inflight {
+			xorInto(r.a0, r.a1) // r.a0 is now the requested bucket
+			per := agg.PerQuery[r.qi]
+			per.TuplesTransferred += 2 * d.slots
+			per.BytesTransferred += 2 * len(r.a0)
+			for s := 0; s < d.slots; s++ {
+				off := s * d.slotSize
+				n := binary.BigEndian.Uint32(r.a0[off : off+4])
+				if n == 0 {
+					continue // padding slot
+				}
+				if int(n) > d.slotSize-4 {
+					return nil, nil, fmt.Errorf("technique: dpfpir corrupt slot length %d", n)
+				}
+				pt, err := d.prob.Decrypt(r.a0[off+4 : off+4+int(n)])
+				if err != nil {
+					return nil, nil, fmt.Errorf("technique: dpfpir open value %v slot %d: %w", r.value, s, err)
+				}
+				per.EncOps++
+				out[r.qi] = append(out[r.qi], pt)
+			}
+		}
+	}
+	for _, per := range agg.PerQuery {
+		agg.EncOps += per.EncOps
+		agg.TuplesTransferred += per.TuplesTransferred
+		agg.BytesTransferred += per.BytesTransferred
+	}
+	return out, agg, nil
 }

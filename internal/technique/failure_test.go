@@ -30,6 +30,21 @@ func (c *corruptStore) AttrColumn() []storage.EncRow {
 	return rows
 }
 
+// FetchBatch routes through the corrupting Fetch so the batched search
+// path sees the same injected failures and tampering as the per-query one
+// (the embedded store's own FetchBatch would serve pristine rows).
+func (c *corruptStore) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	out := make([][]storage.EncRow, len(addrBatches))
+	for i, addrs := range addrBatches {
+		rows, err := c.Fetch(addrs)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rows
+	}
+	return out, nil
+}
+
 func (c *corruptStore) Fetch(addrs []int) ([]storage.EncRow, error) {
 	if c.failFetch {
 		return nil, errors.New("injected fetch failure")

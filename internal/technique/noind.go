@@ -117,3 +117,82 @@ func (n *NoInd) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	st.ReturnedAddrs = addrs
 	return payloads, st, nil
 }
+
+// SearchBatch implements Technique with real cross-query sharing: the
+// encrypted attribute column is pulled and decrypted once for the whole
+// batch (the redundant per-query pull is exactly what batching amortises),
+// each query's matching addresses are found in that single pass, and the
+// matched tuples come back in one batched fetch round trip when the store
+// supports it. A tuple matched by several queries is decrypted once.
+// Shared work — the column scan and each distinct tuple decryption — is
+// counted once in the batch-level Stats; PerQuery[i] carries query i's
+// access pattern and result transfers.
+func (n *NoInd) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	nq := len(queries)
+	agg := &Stats{Rounds: 2, PerQuery: make([]*Stats, nq)}
+	out := make([][][]byte, nq)
+	if nq == 0 {
+		return out, agg, nil
+	}
+	// Inverted predicate index: value key -> the queries wanting it, so
+	// the column pass costs one lookup per row, not one per (row, query).
+	wantedBy := make(map[string][]int)
+	for i, q := range queries {
+		agg.PerQuery[i] = &Stats{Rounds: 2}
+		for k := range valueKeySet(q) {
+			wantedBy[k] = append(wantedBy[k], i)
+		}
+	}
+
+	// Round 1, shared: one column pull and one decryption pass serve
+	// every query in the batch.
+	col := n.store.AttrColumn()
+	agg.TuplesScanned = len(col)
+	agg.TuplesTransferred = len(col)
+	addrs := make([][]int, nq)
+	for _, row := range col {
+		agg.BytesTransferred += len(row.AttrCT)
+		pt, err := n.prob.Decrypt(row.AttrCT)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: noind attr decrypt addr %d: %w", row.Addr, err)
+		}
+		agg.EncOps++
+		v, _, err := relation.DecodeValue(pt)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, qi := range wantedBy[v.Key()] {
+			addrs[qi] = append(addrs[qi], row.Addr)
+		}
+	}
+
+	// Round 2, batched: one round trip fetches every query's matches.
+	rowBatches, err := fetchBatch(n.store, addrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	opened := make(map[int][]byte)
+	for qi, rows := range rowBatches {
+		per := agg.PerQuery[qi]
+		payloads := make([][]byte, 0, len(rows))
+		for _, r := range rows {
+			pt, ok := opened[r.Addr]
+			if !ok {
+				pt, err = n.prob.Decrypt(r.TupleCT)
+				if err != nil {
+					return nil, nil, fmt.Errorf("technique: noind tuple decrypt addr %d: %w", r.Addr, err)
+				}
+				agg.EncOps++ // shared: repeated across queries, opened once
+				opened[r.Addr] = pt
+			}
+			per.TuplesTransferred++
+			per.BytesTransferred += len(r.TupleCT)
+			payloads = append(payloads, pt)
+		}
+		per.ReturnedAddrs = addrs[qi]
+		out[qi] = payloads
+		agg.TuplesTransferred += per.TuplesTransferred
+		agg.BytesTransferred += per.BytesTransferred
+	}
+	return out, agg, nil
+}

@@ -144,3 +144,83 @@ func (s *ShamirScan) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	st.ReturnedAddrs = addrs
 	return payloads, st, nil
 }
+
+// SearchBatch implements Technique with a shared share-reconstruction
+// scan: each cloud streams its share column once for the whole batch, every
+// row's attribute digest is reconstructed once and matched against every
+// query's predicate set, and a payload matched by several queries is
+// opened once. The scan and the reconstructions are counted once in the
+// batch-level Stats; PerQuery[i] carries query i's access pattern and
+// result transfers.
+func (s *ShamirScan) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	nq := len(queries)
+	agg := &Stats{Rounds: 2, PerQuery: make([]*Stats, nq)}
+	out := make([][][]byte, nq)
+	if nq == 0 {
+		return out, agg, nil
+	}
+	// Inverted predicate index: attribute digest -> the queries wanting
+	// it, so the scan costs one lookup per row, not one per (row, query).
+	wantedBy := make(map[uint64][]int)
+	for i, q := range queries {
+		agg.PerQuery[i] = &Stats{Rounds: 2}
+		seen := make(map[uint64]bool, len(q))
+		for _, v := range q {
+			d := digest(v)
+			if !seen[d] {
+				seen[d] = true
+				wantedBy[d] = append(wantedBy[d], i)
+			}
+		}
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.blobs)
+	// Shared scan: the share columns stream back once per batch.
+	agg.TuplesScanned = n * s.NumClouds
+	agg.TuplesTransferred = n * s.Threshold
+	agg.BytesTransferred = 16 * n * s.Threshold
+
+	addrs := make([][]int, nq)
+	sharesBuf := make([]crypto.Share, s.Threshold)
+	for row := 0; row < n; row++ {
+		for c := 0; c < s.Threshold; c++ {
+			sharesBuf[c] = s.clouds[c][row]
+		}
+		dig, err := crypto.Reconstruct(sharesBuf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: shamir reconstruct row %d: %w", row, err)
+		}
+		agg.EncOps++ // one reconstruction serves the whole batch
+		for _, qi := range wantedBy[dig] {
+			addrs[qi] = append(addrs[qi], row)
+		}
+	}
+
+	opened := make(map[int][]byte)
+	for qi := range queries {
+		per := agg.PerQuery[qi]
+		payloads := make([][]byte, 0, len(addrs[qi]))
+		for _, a := range addrs[qi] {
+			pt, ok := opened[a]
+			if !ok {
+				var err error
+				pt, err = s.prob.Decrypt(s.blobs[a])
+				if err != nil {
+					return nil, nil, fmt.Errorf("technique: shamir open row %d: %w", a, err)
+				}
+				agg.EncOps++
+				opened[a] = pt
+			}
+			per.TuplesTransferred++
+			per.BytesTransferred += len(s.blobs[a])
+			payloads = append(payloads, pt)
+		}
+		per.ReturnedAddrs = addrs[qi]
+		out[qi] = payloads
+		agg.TuplesTransferred += per.TuplesTransferred
+		agg.BytesTransferred += per.BytesTransferred
+	}
+	return out, agg, nil
+}

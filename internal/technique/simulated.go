@@ -86,6 +86,15 @@ func (s *Simulated) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	return payloads, st, nil
 }
 
+// SearchBatch implements Technique as a per-query fallback: the simulated
+// systems charge a fixed per-query setup cost (enclave entry / MPC circuit
+// initialisation), so sharing work across a batch would falsify the very
+// cost model the technique exists to reproduce. Every query runs Search
+// and pays full freight; the aggregate SimulatedTime is the sum.
+func (s *Simulated) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error) {
+	return fallbackSearchBatch(s, queries)
+}
+
 // SimulateFullScan returns the virtual time for a query that must scan n
 // tuples, without doing the work — used by the analytical side of Table VI.
 func (s *Simulated) SimulateFullScan(n int) time.Duration {

@@ -21,4 +21,18 @@ type EncStore interface {
 	Rows() []storage.EncRow
 }
 
-var _ EncStore = (*storage.EncryptedStore)(nil)
+// BatchEncStore is an EncStore that can serve a whole batch's reads in one
+// operation — over the wire protocol, one round trip instead of one per
+// query. Techniques with a batched search path type-assert for it and fall
+// back to per-query calls when the store does not provide it.
+type BatchEncStore interface {
+	EncStore
+	// FetchBatch returns the full rows for each address list in
+	// addrBatches, indexed like addrBatches.
+	FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error)
+}
+
+var (
+	_ EncStore      = (*storage.EncryptedStore)(nil)
+	_ BatchEncStore = (*storage.EncryptedStore)(nil)
+)

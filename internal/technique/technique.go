@@ -9,6 +9,14 @@
 // store; the owner hands it plaintext rows to outsource and receives
 // decrypted payloads back from Search, together with cost statistics and the
 // cloud-observable access pattern.
+//
+// Every technique also answers whole batches through SearchBatch. The
+// scan-shaped techniques (NoInd, DPF-PIR, ShamirScan) share their column
+// pull or table scan across all queries of a batch — one store scan per
+// batch instead of one per query — while the index-shaped ones (DetIndex,
+// Arx) and the simulated cost models fall back to concurrent per-query
+// probes. Batched results and per-query access patterns are identical to a
+// sequential Search loop; only the cost profile changes.
 package technique
 
 import (
@@ -47,9 +55,19 @@ type Stats struct {
 	// SimulatedTime is nonzero only for simulated techniques (Opaque,
 	// Jana): the virtual wall-clock the calibrated cost model charges.
 	SimulatedTime time.Duration
+	// PerQuery is populated by SearchBatch only: entry i is query i's
+	// attributable slice of the batch — its ReturnedAddrs (the per-query
+	// access pattern the owner turns into an adversarial view) and its
+	// result-transfer counters. Work shared across the batch (a column
+	// pull or table scan serving every query at once) is counted once, in
+	// the batch-level counters above, and in no PerQuery entry; the
+	// top-level counters are therefore authoritative for total cost.
+	// Add ignores this field.
+	PerQuery []*Stats
 }
 
-// Add folds o into s.
+// Add folds o's counters into s. PerQuery is not merged: batch-level
+// attribution only makes sense relative to one SearchBatch call.
 func (s *Stats) Add(o *Stats) {
 	s.Rounds += o.Rounds
 	s.EncOps += o.EncOps
@@ -79,6 +97,17 @@ type Technique interface {
 	// Search returns the plaintext payloads of every outsourced row whose
 	// attribute value is in values, plus the cost/leakage statistics.
 	Search(values []relation.Value) ([][]byte, *Stats, error)
+	// SearchBatch answers many selections at once. Results and per-query
+	// access patterns are identical to calling Search once per element of
+	// queries — batching changes only the cost profile: scan-shaped
+	// techniques (NoInd, DPF-PIR, ShamirScan) perform their column pull /
+	// table scan once for the whole batch, and index-shaped ones fall back
+	// to concurrent per-query probes. The returned Stats is batch-level —
+	// shared work counted once in the top-level counters — with one
+	// PerQuery entry per query carrying that query's ReturnedAddrs and
+	// result transfers. On error the whole batch fails; callers needing
+	// sequential failure attribution re-run query by query.
+	SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, error)
 	// StoredRows reports how many encrypted rows the cloud holds.
 	StoredRows() int
 }

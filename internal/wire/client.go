@@ -305,6 +305,18 @@ func (c *Client) Fetch(addrs []int) ([]storage.EncRow, error) {
 	return resp.Rows, nil
 }
 
+// FetchBatch implements technique.BatchEncStore: a single round trip
+// returns the rows for every address list, so a batched search pays one
+// network latency for the whole batch's bin fetches instead of one per
+// query.
+func (c *Client) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	resp, err := c.call(&request{Op: opEncFetchBatch, AddrBatches: addrBatches})
+	if err != nil {
+		return nil, err
+	}
+	return resp.RowBatches, nil
+}
+
 // LookupToken implements technique.EncStore.
 func (c *Client) LookupToken(tok []byte) []int {
 	resp, err := c.call(&request{Op: opEncLookupToken, Token: tok})

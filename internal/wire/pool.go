@@ -11,13 +11,13 @@ import (
 )
 
 // Backend is the owner-side view of a remote cloud: cloud.PlainBackend
-// plus technique.EncStore plus the lifecycle and error surface. Both
-// *Client (one multiplexed connection) and *Pool (several) implement it,
-// so callers can pick connection-level parallelism without changing
-// anything else.
+// plus technique.BatchEncStore (the encrypted store including the batched
+// read path) plus the lifecycle and error surface. Both *Client (one
+// multiplexed connection) and *Pool (several) implement it, so callers can
+// pick connection-level parallelism without changing anything else.
 type Backend interface {
 	cloud.PlainBackend
-	technique.EncStore
+	technique.BatchEncStore
 
 	// Lifecycle and errors.
 	Ping() error
@@ -224,6 +224,14 @@ func (p *Pool) Fetch(addrs []int) ([]storage.EncRow, error) {
 		return nil, err
 	}
 	return p.pick().Fetch(addrs)
+}
+
+// FetchBatch round-robins after flushing pending uploads.
+func (p *Pool) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	if err := p.flushPrimary(); err != nil {
+		return nil, err
+	}
+	return p.pick().FetchBatch(addrBatches)
 }
 
 // LookupToken round-robins after flushing pending uploads.

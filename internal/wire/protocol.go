@@ -16,6 +16,11 @@
 // the transport. For CPU-bound encrypted scans a small connection pool
 // (DialPool) spreads calls over several multiplexed connections.
 //
+// Reads come in batched flavours too: opEncFetchBatch serves one address
+// list per query of a batched search in a single round trip, which is how
+// Client/Pool satisfy technique.BatchEncStore and how a remote QueryBatch
+// avoids paying one network latency per query.
+//
 // The protocol deliberately mirrors what the paper's adversary observes:
 // the clear-text side travels in the clear (the cloud owns that data
 // anyway), while the encrypted side carries only ciphertexts, tokens and
@@ -45,6 +50,9 @@ const (
 	opEncLookupToken
 	opEncRows
 	opPing
+	// opEncFetchBatch serves a whole batch's bin fetches in one round
+	// trip: one address list per query in, one row set per query out.
+	opEncFetchBatch
 )
 
 // request is the single wire request envelope; fields are populated
@@ -70,6 +78,8 @@ type request struct {
 	Token   []byte
 	Batch   []EncUpload
 	Addrs   []int
+	// AddrBatches is one address list per query (opEncFetchBatch).
+	AddrBatches [][]int
 }
 
 // EncUpload is one encrypted row in a batched upload.
@@ -89,4 +99,7 @@ type response struct {
 	Tuples []relation.Tuple
 	Rows   []storage.EncRow
 	Addrs  []int
+	// RowBatches is one row set per requested address list
+	// (opEncFetchBatch), indexed like request.AddrBatches.
+	RowBatches [][]storage.EncRow
 }

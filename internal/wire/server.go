@@ -181,6 +181,12 @@ func (c *Cloud) dispatch(req *request) response {
 			return response{Err: err.Error()}
 		}
 		return response{Rows: rows}
+	case opEncFetchBatch:
+		batches, err := c.enc.FetchBatch(req.AddrBatches)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{RowBatches: batches}
 	case opEncLookupToken:
 		return response{Addrs: c.enc.LookupToken(req.Token)}
 	case opEncRows:

@@ -36,14 +36,16 @@ func remoteBenchOwner(b *testing.B, ds *workload.Dataset, backend wire.Backend) 
 	return o
 }
 
-// BenchmarkRemoteQueryBatch is the remote-parallelism headline: a
+// BenchmarkRemoteQueryBatch is the remote-batching headline: a
 // 256-selection batch against a cloud reached over the multiplexed wire
 // protocol, sequential vs QueryBatch at 1, 4 and GOMAXPROCS workers, on
-// both an in-memory net.Pipe transport and real TCP loopback. With the
-// multiplexed client many calls share each connection concurrently, so
-// queries/sec scales with workers on multi-core (on a single CPU it
-// should at least not regress vs sequential remote Query). The pool holds
-// min(workers, GOMAXPROCS) connections.
+// both an in-memory net.Pipe transport and real TCP loopback. QueryBatch
+// pays one opEncAttrColumn and one opEncFetchBatch round trip for the
+// whole batch where the sequential loop pays one pair per query, so the
+// batched sub-benchmarks win even on a single CPU; extra workers
+// additionally parallelise the plaintext fetches against the server-side
+// dispatch pool on multi-core. The pool holds min(workers, GOMAXPROCS)
+// connections. Before/after numbers live in docs/BENCHMARKS.md.
 func BenchmarkRemoteQueryBatch(b *testing.B) {
 	ds := benchDataset(b, 2_000, 0.3)
 	queries := workload.QueryStream(ds, workload.QuerySpec{Queries: 64, Seed: 9})
