@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-remote docs ci
+.PHONY: build test vet race bench bench-remote docs smoke-remote ci
 
 build:
 	$(GO) build ./...
@@ -31,4 +31,12 @@ bench:
 bench-remote:
 	$(GO) test -bench=BenchmarkRemoteQueryBatch -benchmem -run='^$$' .
 
-ci: build test race docs
+# End-to-end multi-tenant smoke: boot the real qbcloud binary, run a
+# vertical client plus a second tenant against it over TCP (three
+# namespaces on one server), check answers against an in-process
+# reference and the per-store shutdown stats.
+smoke-remote:
+	$(GO) build -o bin/qbcloud ./cmd/qbcloud
+	$(GO) run ./cmd/qbsmoke -qbcloud bin/qbcloud
+
+ci: build test race docs smoke-remote

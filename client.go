@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	mrand "math/rand/v2"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/crypto"
@@ -93,6 +94,17 @@ type Config struct {
 	// parallelise the server's per-connection decode/encode work, which
 	// pays off for CPU-bound encrypted scans under QueryBatch.
 	CloudConns int
+	// Store selects the cloud-side namespace this client's relation lives
+	// in when CloudAddr is set. One qbcloud hosts any number of named
+	// store pairs, each with its own address space, token index and
+	// clear-text relation, so several clients (or tenants) share one
+	// server by picking distinct names. Empty selects the server's
+	// default store — the single implicit store of earlier versions.
+	// Names ending in "/columns" are reserved (vertical clients keep
+	// their sensitive-column relation in that sibling namespace) and
+	// rejected. Ignored for in-process clouds, which are private to the
+	// client.
+	Store string
 }
 
 // Client is the trusted DB owner side of the system: it partitions,
@@ -100,11 +112,60 @@ type Config struct {
 type Client struct {
 	owner  *owner.Owner
 	cfg    Config
-	remote wire.Backend // non-nil when CloudAddr is set
+	remote wire.Backend // the Config.Store namespace view; non-nil when CloudAddr is set
+
+	// transport is the shared connection (or pool) remote is a view of.
+	// ownsTransport is false for sub-clients composed over a transport
+	// someone else closes (e.g. a vertical client's two namespaces on one
+	// pool).
+	transport     wire.Transport
+	ownsTransport bool
+}
+
+// checkStoreName rejects namespaces reserved for vertical clients: a
+// regular client landing in some vertical client's "/columns" sibling
+// would interleave differently keyed ciphertexts in one store — exactly
+// the corruption the namespace split exists to prevent.
+func checkStoreName(store string) error {
+	if strings.HasSuffix(store, "/columns") {
+		return fmt.Errorf("repro: Config.Store %q: the \"/columns\" suffix is reserved for the sensitive-column namespace of vertical clients", store)
+	}
+	return nil
+}
+
+// dialTransport opens the shared connection (or connection pool) to
+// Config.CloudAddr; nil when the cloud is in-process.
+func dialTransport(cfg Config) (wire.Transport, error) {
+	if cfg.CloudAddr == "" {
+		return nil, nil
+	}
+	if err := checkStoreName(cfg.Store); err != nil {
+		return nil, err
+	}
+	if cfg.CloudConns > 1 {
+		return wire.DialPool(cfg.CloudAddr, cfg.CloudConns)
+	}
+	return wire.Dial(cfg.CloudAddr)
 }
 
 // NewClient validates the configuration and builds the client.
 func NewClient(cfg Config) (*Client, error) {
+	transport, err := dialTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, err := newClientOn(cfg, transport, true)
+	if err != nil && transport != nil {
+		transport.Close()
+	}
+	return c, err
+}
+
+// newClientOn builds a client over an already-open transport (nil for an
+// in-process cloud), selecting the Config.Store namespace view. The
+// caller keeps responsibility for closing the transport unless owns is
+// true.
+func newClientOn(cfg Config, transport wire.Transport, owns bool) (*Client, error) {
 	if len(cfg.MasterKey) == 0 {
 		return nil, errors.New("repro: Config.MasterKey is required")
 	}
@@ -114,20 +175,8 @@ func NewClient(cfg Config) (*Client, error) {
 	keys := crypto.DeriveKeys(cfg.MasterKey)
 
 	var remote wire.Backend
-	if cfg.CloudAddr != "" {
-		if cfg.CloudConns > 1 {
-			pool, err := wire.DialPool(cfg.CloudAddr, cfg.CloudConns)
-			if err != nil {
-				return nil, err
-			}
-			remote = pool
-		} else {
-			conn, err := wire.Dial(cfg.CloudAddr)
-			if err != nil {
-				return nil, err
-			}
-			remote = conn
-		}
+	if transport != nil {
+		remote = transport.Store(cfg.Store)
 	}
 	encStore := func() technique.EncStore {
 		if remote != nil {
@@ -159,9 +208,6 @@ func NewClient(cfg Config) (*Client, error) {
 		err = fmt.Errorf("repro: unknown technique %v", cfg.Technique)
 	}
 	if err != nil {
-		if remote != nil {
-			remote.Close()
-		}
 		return nil, err
 	}
 	if remote != nil {
@@ -169,7 +215,6 @@ func NewClient(cfg Config) (*Client, error) {
 		case TechNoInd, TechDetIndex, TechArx:
 			// Store-backed techniques run remote.
 		default:
-			remote.Close()
 			return nil, fmt.Errorf("repro: technique %v does not support a remote cloud", cfg.Technique)
 		}
 	}
@@ -177,17 +222,20 @@ func NewClient(cfg Config) (*Client, error) {
 	if remote != nil {
 		o.SetCloudBackend(remote)
 	}
-	return &Client{owner: o, cfg: cfg, remote: remote}, nil
+	return &Client{
+		owner: o, cfg: cfg, remote: remote,
+		transport: transport, ownsTransport: owns,
+	}, nil
 }
 
 // Close releases the remote cloud connections (and their mux goroutines)
 // when Config.CloudAddr is set; for an in-process cloud it is a no-op.
 // The cloud-side state outlives the client — see SaveMetadata/Resume.
 func (c *Client) Close() error {
-	if c.remote == nil {
+	if c.transport == nil || !c.ownsTransport {
 		return nil
 	}
-	return c.remote.Close()
+	return c.transport.Close()
 }
 
 // SaveMetadata persists the owner-side state (bins, value counts, fake
@@ -378,56 +426,98 @@ type VerticalClient struct {
 	v    *owner.VerticalOwner
 	main *Client
 	cols *Client
+
+	// transport is the shared connection both sub-clients' namespaces
+	// ride on (nil in-process); the vertical client owns and closes it.
+	transport wire.Transport
+}
+
+// verticalColumnsStore names the namespace the sensitive-column relation
+// lives in: the main store's name plus a "/columns" suffix, so one
+// Config.Store value yields a disjoint pair.
+func verticalColumnsStore(store string) string {
+	if store == "" {
+		store = wire.DefaultStore
+	}
+	return store + "/columns"
 }
 
 // NewVerticalClient builds a vertical client: cfg configures the
 // row-partitioned residual (as in NewClient), and sensitiveCols names the
 // columns that must never appear in clear-text regardless of row
-// sensitivity. Remote mode is rejected: the main and columns sub-clients
-// encrypt under different derived keys, and a qbcloud hosts a single
-// encrypted store, so their ciphertexts would interleave in one column
-// and every whole-column decryption (e.g. NoInd search) would fail.
+// sensitivity.
+//
+// With Config.CloudAddr set, the two sub-clients — which encrypt under
+// different derived keys — are composed over one shared connection (or
+// pool) but two distinct cloud-side namespaces: the residual relation
+// lives in Config.Store and the sensitive columns in its "/columns"
+// sibling, so the differently keyed ciphertexts never interleave in one
+// store and every whole-column decryption stays coherent.
 func NewVerticalClient(cfg Config, sensitiveCols []string) (*VerticalClient, error) {
-	if cfg.CloudAddr != "" {
-		return nil, errors.New("repro: vertical clients do not support a remote cloud (one qbcloud hosts a single encrypted store; the two sub-clients would interleave ciphertexts under different keys)")
-	}
-	main, err := NewClient(cfg)
+	transport, err := dialTransport(cfg)
 	if err != nil {
 		return nil, err
+	}
+	fail := func(err error) (*VerticalClient, error) {
+		if transport != nil {
+			transport.Close()
+		}
+		return nil, err
+	}
+	main, err := newClientOn(cfg, transport, false)
+	if err != nil {
+		return fail(err)
 	}
 	colsCfg := cfg
 	colsCfg.MasterKey = append(append([]byte(nil), cfg.MasterKey...), []byte("/columns")...)
-	colsClient, err := NewClient(colsCfg)
+	colsCfg.Store = verticalColumnsStore(cfg.Store)
+	colsClient, err := newClientOn(colsCfg, transport, false)
 	if err != nil {
-		main.Close()
-		return nil, err
+		return fail(err)
 	}
-	return &VerticalClient{
-		v:    owner.NewVertical(main.owner.Technique(), colsClient.owner.Technique(), cfg.Attr, sensitiveCols),
-		main: main,
-		cols: colsClient,
-	}, nil
+	v := owner.NewVertical(main.owner.Technique(), colsClient.owner.Technique(), cfg.Attr, sensitiveCols)
+	if main.remote != nil {
+		// The vertical owner builds a fresh inner owner around the main
+		// technique; its clear-text partition must reach the same remote
+		// namespace as the technique's encrypted one.
+		v.Main().SetCloudBackend(main.remote)
+	}
+	return &VerticalClient{v: v, main: main, cols: colsClient, transport: transport}, nil
 }
 
-// Close releases both underlying clients' resources. Currently a no-op
-// (vertical clients are always in-process), kept for symmetry with
-// Client.Close.
+// Close releases the shared remote transport both sub-clients ride on;
+// for an in-process vertical client it is a no-op. The cloud-side state
+// of both namespaces outlives the client.
 func (c *VerticalClient) Close() error {
-	err := c.main.Close()
-	if cerr := c.cols.Close(); err == nil {
-		err = cerr
+	if c.transport == nil {
+		return nil
 	}
-	return err
+	return c.transport.Close()
+}
+
+// flushRemote pushes both namespaces' buffered encrypted uploads.
+func (c *VerticalClient) flushRemote() error {
+	if err := c.main.flushRemote(); err != nil {
+		return err
+	}
+	return c.cols.flushRemote()
 }
 
 // Outsource splits r by column and row sensitivity and uploads all three
 // parts.
 func (c *VerticalClient) Outsource(r *Relation, rowSensitive func(Tuple) bool) error {
-	return c.v.Outsource(r, rowSensitive, c.main.binOptions())
+	if err := c.v.Outsource(r, rowSensitive, c.main.binOptions()); err != nil {
+		return err
+	}
+	return c.flushRemote()
 }
 
-// Query returns full original-schema tuples with attr = w.
-func (c *VerticalClient) Query(w Value) ([]Tuple, error) { return c.v.Query(w) }
+// Query returns full original-schema tuples with attr = w. Remote
+// failures on either namespace surface as errors (the sub-clients share
+// one transport, so one bracket observes both).
+func (c *VerticalClient) Query(w Value) ([]Tuple, error) {
+	return withRemoteCheck(c.main, func() ([]Tuple, error) { return c.v.Query(w) })
+}
 
 // AdversarialViews exposes the main cloud's view log.
 func (c *VerticalClient) AdversarialViews() []AdversarialView {

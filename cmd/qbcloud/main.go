@@ -1,17 +1,29 @@
-// Command qbcloud runs the untrusted public cloud as a standalone process:
-// it hosts the clear-text store for the non-sensitive partition and the
-// encrypted store for the sensitive partition, serving owners over the
-// wire protocol.
+// Command qbcloud runs the untrusted public cloud as a standalone
+// process: a registry of named store pairs — one clear-text store for a
+// relation's non-sensitive partition plus one encrypted store for its
+// sensitive partition per namespace — serving any number of owners over
+// the wire protocol. One qbcloud hosts many relations: each client picks
+// a namespace with repro.Config{Store: "name"} (empty selects "default"),
+// and a vertical client transparently uses a pair of namespaces on one
+// server.
 //
 // Usage:
 //
-//	qbcloud -addr :7040 [-workers N] [-state FILE]
+//	qbcloud -addr :7040 [-workers N] [-state FILE] [-stats DUR]
 //
-// Point a client at it with repro.Config{CloudAddr: "host:7040"}. The
-// wire protocol is multiplexed: every connection's requests are
-// dispatched concurrently through a bounded worker pool (-workers per
-// connection, default GOMAXPROCS), so a single owner running QueryBatch
-// gets real server-side parallelism.
+// Point a client at it with repro.Config{CloudAddr: "host:7040",
+// Store: "tenant"}. The wire protocol is versioned (clients and server
+// must speak the same generation; a pre-namespace client is refused with
+// an explicit version-mismatch error) and multiplexed: every connection's
+// requests are dispatched concurrently through a bounded worker pool
+// (-workers per connection, default GOMAXPROCS), so a single owner
+// running QueryBatch gets real server-side parallelism; namespaces only
+// lock against themselves, so tenants don't contend.
+//
+// -state persists every namespace in one snapshot file (restored at
+// start if present, saved on SIGINT/SIGTERM; pre-namespace state files
+// load into "default"). -stats prints per-store op/row counts every DUR
+// (e.g. 30s); the same table is always printed on shutdown.
 package main
 
 import (
@@ -22,23 +34,46 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
+	"time"
 
 	"repro/internal/wire"
 )
 
 func main() {
 	addr := flag.String("addr", ":7040", "listen address")
-	state := flag.String("state", "", "state file: restored at start if present, saved on SIGINT/SIGTERM")
+	state := flag.String("state", "", "state file: restored at start if present, saved on SIGINT/SIGTERM (all namespaces)")
 	workers := flag.Int("workers", 0, "concurrent ops dispatched per connection (0 = GOMAXPROCS)")
+	statsEvery := flag.Duration("stats", 0, "print per-store stats at this interval (0 = only on shutdown)")
 	flag.Parse()
-	if err := run(*addr, *state, *workers); err != nil {
+	if err := run(*addr, *state, *workers, *statsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "qbcloud:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, state string, workers int) error {
+// printStats writes the per-namespace accounting table.
+func printStats(cloud *wire.Cloud) {
+	stats := cloud.Stats()
+	if len(stats) == 0 {
+		fmt.Println("qbcloud: no stores yet")
+		return
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("qbcloud: %d store(s):\n", len(names))
+	for _, name := range names {
+		s := stats[name]
+		fmt.Printf("qbcloud:   store %-20s ops=%-8d plain_tuples=%-8d enc_rows=%d\n",
+			name, s.Ops, s.PlainTuples, s.EncRows)
+	}
+}
+
+func run(addr, state string, workers int, statsEvery time.Duration) error {
 	cloud := wire.NewCloud()
 	cloud.SetConnWorkers(workers)
 	if state != "" {
@@ -50,7 +85,7 @@ func run(addr, state string, workers int) error {
 			if restoreErr != nil {
 				return restoreErr
 			}
-			fmt.Printf("qbcloud: restored state from %s\n", state)
+			fmt.Printf("qbcloud: restored state from %s (%d stores)\n", state, len(cloud.StoreNames()))
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh start; the file will be created on shutdown.
 		default:
@@ -64,11 +99,20 @@ func run(addr, state string, workers int) error {
 	}
 	fmt.Printf("qbcloud: serving on %s\n", lis.Addr())
 
-	if state != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if statsEvery > 0 {
 		go func() {
-			<-sig
+			for range time.Tick(statsEvery) {
+				printStats(cloud)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		printStats(cloud)
+		if state != "" {
 			f, err := os.Create(state)
 			if err == nil {
 				err = cloud.Save(f)
@@ -81,8 +125,8 @@ func run(addr, state string, workers int) error {
 				os.Exit(1)
 			}
 			fmt.Printf("qbcloud: state saved to %s\n", state)
-			os.Exit(0)
-		}()
-	}
+		}
+		os.Exit(0)
+	}()
 	return cloud.Serve(lis)
 }

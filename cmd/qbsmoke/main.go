@@ -1,0 +1,200 @@
+// Command qbsmoke is the end-to-end smoke test behind `make smoke-remote`:
+// it boots a real qbcloud binary as a separate process, runs a vertical
+// client and a second tenant against it over TCP — two-plus namespaces
+// through one server — and checks every answer against an in-process
+// reference. It exits non-zero on any mismatch, so CI catches a broken
+// binary or protocol even when unit tests (which link the server in
+// process) still pass.
+//
+// Usage:
+//
+//	qbsmoke -qbcloud path/to/qbcloud
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	bin := flag.String("qbcloud", "bin/qbcloud", "path to the qbcloud binary to boot")
+	flag.Parse()
+	if err := run(*bin); err != nil {
+		fmt.Fprintln(os.Stderr, "qbsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("qbsmoke: OK")
+}
+
+// cloudOutput collects everything the qbcloud process prints; one reader
+// goroutine owns the pipe, so the address scan and the final stats check
+// never race over the stream.
+type cloudOutput struct {
+	mu   sync.Mutex
+	buf  strings.Builder
+	done chan struct{} // closed at EOF
+}
+
+func (o *cloudOutput) String() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.buf.String()
+}
+
+// bootCloud starts the qbcloud binary on an ephemeral port and returns
+// the address it reports, the process, and its collected output.
+func bootCloud(bin string) (string, *exec.Cmd, *cloudOutput, error) {
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		return "", nil, nil, fmt.Errorf("starting %s: %w", bin, err)
+	}
+	// qbcloud prints "qbcloud: serving on 127.0.0.1:PORT" once listening.
+	out := &cloudOutput{done: make(chan struct{})}
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(out.done)
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			out.mu.Lock()
+			out.buf.WriteString(line)
+			out.buf.WriteByte('\n')
+			out.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "qbcloud: serving on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, cmd, out, nil
+	case <-out.done:
+		cmd.Process.Kill()
+		return "", nil, nil, fmt.Errorf("%s exited before reporting its address", bin)
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return "", nil, nil, fmt.Errorf("%s did not report an address within 10s", bin)
+	}
+}
+
+func run(bin string) error {
+	addr, cmd, out, err := bootCloud(bin)
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+	fmt.Printf("qbsmoke: qbcloud up on %s\n", addr)
+
+	var s uint64 = 424242
+	baseCfg := repro.Config{
+		MasterKey: []byte("smoke master key"),
+		Attr:      "EId",
+		Seed:      &s,
+	}
+	emp := workload.Employee()
+	queries := []string{"E101", "E259", "E199", "E152", "E000"}
+
+	// Namespace pair 1+2: a vertical client (residual rows + sensitive
+	// columns) on the booted qbcloud, vs the in-process reference.
+	localV, err := repro.NewVerticalClient(baseCfg, []string{"SSN"})
+	if err != nil {
+		return err
+	}
+	remoteCfg := baseCfg
+	remoteCfg.CloudAddr = addr
+	remoteCfg.Store = "smoke-employee"
+	remoteV, err := repro.NewVerticalClient(remoteCfg, []string{"SSN"})
+	if err != nil {
+		return fmt.Errorf("vertical client over the wire: %w", err)
+	}
+	defer remoteV.Close()
+	if err := localV.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		return err
+	}
+	if err := remoteV.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		return fmt.Errorf("vertical outsource over the wire: %w", err)
+	}
+	for _, eid := range queries {
+		want, err := localV.Query(repro.Str(eid))
+		if err != nil {
+			return err
+		}
+		got, err := remoteV.Query(repro.Str(eid))
+		if err != nil {
+			return fmt.Errorf("vertical Query(%s) over the wire: %w", eid, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("vertical Query(%s) = %v, want %v", eid, got, want)
+		}
+	}
+	fmt.Println("qbsmoke: vertical client matches in-process reference")
+
+	// Namespace 3: a second tenant on the same server, different keys,
+	// fully sensitive relation.
+	tenantCfg := repro.Config{
+		MasterKey: []byte("smoke tenant b"),
+		Attr:      "EId",
+		Seed:      &s,
+		CloudAddr: addr,
+		Store:     "smoke-tenant-b",
+	}
+	tenant, err := repro.NewClient(tenantCfg)
+	if err != nil {
+		return err
+	}
+	defer tenant.Close()
+	if err := tenant.Outsource(emp.Clone(), func(repro.Tuple) bool { return true }); err != nil {
+		return fmt.Errorf("tenant outsource: %w", err)
+	}
+	for _, eid := range queries {
+		want, _ := emp.Select("EId", repro.Str(eid))
+		got, err := tenant.Query(repro.Str(eid))
+		if err != nil {
+			return fmt.Errorf("tenant Query(%s): %w", eid, err)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("tenant Query(%s) = %d tuples, want %d", eid, len(got), len(want))
+		}
+	}
+	fmt.Println("qbsmoke: second tenant namespace answers correctly")
+
+	// Shut the server down and check its per-store accounting mentions
+	// all three namespaces.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	select {
+	case <-out.done:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("qbcloud did not exit within 10s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("qbcloud exit: %w (output: %s)", err, out)
+	}
+	for _, ns := range []string{"smoke-employee", "smoke-employee/columns", "smoke-tenant-b"} {
+		if !strings.Contains(out.String(), ns) {
+			return fmt.Errorf("qbcloud shutdown stats missing namespace %q:\n%s", ns, out)
+		}
+	}
+	fmt.Println("qbsmoke: qbcloud reported per-store stats for all namespaces")
+	return nil
+}

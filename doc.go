@@ -57,14 +57,28 @@
 // calls in flight on one connection and the server dispatches them
 // concurrently, and a batched query pays a single round trip for the
 // whole batch's encrypted bin fetches. CloudConns adds a small connection
-// pool on top for CPU-bound encrypted scans:
+// pool on top for CPU-bound encrypted scans.
+//
+// One qbcloud hosts any number of relations: Config.Store selects the
+// cloud-side namespace (its own clear-text store, encrypted store and
+// address space; empty means "default"), so several tenants share one
+// server without sharing state. The protocol is versioned — a connection
+// opens with a handshake, and generation skew fails with an explicit
+// version-mismatch error rather than corrupted frames:
 //
 //	remote, err := repro.NewClient(repro.Config{
 //		MasterKey:  key,
 //		Attr:       "EId",
 //		CloudAddr:  "cloud-host:7040", // a running qbcloud process
 //		CloudConns: 4,                 // optional connection pool
+//		Store:      "hr",              // namespace on the shared cloud
 //	})
+//
+// Namespaces are also what let a vertical client (NewVerticalClient —
+// column-level sensitivity on top of row-level) run remotely: its two
+// differently keyed sub-clients share one transport but live in the
+// Store and Store+"/columns" namespaces, so their ciphertexts never
+// interleave in one store.
 //
 // Every query is rewritten by Algorithm 2 into one sensitive bin (sent
 // encrypted) and one non-sensitive bin (sent in clear-text), so the cloud's

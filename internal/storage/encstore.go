@@ -2,7 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 )
 
 // EncRow is one outsourced sensitive tuple as the cloud sees it: opaque
@@ -16,59 +18,104 @@ type EncRow struct {
 	Token   []byte // deterministic/Arx token, nil for non-indexable techniques
 }
 
-// EncryptedStore holds the encrypted sensitive relation Rs at the cloud.
-// It is safe for concurrent use: reads (column pulls, fetches, token
-// lookups) share a read lock, uploads take the write lock. Rows are
-// append-only, so addresses handed out by a read remain valid afterwards.
-type EncryptedStore struct {
-	mu       sync.RWMutex
-	rows     []EncRow
-	tokenIdx map[string][]int // token -> addresses, for indexable techniques
+// tokenShards is the stripe count of the token index. 16 stripes keep the
+// per-shard maps small and let concurrent LookupToken calls proceed
+// without sharing a lock in the common case.
+const tokenShards = 16
+
+// tokenShard is one stripe of the token index: its own lock, its own map.
+type tokenShard struct {
+	mu sync.RWMutex
+	m  map[string][]int // token -> addresses, append-only per key
 }
+
+// EncryptedStore holds the encrypted sensitive relation Rs at the cloud.
+// It is safe for concurrent use and its read paths are built to scale
+// with worker count:
+//
+//   - The row column is append-only and published through an atomic
+//     snapshot pointer, so Fetch/FetchBatch/AttrColumn/Rows/Len never
+//     take a lock at all — under a high-worker QueryBatch the readers
+//     stop contending on a single RWMutex's reader count.
+//   - The token index is striped across tokenShards locks, so parallel
+//     LookupToken calls from different queries usually hit different
+//     stripes.
+//
+// Only Add serialises (on the writer mutex plus the touched token
+// stripe). Rows are append-only, so addresses handed out by a read remain
+// valid afterwards, and a published snapshot never sees a row mutate
+// beneath it.
+type EncryptedStore struct {
+	writeMu sync.Mutex // serialises Add: address assignment + append
+	rows    []EncRow   // owned by Add; readers use snap
+
+	// snap is the last published row slice. Appends that grow in place
+	// write only beyond the published length, so a reader holding an
+	// older snapshot never observes a torn row.
+	snap atomic.Pointer[[]EncRow]
+
+	tokens [tokenShards]tokenShard
+}
+
+// tokenSeed makes the stripe hash per-process (no cross-store coupling,
+// no adversarially predictable stripes).
+var tokenSeed = maphash.MakeSeed()
 
 // NewEncryptedStore returns an empty store.
 func NewEncryptedStore() *EncryptedStore {
-	return &EncryptedStore{tokenIdx: make(map[string][]int)}
+	s := &EncryptedStore{}
+	empty := []EncRow(nil)
+	s.snap.Store(&empty)
+	for i := range s.tokens {
+		s.tokens[i].m = make(map[string][]int)
+	}
+	return s
+}
+
+func (s *EncryptedStore) shard(token []byte) *tokenShard {
+	return &s.tokens[maphash.Bytes(tokenSeed, token)%tokenShards]
 }
 
 // Add appends a row, assigning its address, and indexes its token if any.
 func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
 	addr := len(s.rows)
 	s.rows = append(s.rows, EncRow{Addr: addr, TupleCT: tupleCT, AttrCT: attrCT, Token: token})
+	// Publish before indexing the token, so an address found through
+	// LookupToken is always fetchable from the row snapshot.
+	rows := s.rows
+	s.snap.Store(&rows)
+	s.writeMu.Unlock()
+
 	if token != nil {
+		sh := s.shard(token)
 		k := string(token)
-		s.tokenIdx[k] = append(s.tokenIdx[k], addr)
+		sh.mu.Lock()
+		sh.m[k] = append(sh.m[k], addr)
+		sh.mu.Unlock()
 	}
 	return addr
 }
 
+// snapshot returns the currently published rows; lock-free.
+func (s *EncryptedStore) snapshot() []EncRow { return *s.snap.Load() }
+
 // Len returns the number of stored rows.
-func (s *EncryptedStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.rows)
-}
+func (s *EncryptedStore) Len() int { return len(s.snapshot()) }
 
 // Rows exposes the stored rows; the honest-but-curious adversary sees these
 // ciphertexts at rest. The returned slice is a snapshot: rows appended
 // concurrently are not visible through it.
-func (s *EncryptedStore) Rows() []EncRow {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.rows
-}
+func (s *EncryptedStore) Rows() []EncRow { return s.snapshot() }
 
 // AttrColumn returns the encrypted searchable-attribute column with
 // addresses — the first round of the paper's non-indexable search ("retrieve
 // the searching attribute of a sensitive relation at the DB owner side,
 // decrypt, and search").
 func (s *EncryptedStore) AttrColumn() []EncRow {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]EncRow, len(s.rows))
-	for i, r := range s.rows {
+	rows := s.snapshot()
+	out := make([]EncRow, len(rows))
+	for i, r := range rows {
 		out[i] = EncRow{Addr: r.Addr, AttrCT: r.AttrCT}
 	}
 	return out
@@ -76,42 +123,42 @@ func (s *EncryptedStore) AttrColumn() []EncRow {
 
 // Fetch returns the full rows at the given addresses — the second round.
 func (s *EncryptedStore) Fetch(addrs []int) ([]EncRow, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	rows := s.snapshot()
 	out := make([]EncRow, 0, len(addrs))
 	for _, a := range addrs {
-		if a < 0 || a >= len(s.rows) {
-			return nil, fmt.Errorf("storage: address %d out of range [0,%d)", a, len(s.rows))
+		if a < 0 || a >= len(rows) {
+			return nil, fmt.Errorf("storage: address %d out of range [0,%d)", a, len(rows))
 		}
-		out = append(out, s.rows[a])
+		out = append(out, rows[a])
 	}
 	return out, nil
 }
 
 // FetchBatch returns the full rows for each address list in addrBatches —
 // the batched second round: one call (one wire round trip, when the store
-// is remote) serves every query in a batch.
+// is remote) serves every query in a batch. The whole batch reads one
+// consistent snapshot.
 func (s *EncryptedStore) FetchBatch(addrBatches [][]int) ([][]EncRow, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	rows := s.snapshot()
 	out := make([][]EncRow, len(addrBatches))
 	for i, addrs := range addrBatches {
-		rows := make([]EncRow, 0, len(addrs))
+		set := make([]EncRow, 0, len(addrs))
 		for _, a := range addrs {
-			if a < 0 || a >= len(s.rows) {
-				return nil, fmt.Errorf("storage: address %d out of range [0,%d)", a, len(s.rows))
+			if a < 0 || a >= len(rows) {
+				return nil, fmt.Errorf("storage: address %d out of range [0,%d)", a, len(rows))
 			}
-			rows = append(rows, s.rows[a])
+			set = append(set, rows[a])
 		}
-		out[i] = rows
+		out[i] = set
 	}
 	return out, nil
 }
 
 // LookupToken returns the addresses whose token equals tok (indexable
-// techniques only).
+// techniques only). Only the stripe owning tok is locked.
 func (s *EncryptedStore) LookupToken(tok []byte) []int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tokenIdx[string(tok)]
+	sh := s.shard(tok)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.m[string(tok)]
 }

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store is one named relation's complete cloud-side state: the clear-text
+// store for its non-sensitive partition and the encrypted store for its
+// sensitive partition. A multi-tenant cloud holds one Store per
+// namespace, each independently keyed by its owner.
+//
+// The per-store lock guards the plain pointer only: installing (or
+// replacing) the clear-text store is exclusive against every operation in
+// flight on the same store, while operations on other stores proceed
+// untouched. The encrypted store pointer is fixed for the Store's
+// lifetime and synchronises internally.
+type Store struct {
+	mu    sync.RWMutex // guards the plain pointer, not the stores
+	plain *PlainStore
+	enc   *EncryptedStore
+}
+
+// NewStore returns an empty store (no relation loaded, empty encrypted
+// side).
+func NewStore() *Store {
+	return &Store{enc: NewEncryptedStore()}
+}
+
+// SetPlain installs or replaces the clear-text store. It takes the
+// store's write lock, so it is exclusive against every ReadView in
+// flight: an operation can never land in a relation that a concurrent
+// load has already swapped out.
+func (s *Store) SetPlain(ps *PlainStore) {
+	s.mu.Lock()
+	s.plain = ps
+	s.mu.Unlock()
+}
+
+// ReadView returns the current clear-text store (nil before any load) and
+// the encrypted store under the store's read lock. The caller must invoke
+// release when the operation completes; reads on the same store run in
+// parallel, a SetPlain waits for them.
+func (s *Store) ReadView() (plain *PlainStore, enc *EncryptedStore, release func()) {
+	s.mu.RLock()
+	return s.plain, s.enc, s.mu.RUnlock
+}
+
+// Plain returns the current clear-text store without retaining the lock —
+// for stats and snapshots taken while the store set is quiesced.
+func (s *Store) Plain() *PlainStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.plain
+}
+
+// Enc returns the encrypted store. The pointer never changes for the
+// Store's lifetime, so no lock is needed.
+func (s *Store) Enc() *EncryptedStore { return s.enc }
+
+// StoreSet is a race-safe registry of named stores — the state of a
+// multi-tenant cloud. Lookup and creation are atomic: two clients
+// touching the same new namespace concurrently get the same *Store.
+type StoreSet struct {
+	mu sync.RWMutex
+	m  map[string]*Store
+}
+
+// NewStoreSet returns an empty registry.
+func NewStoreSet() *StoreSet {
+	return &StoreSet{m: make(map[string]*Store)}
+}
+
+// Get returns the named store, if it exists.
+func (ss *StoreSet) Get(name string) (*Store, bool) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	st, ok := ss.m[name]
+	return st, ok
+}
+
+// GetOrCreate returns the named store, creating it empty on first use.
+func (ss *StoreSet) GetOrCreate(name string) *Store {
+	ss.mu.RLock()
+	st, ok := ss.m[name]
+	ss.mu.RUnlock()
+	if ok {
+		return st
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if st, ok := ss.m[name]; ok {
+		return st
+	}
+	st = NewStore()
+	ss.m[name] = st
+	return st
+}
+
+// Set installs a store under name, replacing any existing one. Restore
+// paths use it; callers must ensure no operations are in flight on the
+// replaced store.
+func (ss *StoreSet) Set(name string, st *Store) {
+	ss.mu.Lock()
+	ss.m[name] = st
+	ss.mu.Unlock()
+}
+
+// Reset drops every store. Restore paths use it under the same quiescence
+// requirement as Set.
+func (ss *StoreSet) Reset() {
+	ss.mu.Lock()
+	ss.m = make(map[string]*Store)
+	ss.mu.Unlock()
+}
+
+// Names returns the registered namespaces in sorted order.
+func (ss *StoreSet) Names() []string {
+	ss.mu.RLock()
+	out := make([]string, 0, len(ss.m))
+	for name := range ss.m {
+		out = append(out, name)
+	}
+	ss.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered namespaces.
+func (ss *StoreSet) Len() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return len(ss.m)
+}

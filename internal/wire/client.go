@@ -10,10 +10,13 @@ import (
 	"repro/internal/storage"
 )
 
-// Client is the owner-side connection to a remote cloud. It implements
-// cloud.PlainBackend for the clear-text partition and technique.EncStore
-// for the encrypted partition, so the standard owner and techniques work
-// over the network unchanged.
+// Client is the owner-side connection to a remote cloud. One connection
+// serves any number of namespaces: WithStore returns a per-namespace view
+// implementing cloud.PlainBackend for the clear-text partition and
+// technique.BatchEncStore for the encrypted partition, so the standard
+// owner and techniques work over the network unchanged. For the common
+// single-relation case the Client itself implements the same surface,
+// delegating to its DefaultStore view.
 //
 // The connection is multiplexed: every request carries an ID, a writer
 // goroutine frames requests in submission order, and a reader goroutine
@@ -22,6 +25,11 @@ import (
 // therefore gains real cloud-side parallelism through a remote backend;
 // DialPool adds connection-level parallelism on top for CPU-bound
 // encrypted scans.
+//
+// The first round trip performs the protocol handshake (opHello): a
+// server that cannot echo ProtocolVersion poisons the client with an
+// explicit version-mismatch error, so generation skew fails at the first
+// call instead of corrupting frames.
 //
 // Error semantics: only transport failures are sticky. The first one
 // poisons the client — every in-flight and subsequent call fails with the
@@ -50,18 +58,16 @@ type Client struct {
 	nextID   uint64
 	inflight map[uint64]chan *response
 
-	// bufMu guards the encrypted-upload buffer. It is held across the
-	// flush round trip so the buffer and serverLen stay consistent with
-	// the server.
-	bufMu   sync.Mutex
-	pending []EncUpload
-	// serverLen tracks the server-side row count after the last
-	// acknowledged flush, so Add can assign addresses without a round
-	// trip. It is synced from the server on first use (lenSynced), so a
-	// fresh client attaching to an already-populated cloud does not hand
-	// out addresses that collide with existing rows.
-	serverLen int
-	lenSynced bool
+	// helloOnce runs the version handshake before the first real op;
+	// helloErr is its sticky outcome.
+	helloOnce sync.Once
+	helloErr  error
+
+	// storeMu guards the per-namespace view registry; def is the
+	// DefaultStore view the Client's own methods delegate to.
+	storeMu sync.Mutex
+	stores  map[string]*StoreClient
+	def     *StoreClient
 }
 
 // Dial connects to a remote cloud at addr.
@@ -83,10 +89,32 @@ func NewClient(conn net.Conn) *Client {
 		sendq:    make(chan *request),
 		dead:     make(chan struct{}),
 		inflight: make(map[uint64]chan *response),
+		stores:   make(map[string]*StoreClient),
 	}
+	c.def = c.WithStore(DefaultStore)
 	c.start()
 	return c
 }
+
+// WithStore returns the view of the named server-side namespace ("" means
+// DefaultStore). Views share the connection, its multiplexing and its
+// error state, but each has its own upload buffer and address arithmetic,
+// so differently keyed relations can ride one transport without
+// interleaving. The same name always yields the same view.
+func (c *Client) WithStore(name string) *StoreClient {
+	name = storeName(name)
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if s, ok := c.stores[name]; ok {
+		return s
+	}
+	s := &StoreClient{c: c, store: name}
+	c.stores[name] = s
+	return s
+}
+
+// Store implements Transport: the Backend view of one namespace.
+func (c *Client) Store(name string) Backend { return c.WithStore(name) }
 
 // Close closes the connection and releases every in-flight call: they
 // and all later calls fail with a client-closed error. An explicit Close
@@ -113,7 +141,8 @@ func (c *Client) Err() error {
 // logical error, but also transport failures and use-after-close those
 // methods swallowed into zero values. A logical error never poisons the
 // connection, so this is a per-op record: later successful calls do not
-// clear it, later failing calls overwrite it.
+// clear it, later failing calls overwrite it. The record is shared by
+// every store view on the connection.
 func (c *Client) LogicalErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -144,26 +173,121 @@ func (c *Client) noteLogical(err error) {
 	c.logicalN++
 }
 
-// call flushes buffered uploads and performs one round trip.
-func (c *Client) call(req *request) (*response, error) {
-	if err := c.Flush(); err != nil {
-		return nil, err
-	}
-	return c.roundTrip(req)
-}
-
-// Ping checks liveness.
+// Ping checks liveness (and, on first use, performs the handshake).
 func (c *Client) Ping() error {
-	_, err := c.call(&request{Op: opPing})
+	_, err := c.roundTrip(&request{Op: opPing})
 	return err
 }
+
+// --- DefaultStore delegation -------------------------------------------
+//
+// The Client keeps the full Backend surface for the one-relation case;
+// every method is the DefaultStore view's.
+
+// Load implements cloud.PlainBackend on the default store.
+func (c *Client) Load(rns *relation.Relation, attr string) error { return c.def.Load(rns, attr) }
+
+// Search implements cloud.PlainBackend on the default store.
+func (c *Client) Search(values []relation.Value) []relation.Tuple { return c.def.Search(values) }
+
+// SearchRange implements cloud.PlainBackend on the default store.
+func (c *Client) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	return c.def.SearchRange(lo, hi)
+}
+
+// Insert implements cloud.PlainBackend on the default store.
+func (c *Client) Insert(t relation.Tuple) error { return c.def.Insert(t) }
+
+// Add implements technique.EncStore on the default store.
+func (c *Client) Add(tupleCT, attrCT, token []byte) int { return c.def.Add(tupleCT, attrCT, token) }
+
+// Flush uploads the default store's pending encrypted rows.
+func (c *Client) Flush() error { return c.def.Flush() }
+
+// Len implements technique.EncStore on the default store.
+func (c *Client) Len() int { return c.def.Len() }
+
+// AttrColumn implements technique.EncStore on the default store.
+func (c *Client) AttrColumn() []storage.EncRow { return c.def.AttrColumn() }
+
+// Fetch implements technique.EncStore on the default store.
+func (c *Client) Fetch(addrs []int) ([]storage.EncRow, error) { return c.def.Fetch(addrs) }
+
+// FetchBatch implements technique.BatchEncStore on the default store.
+func (c *Client) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	return c.def.FetchBatch(addrBatches)
+}
+
+// LookupToken implements technique.EncStore on the default store.
+func (c *Client) LookupToken(tok []byte) []int { return c.def.LookupToken(tok) }
+
+// Rows implements technique.EncStore on the default store.
+func (c *Client) Rows() []storage.EncRow { return c.def.Rows() }
+
+// --- StoreClient --------------------------------------------------------
+
+// StoreClient is one namespace's view of a shared connection. It
+// implements the full Backend surface — cloud.PlainBackend plus
+// technique.BatchEncStore — scoped to its store: every request it frames
+// carries the store name, and it owns the namespace's upload buffer and
+// client-side address arithmetic. Transport state (multiplexing, sticky
+// errors, the logical-error record) is shared with the connection.
+//
+// StoreClient is safe for concurrent use.
+type StoreClient struct {
+	c     *Client
+	store string
+
+	// bufMu guards the encrypted-upload buffer. It is held across the
+	// flush round trip so the buffer and serverLen stay consistent with
+	// the server.
+	bufMu   sync.Mutex
+	pending []EncUpload
+	// serverLen tracks the server-side row count of this namespace after
+	// the last acknowledged flush, so Add can assign addresses without a
+	// round trip. It is synced from the server on first use (lenSynced),
+	// so a fresh client attaching to an already-populated store does not
+	// hand out addresses that collide with existing rows.
+	serverLen int
+	lenSynced bool
+}
+
+// StoreName returns the namespace this view addresses.
+func (s *StoreClient) StoreName() string { return s.store }
+
+// call flushes buffered uploads and performs one round trip, stamping the
+// request with the view's namespace.
+func (s *StoreClient) call(req *request) (*response, error) {
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	req.Store = s.store
+	return s.c.roundTrip(req)
+}
+
+// Ping checks liveness of the shared connection.
+func (s *StoreClient) Ping() error { return s.c.Ping() }
+
+// Err returns the shared connection's sticky transport error.
+func (s *StoreClient) Err() error { return s.c.Err() }
+
+// LogicalErr returns the shared connection's per-op error record.
+func (s *StoreClient) LogicalErr() error { return s.c.LogicalErr() }
+
+// LogicalErrCount returns the shared connection's per-op error count.
+func (s *StoreClient) LogicalErrCount() uint64 { return s.c.LogicalErrCount() }
+
+// Close closes the SHARED connection: every view on it dies with it. A
+// caller owning several views (e.g. a vertical client's two namespaces)
+// should close once, through whichever handle it keeps.
+func (s *StoreClient) Close() error { return s.c.Close() }
 
 // --- cloud.PlainBackend -----------------------------------------------
 
 // Load implements cloud.PlainBackend: ships the non-sensitive relation to
-// the cloud in clear-text.
-func (c *Client) Load(rns *relation.Relation, attr string) error {
-	_, err := c.call(&request{
+// the view's namespace in clear-text.
+func (s *StoreClient) Load(rns *relation.Relation, attr string) error {
+	_, err := s.call(&request{
 		Op:     opPlainLoad,
 		Schema: rns.Schema,
 		Tuples: rns.Tuples,
@@ -173,28 +297,28 @@ func (c *Client) Load(rns *relation.Relation, attr string) error {
 }
 
 // Search implements cloud.PlainBackend.
-func (c *Client) Search(values []relation.Value) []relation.Tuple {
-	resp, err := c.call(&request{Op: opPlainSearch, Values: values})
+func (s *StoreClient) Search(values []relation.Value) []relation.Tuple {
+	resp, err := s.call(&request{Op: opPlainSearch, Values: values})
 	if err != nil {
-		c.noteLogical(err)
+		s.c.noteLogical(err)
 		return nil
 	}
 	return resp.Tuples
 }
 
 // SearchRange implements cloud.PlainBackend.
-func (c *Client) SearchRange(lo, hi relation.Value) []relation.Tuple {
-	resp, err := c.call(&request{Op: opPlainSearchRange, Lo: lo, Hi: hi})
+func (s *StoreClient) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	resp, err := s.call(&request{Op: opPlainSearchRange, Lo: lo, Hi: hi})
 	if err != nil {
-		c.noteLogical(err)
+		s.c.noteLogical(err)
 		return nil
 	}
 	return resp.Tuples
 }
 
 // Insert implements cloud.PlainBackend.
-func (c *Client) Insert(t relation.Tuple) error {
-	_, err := c.call(&request{Op: opPlainInsert, Tuple: t})
+func (s *StoreClient) Insert(t relation.Tuple) error {
+	_, err := s.call(&request{Op: opPlainInsert, Tuple: t})
 	return err
 }
 
@@ -203,24 +327,24 @@ func (c *Client) Insert(t relation.Tuple) error {
 // Add implements technique.EncStore. Uploads are buffered; they are
 // flushed automatically before any read operation, or explicitly with
 // Flush. The returned address is computed client-side (the server assigns
-// addresses sequentially in upload order).
-func (c *Client) Add(tupleCT, attrCT, token []byte) int {
-	c.bufMu.Lock()
-	defer c.bufMu.Unlock()
-	if c.stickyErr() != nil {
+// addresses sequentially in upload order, per namespace).
+func (s *StoreClient) Add(tupleCT, attrCT, token []byte) int {
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	if s.c.stickyErr() != nil {
 		return -1
 	}
-	if !c.lenSynced {
-		resp, err := c.roundTrip(&request{Op: opEncLen})
+	if !s.lenSynced {
+		resp, err := s.c.roundTrip(&request{Op: opEncLen, Store: s.store})
 		if err != nil {
-			c.noteLogical(err)
+			s.c.noteLogical(err)
 			return -1
 		}
-		c.serverLen = resp.N
-		c.lenSynced = true
+		s.serverLen = resp.N
+		s.lenSynced = true
 	}
-	addr := c.serverLen + len(c.pending)
-	c.pending = append(c.pending, EncUpload{
+	addr := s.serverLen + len(s.pending)
+	s.pending = append(s.pending, EncUpload{
 		TupleCT: cloneBytes(tupleCT), AttrCT: cloneBytes(attrCT), Token: cloneBytes(token),
 	})
 	return addr
@@ -230,20 +354,20 @@ func (c *Client) Add(tupleCT, attrCT, token []byte) int {
 // buffered — their addresses were already handed out by Add, so dropping
 // them would silently corrupt the technique's index — and a later Flush
 // retries them.
-func (c *Client) Flush() error {
-	c.bufMu.Lock()
-	defer c.bufMu.Unlock()
+func (s *StoreClient) Flush() error {
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
 	// Surface the sticky error even with nothing buffered: after a
 	// transport failure Add buffers nothing, so an empty-pending nil here
 	// would let an Outsource over a dead connection report success.
-	if err := c.stickyErr(); err != nil {
+	if err := s.c.stickyErr(); err != nil {
 		return err
 	}
-	if len(c.pending) == 0 {
+	if len(s.pending) == 0 {
 		return nil
 	}
-	batch := c.pending
-	resp, err := c.roundTrip(&request{Op: opEncAddBatch, Batch: batch})
+	batch := s.pending
+	resp, err := s.c.roundTrip(&request{Op: opEncAddBatch, Store: s.store, Batch: batch})
 	if err != nil {
 		// Keep the batch buffered for retry: its addresses were already
 		// handed out by Add, so dropping the rows would silently corrupt
@@ -255,50 +379,50 @@ func (c *Client) Flush() error {
 		// addresses can no longer be honoured — no retry can fix that, so
 		// fail the client loudly rather than let every later Fetch return
 		// the wrong row.
-		if c.stickyErr() == nil {
-			if lenResp, lerr := c.roundTrip(&request{Op: opEncLen}); lerr == nil {
-				if c.lenSynced && lenResp.N != c.serverLen {
-					c.fail(fmt.Errorf(
-						"wire: flush: server length %d after rejected batch, expected %d: batch partially applied, handed-out addresses lost (%w)",
-						lenResp.N, c.serverLen, err))
+		if s.c.stickyErr() == nil {
+			if lenResp, lerr := s.c.roundTrip(&request{Op: opEncLen, Store: s.store}); lerr == nil {
+				if s.lenSynced && lenResp.N != s.serverLen {
+					s.c.fail(fmt.Errorf(
+						"wire: flush: store %q length %d after rejected batch, expected %d: batch partially applied, handed-out addresses lost (%w)",
+						s.store, lenResp.N, s.serverLen, err))
 					return err
 				}
-				c.serverLen = lenResp.N
-				c.lenSynced = true
+				s.serverLen = lenResp.N
+				s.lenSynced = true
 			}
 		}
 		return err
 	}
 	// bufMu is held across the whole round trip and Add requires it too,
 	// so pending cannot have grown since batch was taken.
-	c.pending = nil
-	c.serverLen += resp.N
+	s.pending = nil
+	s.serverLen += resp.N
 	return nil
 }
 
 // Len implements technique.EncStore.
-func (c *Client) Len() int {
-	resp, err := c.call(&request{Op: opEncLen})
+func (s *StoreClient) Len() int {
+	resp, err := s.call(&request{Op: opEncLen})
 	if err != nil {
-		c.noteLogical(err)
+		s.c.noteLogical(err)
 		return 0
 	}
 	return resp.N
 }
 
 // AttrColumn implements technique.EncStore.
-func (c *Client) AttrColumn() []storage.EncRow {
-	resp, err := c.call(&request{Op: opEncAttrColumn})
+func (s *StoreClient) AttrColumn() []storage.EncRow {
+	resp, err := s.call(&request{Op: opEncAttrColumn})
 	if err != nil {
-		c.noteLogical(err)
+		s.c.noteLogical(err)
 		return nil
 	}
 	return resp.Rows
 }
 
 // Fetch implements technique.EncStore.
-func (c *Client) Fetch(addrs []int) ([]storage.EncRow, error) {
-	resp, err := c.call(&request{Op: opEncFetch, Addrs: addrs})
+func (s *StoreClient) Fetch(addrs []int) ([]storage.EncRow, error) {
+	resp, err := s.call(&request{Op: opEncFetch, Addrs: addrs})
 	if err != nil {
 		return nil, err
 	}
@@ -309,8 +433,8 @@ func (c *Client) Fetch(addrs []int) ([]storage.EncRow, error) {
 // returns the rows for every address list, so a batched search pays one
 // network latency for the whole batch's bin fetches instead of one per
 // query.
-func (c *Client) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
-	resp, err := c.call(&request{Op: opEncFetchBatch, AddrBatches: addrBatches})
+func (s *StoreClient) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	resp, err := s.call(&request{Op: opEncFetchBatch, AddrBatches: addrBatches})
 	if err != nil {
 		return nil, err
 	}
@@ -318,20 +442,20 @@ func (c *Client) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
 }
 
 // LookupToken implements technique.EncStore.
-func (c *Client) LookupToken(tok []byte) []int {
-	resp, err := c.call(&request{Op: opEncLookupToken, Token: tok})
+func (s *StoreClient) LookupToken(tok []byte) []int {
+	resp, err := s.call(&request{Op: opEncLookupToken, Token: tok})
 	if err != nil {
-		c.noteLogical(err)
+		s.c.noteLogical(err)
 		return nil
 	}
 	return resp.Addrs
 }
 
 // Rows implements technique.EncStore.
-func (c *Client) Rows() []storage.EncRow {
-	resp, err := c.call(&request{Op: opEncRows})
+func (s *StoreClient) Rows() []storage.EncRow {
+	resp, err := s.call(&request{Op: opEncRows})
 	if err != nil {
-		c.noteLogical(err)
+		s.c.noteLogical(err)
 		return nil
 	}
 	return resp.Rows

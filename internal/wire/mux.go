@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // This file is the client-side multiplexing core: one writer goroutine
@@ -22,11 +23,48 @@ func (c *Client) start() {
 	go c.readLoop()
 }
 
-// roundTrip submits one request and blocks until its response arrives or
-// the connection dies. Transport failures come back as the sticky error
-// (the client is poisoned); a server-side logical error comes back as a
-// plain error and leaves the connection healthy.
+// roundTrip is rawRoundTrip behind the version handshake: the first call
+// on a connection performs the opHello exchange (concurrent callers wait
+// on it), so no op ever reaches a server whose protocol generation does
+// not match.
 func (c *Client) roundTrip(req *request) (*response, error) {
+	if err := c.ensureHello(); err != nil {
+		return nil, err
+	}
+	return c.rawRoundTrip(req)
+}
+
+// ensureHello performs the version handshake exactly once. A mismatch —
+// including a pre-namespace (v1) server that answers "unknown op" —
+// poisons the client with an explicit version-mismatch error so every
+// later call fails loudly rather than risking misrouted frames.
+func (c *Client) ensureHello() error {
+	c.helloOnce.Do(func() {
+		resp, err := c.rawRoundTrip(&request{Op: opHello, Version: ProtocolVersion})
+		switch {
+		case err != nil && strings.Contains(err.Error(), "unknown op"):
+			// A v1 server dispatched the hello and did not recognise it.
+			c.helloErr = fmt.Errorf(
+				"wire: protocol version mismatch: client speaks v%d but the server predates the handshake (v1, single implicit store): %w",
+				ProtocolVersion, err)
+			c.fail(c.helloErr)
+		case err != nil:
+			c.helloErr = err
+		case resp.Version != ProtocolVersion:
+			c.helloErr = fmt.Errorf(
+				"wire: protocol version mismatch: client speaks v%d, server answered v%d",
+				ProtocolVersion, resp.Version)
+			c.fail(c.helloErr)
+		}
+	})
+	return c.helloErr
+}
+
+// rawRoundTrip submits one request and blocks until its response arrives
+// or the connection dies. Transport failures come back as the sticky
+// error (the client is poisoned); a server-side logical error comes back
+// as a plain error and leaves the connection healthy.
+func (c *Client) rawRoundTrip(req *request) (*response, error) {
 	ch := make(chan *response, 1)
 	c.mu.Lock()
 	if c.err != nil {

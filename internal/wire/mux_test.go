@@ -23,6 +23,17 @@ func pipeClient(t *testing.T) (*Client, *gob.Decoder, *gob.Encoder) {
 	return c, gob.NewDecoder(send), gob.NewEncoder(send)
 }
 
+// serveHello answers the client's handshake from a scripted server. It
+// returns false if the frame was not the expected opHello or the reply
+// could not be written (the script should bail out).
+func serveHello(dec *gob.Decoder, enc *gob.Encoder) bool {
+	var req request
+	if err := dec.Decode(&req); err != nil || req.Op != opHello {
+		return false
+	}
+	return enc.Encode(response{ID: req.ID, Version: ProtocolVersion}) == nil
+}
+
 // TestMuxOutOfOrderResponses proves the demux: two calls go out on one
 // connection, the scripted server answers them in reverse order, and each
 // caller still receives its own response.
@@ -31,6 +42,10 @@ func TestMuxOutOfOrderResponses(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
+		if !serveHello(dec, enc) {
+			done <- fmt.Errorf("handshake script failed")
+			return
+		}
 		var reqs []request
 		for i := 0; i < 2; i++ {
 			var req request
@@ -188,6 +203,8 @@ func TestFlushFailureRetainsPending(t *testing.T) {
 			var resp response
 			resp.ID = req.ID
 			switch req.Op {
+			case opHello:
+				resp.Version = ProtocolVersion
 			case opEncAddBatch:
 				if !rejected {
 					rejected = true
@@ -220,9 +237,9 @@ func TestFlushFailureRetainsPending(t *testing.T) {
 	if c.Err() != nil {
 		t.Fatalf("logical flush failure poisoned the client: %v", c.Err())
 	}
-	c.bufMu.Lock()
-	retained, syncedLen := len(c.pending), c.serverLen
-	c.bufMu.Unlock()
+	c.def.bufMu.Lock()
+	retained, syncedLen := len(c.def.pending), c.def.serverLen
+	c.def.bufMu.Unlock()
 	if retained != 2 {
 		t.Fatalf("failed flush dropped rows: %d pending, want 2", retained)
 	}
@@ -238,9 +255,9 @@ func TestFlushFailureRetainsPending(t *testing.T) {
 	if err := c.Flush(); err != nil {
 		t.Fatalf("retry flush: %v", err)
 	}
-	c.bufMu.Lock()
-	retained, syncedLen = len(c.pending), c.serverLen
-	c.bufMu.Unlock()
+	c.def.bufMu.Lock()
+	retained, syncedLen = len(c.def.pending), c.def.serverLen
+	c.def.bufMu.Unlock()
 	if retained != 0 || syncedLen != 3 {
 		t.Fatalf("after retry: pending=%d serverLen=%d, want 0/3", retained, syncedLen)
 	}
@@ -268,6 +285,8 @@ func TestFlushPartialApplicationPoisons(t *testing.T) {
 			}
 			resp := response{ID: req.ID}
 			switch req.Op {
+			case opHello:
+				resp.Version = ProtocolVersion
 			case opEncAddBatch:
 				serverRows++ // applies ONE row, then rejects the batch
 				resp.Err = "enc store: simulated mid-batch failure"
@@ -323,9 +342,9 @@ func TestFlushRejectedByRealServer(t *testing.T) {
 	if c.Err() != nil {
 		t.Fatalf("logical rejection poisoned the client: %v", c.Err())
 	}
-	c.bufMu.Lock()
-	retained, syncedLen := len(c.pending), c.serverLen
-	c.bufMu.Unlock()
+	c.def.bufMu.Lock()
+	retained, syncedLen := len(c.def.pending), c.def.serverLen
+	c.def.bufMu.Unlock()
 	if retained != 2 || syncedLen != 0 {
 		t.Fatalf("after rejection: pending=%d serverLen=%d, want 2/0", retained, syncedLen)
 	}
@@ -346,8 +365,12 @@ func TestFlushRejectedByRealServer(t *testing.T) {
 // resend them) and the client is poisoned.
 func TestFlushTransportFailureRetainsPending(t *testing.T) {
 	c, dec, enc := pipeClient(t)
-	// Serve Add's first-use length sync, then vanish before the flush.
+	// Serve the handshake and Add's first-use length sync, then vanish
+	// before the flush.
 	go func() {
+		if !serveHello(dec, enc) {
+			return
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
@@ -367,9 +390,9 @@ func TestFlushTransportFailureRetainsPending(t *testing.T) {
 	if c.Err() == nil {
 		t.Fatal("transport flush failure not sticky")
 	}
-	c.bufMu.Lock()
-	retained := len(c.pending)
-	c.bufMu.Unlock()
+	c.def.bufMu.Lock()
+	retained := len(c.def.pending)
+	c.def.bufMu.Unlock()
 	if retained != 1 {
 		t.Fatalf("transport flush failure dropped rows: %d pending, want 1", retained)
 	}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cloud"
@@ -10,11 +11,13 @@ import (
 	"repro/internal/technique"
 )
 
-// Backend is the owner-side view of a remote cloud: cloud.PlainBackend
-// plus technique.BatchEncStore (the encrypted store including the batched
-// read path) plus the lifecycle and error surface. Both *Client (one
-// multiplexed connection) and *Pool (several) implement it, so callers can
-// pick connection-level parallelism without changing anything else.
+// Backend is the owner-side view of a remote cloud namespace:
+// cloud.PlainBackend plus technique.BatchEncStore (the encrypted store
+// including the batched read path) plus the lifecycle and error surface.
+// *Client (one multiplexed connection), *Pool (several), and the
+// per-namespace views both hand out (*StoreClient, *PoolStore) all
+// implement it, so callers can pick connection-level parallelism and
+// namespacing without changing anything else.
 type Backend interface {
 	cloud.PlainBackend
 	technique.BatchEncStore
@@ -28,9 +31,26 @@ type Backend interface {
 	Close() error
 }
 
+// Transport is a shared connection (or connection pool) to one cloud from
+// which per-namespace Backend views are derived. It is what a process
+// serving several relations holds once and shares.
+type Transport interface {
+	// Store returns the Backend view of the named namespace ("" selects
+	// DefaultStore). The same name always yields the same view.
+	Store(name string) Backend
+	// Ping checks liveness (performing the handshake if needed).
+	Ping() error
+	// Close tears down the transport and every view derived from it.
+	Close() error
+}
+
 var (
-	_ Backend = (*Client)(nil)
-	_ Backend = (*Pool)(nil)
+	_ Backend   = (*Client)(nil)
+	_ Backend   = (*Pool)(nil)
+	_ Backend   = (*StoreClient)(nil)
+	_ Backend   = (*PoolStore)(nil)
+	_ Transport = (*Client)(nil)
+	_ Transport = (*Pool)(nil)
 )
 
 // Pool fans calls out over several multiplexed connections to the same
@@ -39,16 +59,29 @@ var (
 // for CPU-bound encrypted scans a few extra connections let the server
 // decode, dispatch and encode in parallel.
 //
-// All mutating state lives on the primary connection (conns[0]): the
-// encrypted upload buffer and its client-side address arithmetic cannot
-// be split across connections. Read ops round-robin; ops that read the
-// encrypted store flush the primary first so buffered uploads are visible
-// regardless of which connection serves the read. Blocking call semantics
-// make this safe: an op's server-side effect completes before the call
-// returns, and the stores are shared across connections.
+// Mutating state is per namespace, pinned per store rather than per pool:
+// each namespace view (WithStore) is assigned a home connection in
+// round-robin order, and that connection owns the namespace's encrypted
+// upload buffer and client-side address arithmetic. Two tenants writing
+// through one pool therefore use two different connections instead of
+// serialising on a single primary. Read ops round-robin across every
+// connection; ops that read the encrypted store flush the namespace's
+// home first so buffered uploads are visible regardless of which
+// connection serves the read. Blocking call semantics make this safe: an
+// op's server-side effect completes before the call returns, and the
+// stores are shared across connections.
+//
+// The Pool's own Backend methods are the DefaultStore view's, whose home
+// is the first connection — the exact single-store behaviour of earlier
+// protocol generations.
 type Pool struct {
 	conns []*Client
 	next  atomic.Uint64
+
+	storeMu  sync.Mutex
+	stores   map[string]*PoolStore
+	nextHome int
+	def      *PoolStore
 }
 
 // DialPool connects n multiplexed connections to the cloud at addr.
@@ -77,13 +110,40 @@ func NewPool(conns []*Client) *Pool {
 	if len(conns) == 0 {
 		panic("wire: NewPool with no connections")
 	}
-	return &Pool{conns: conns}
+	p := &Pool{conns: conns, stores: make(map[string]*PoolStore)}
+	// The default namespace is created first so its home is conns[0] —
+	// the "writes pinned to the primary" behaviour single-store callers
+	// have always seen.
+	p.def = p.WithStore(DefaultStore)
+	return p
 }
+
+// WithStore returns the view of the named server-side namespace ("" means
+// DefaultStore), assigning it a home connection for mutations in
+// round-robin order on first use. The same name always yields the same
+// view.
+func (p *Pool) WithStore(name string) *PoolStore {
+	name = storeName(name)
+	p.storeMu.Lock()
+	defer p.storeMu.Unlock()
+	if s, ok := p.stores[name]; ok {
+		return s
+	}
+	home := p.conns[p.nextHome%len(p.conns)]
+	p.nextHome++
+	s := &PoolStore{p: p, home: home.WithStore(name), name: name}
+	p.stores[name] = s
+	return s
+}
+
+// Store implements Transport: the Backend view of one namespace.
+func (p *Pool) Store(name string) Backend { return p.WithStore(name) }
 
 // Size reports the number of pooled connections.
 func (p *Pool) Size() int { return len(p.conns) }
 
-// primary is the designated connection for mutating ops.
+// primary is the first connection: home of the default namespace and the
+// pool's liveness bellwether.
 func (p *Pool) primary() *Client { return p.conns[0] }
 
 // pick round-robins across all connections for read ops, skipping
@@ -101,11 +161,6 @@ func (p *Pool) pick() *Client {
 	}
 	return p.primary()
 }
-
-// flushPrimary makes buffered encrypted uploads durable before a read
-// that may be served by another connection. The no-pending fast path is a
-// single mutex acquisition.
-func (p *Pool) flushPrimary() error { return p.primary().Flush() }
 
 // Close closes every connection, returning the first error.
 func (p *Pool) Close() error {
@@ -129,10 +184,11 @@ func (p *Pool) Ping() error {
 }
 
 // Err returns the primary connection's sticky transport error. A dead
-// secondary is degradation, not failure — writes never touch it and
-// pick() routes reads around it — so it must not permanently fail an
-// otherwise healthy pool. Ops that failed on a secondary before the
-// routing kicked in are observable through LogicalErr/LogicalErrCount,
+// secondary is degradation, not failure — default-store writes never
+// touch it and pick() routes reads around it — so it must not permanently
+// fail an otherwise healthy pool. Ops that failed on a secondary before
+// the routing kicked in are observable through LogicalErr/LogicalErrCount
+// (and a namespace homed on the dead connection through its view's Err),
 // and the capacity loss through Alive.
 func (p *Pool) Err() error { return p.primary().Err() }
 
@@ -167,87 +223,186 @@ func (p *Pool) LogicalErrCount() uint64 {
 	return n
 }
 
-// --- cloud.PlainBackend -----------------------------------------------
+// --- default-store Backend surface --------------------------------------
 
-// Load ships the clear-text partition through the primary connection.
-func (p *Pool) Load(rns *relation.Relation, attr string) error {
-	return p.primary().Load(rns, attr)
-}
+// Load ships the clear-text partition through the default store's home.
+func (p *Pool) Load(rns *relation.Relation, attr string) error { return p.def.Load(rns, attr) }
 
 // Search round-robins across connections.
-func (p *Pool) Search(values []relation.Value) []relation.Tuple {
-	return p.pick().Search(values)
-}
+func (p *Pool) Search(values []relation.Value) []relation.Tuple { return p.def.Search(values) }
 
 // SearchRange round-robins across connections.
 func (p *Pool) SearchRange(lo, hi relation.Value) []relation.Tuple {
-	return p.pick().SearchRange(lo, hi)
+	return p.def.SearchRange(lo, hi)
 }
 
-// Insert goes through the primary connection.
-func (p *Pool) Insert(t relation.Tuple) error {
-	return p.primary().Insert(t)
-}
+// Insert goes through the default store's home connection.
+func (p *Pool) Insert(t relation.Tuple) error { return p.def.Insert(t) }
 
-// --- technique.EncStore -------------------------------------------------
-
-// Add buffers on the primary connection, which owns the client-side
+// Add buffers on the default store's home connection, which owns its
 // address arithmetic.
-func (p *Pool) Add(tupleCT, attrCT, token []byte) int {
-	return p.primary().Add(tupleCT, attrCT, token)
-}
+func (p *Pool) Add(tupleCT, attrCT, token []byte) int { return p.def.Add(tupleCT, attrCT, token) }
 
-// Flush uploads the primary connection's pending rows.
-func (p *Pool) Flush() error { return p.flushPrimary() }
+// Flush uploads the default store's pending rows.
+func (p *Pool) Flush() error { return p.def.Flush() }
 
 // Len round-robins after flushing pending uploads.
-func (p *Pool) Len() int {
-	if err := p.flushPrimary(); err != nil {
-		p.primary().noteLogical(err)
-		return 0
-	}
-	return p.pick().Len()
-}
+func (p *Pool) Len() int { return p.def.Len() }
 
 // AttrColumn round-robins after flushing pending uploads.
-func (p *Pool) AttrColumn() []storage.EncRow {
-	if err := p.flushPrimary(); err != nil {
-		p.primary().noteLogical(err)
-		return nil
-	}
-	return p.pick().AttrColumn()
-}
+func (p *Pool) AttrColumn() []storage.EncRow { return p.def.AttrColumn() }
 
 // Fetch round-robins after flushing pending uploads.
-func (p *Pool) Fetch(addrs []int) ([]storage.EncRow, error) {
-	if err := p.flushPrimary(); err != nil {
-		return nil, err
-	}
-	return p.pick().Fetch(addrs)
-}
+func (p *Pool) Fetch(addrs []int) ([]storage.EncRow, error) { return p.def.Fetch(addrs) }
 
 // FetchBatch round-robins after flushing pending uploads.
 func (p *Pool) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
-	if err := p.flushPrimary(); err != nil {
-		return nil, err
-	}
-	return p.pick().FetchBatch(addrBatches)
+	return p.def.FetchBatch(addrBatches)
 }
 
 // LookupToken round-robins after flushing pending uploads.
-func (p *Pool) LookupToken(tok []byte) []int {
-	if err := p.flushPrimary(); err != nil {
-		p.primary().noteLogical(err)
+func (p *Pool) LookupToken(tok []byte) []int { return p.def.LookupToken(tok) }
+
+// Rows round-robins after flushing pending uploads.
+func (p *Pool) Rows() []storage.EncRow { return p.def.Rows() }
+
+// --- PoolStore ----------------------------------------------------------
+
+// PoolStore is one namespace's view of a pool: mutations go through the
+// namespace's home connection (which owns its upload buffer), reads
+// round-robin across every connection after flushing the home so buffered
+// uploads are visible wherever the read lands.
+type PoolStore struct {
+	p    *Pool
+	home *StoreClient // the pinned connection's view of this namespace
+	name string
+}
+
+// StoreName returns the namespace this view addresses.
+func (s *PoolStore) StoreName() string { return s.name }
+
+// Home exposes the pinned connection's view (tests assert the pinning).
+func (s *PoolStore) Home() *StoreClient { return s.home }
+
+// read picks a connection for a read op, making this namespace's buffered
+// uploads durable first. The no-pending fast path is a single mutex
+// acquisition on the home view.
+func (s *PoolStore) read() (*StoreClient, error) {
+	if err := s.home.Flush(); err != nil {
+		return nil, err
+	}
+	return s.p.pick().WithStore(s.name), nil
+}
+
+// Ping checks liveness of every pooled connection.
+func (s *PoolStore) Ping() error { return s.p.Ping() }
+
+// Err returns this namespace's home-connection sticky transport error:
+// the connection its writes depend on.
+func (s *PoolStore) Err() error { return s.home.Err() }
+
+// LogicalErr returns the first recorded per-op error across the pool
+// (reads round-robin, so any connection may have swallowed this
+// namespace's error).
+func (s *PoolStore) LogicalErr() error { return s.p.LogicalErr() }
+
+// LogicalErrCount sums the per-op error counts across the pool.
+func (s *PoolStore) LogicalErrCount() uint64 { return s.p.LogicalErrCount() }
+
+// Close closes the SHARED pool: every namespace view dies with it.
+func (s *PoolStore) Close() error { return s.p.Close() }
+
+// Load ships the clear-text partition through the home connection.
+func (s *PoolStore) Load(rns *relation.Relation, attr string) error {
+	return s.home.Load(rns, attr)
+}
+
+// Search round-robins across connections.
+func (s *PoolStore) Search(values []relation.Value) []relation.Tuple {
+	v, err := s.read()
+	if err != nil {
+		s.home.c.noteLogical(err)
 		return nil
 	}
-	return p.pick().LookupToken(tok)
+	return v.Search(values)
+}
+
+// SearchRange round-robins across connections.
+func (s *PoolStore) SearchRange(lo, hi relation.Value) []relation.Tuple {
+	v, err := s.read()
+	if err != nil {
+		s.home.c.noteLogical(err)
+		return nil
+	}
+	return v.SearchRange(lo, hi)
+}
+
+// Insert goes through the home connection.
+func (s *PoolStore) Insert(t relation.Tuple) error { return s.home.Insert(t) }
+
+// Add buffers on the home connection, which owns this namespace's address
+// arithmetic.
+func (s *PoolStore) Add(tupleCT, attrCT, token []byte) int {
+	return s.home.Add(tupleCT, attrCT, token)
+}
+
+// Flush uploads this namespace's pending rows through its home.
+func (s *PoolStore) Flush() error { return s.home.Flush() }
+
+// Len round-robins after flushing pending uploads.
+func (s *PoolStore) Len() int {
+	v, err := s.read()
+	if err != nil {
+		s.home.c.noteLogical(err)
+		return 0
+	}
+	return v.Len()
+}
+
+// AttrColumn round-robins after flushing pending uploads.
+func (s *PoolStore) AttrColumn() []storage.EncRow {
+	v, err := s.read()
+	if err != nil {
+		s.home.c.noteLogical(err)
+		return nil
+	}
+	return v.AttrColumn()
+}
+
+// Fetch round-robins after flushing pending uploads.
+func (s *PoolStore) Fetch(addrs []int) ([]storage.EncRow, error) {
+	v, err := s.read()
+	if err != nil {
+		return nil, err
+	}
+	return v.Fetch(addrs)
+}
+
+// FetchBatch round-robins after flushing pending uploads.
+func (s *PoolStore) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) {
+	v, err := s.read()
+	if err != nil {
+		return nil, err
+	}
+	return v.FetchBatch(addrBatches)
+}
+
+// LookupToken round-robins after flushing pending uploads.
+func (s *PoolStore) LookupToken(tok []byte) []int {
+	v, err := s.read()
+	if err != nil {
+		s.home.c.noteLogical(err)
+		return nil
+	}
+	return v.LookupToken(tok)
 }
 
 // Rows round-robins after flushing pending uploads.
-func (p *Pool) Rows() []storage.EncRow {
-	if err := p.flushPrimary(); err != nil {
-		p.primary().noteLogical(err)
+func (s *PoolStore) Rows() []storage.EncRow {
+	v, err := s.read()
+	if err != nil {
+		s.home.c.noteLogical(err)
 		return nil
 	}
-	return p.pick().Rows()
+	return v.Rows()
 }

@@ -1,8 +1,8 @@
 // Package wire implements a multiplexed owner↔cloud network protocol so
 // the untrusted cloud can run as a separate process: gob-framed
-// request/response messages over any net.Conn, a server hosting the
-// clear-text store and the encrypted store, and a client that plugs into
-// the owner as a cloud.PlainBackend and into any technique as a
+// request/response messages over any net.Conn, a server hosting any
+// number of named store pairs (clear-text + encrypted), and clients that
+// plug into the owner as a cloud.PlainBackend and into any technique as a
 // technique.EncStore.
 //
 // Every request carries a client-assigned ID echoed by its response, so
@@ -15,6 +15,22 @@
 // guarantees come from callers blocking on their own response, not from
 // the transport. For CPU-bound encrypted scans a small connection pool
 // (DialPool) spreads calls over several multiplexed connections.
+//
+// Namespaces: every request addresses a named store, so one cloud serves
+// any number of independently keyed relations side by side (the
+// multi-relation outsourcing model of the paper's successors). A
+// connection is shared across namespaces — Client.WithStore / (*Pool).WithStore
+// return per-namespace views implementing the full Backend surface — and
+// the server keeps per-store state and per-store locks, so tenants never
+// contend except on the transport itself.
+//
+// The protocol is versioned: the first frame on every connection must be
+// an opHello carrying ProtocolVersion. A server refuses to dispatch
+// anything before a matching hello (it answers with an explicit
+// version-mismatch error instead of misrouting the op into a default
+// namespace), and a client refuses to proceed against a server that
+// cannot echo its version — so mixing protocol generations fails loudly
+// at the first call rather than corrupting either side's stores.
 //
 // Reads come in batched flavours too: opEncFetchBatch serves one address
 // list per query of a batched search in a single round trip, which is how
@@ -33,6 +49,16 @@ import (
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
+
+// ProtocolVersion is the wire protocol generation. Version 2 introduced
+// store namespaces and the mandatory hello handshake; version 1 (no
+// handshake, single implicit store) is refused with an explicit error.
+const ProtocolVersion = 2
+
+// DefaultStore is the namespace used when a request names none — the
+// single implicit store of protocol v1, preserved so one-relation
+// deployments need no configuration.
+const DefaultStore = "default"
 
 // op identifies a request type.
 type op uint8
@@ -53,6 +79,11 @@ const (
 	// opEncFetchBatch serves a whole batch's bin fetches in one round
 	// trip: one address list per query in, one row set per query out.
 	opEncFetchBatch
+	// opHello is the mandatory first frame on a connection: it carries
+	// the client's ProtocolVersion and is echoed with the server's, so a
+	// version skew fails the connection explicitly before any op can be
+	// misrouted.
+	opHello
 )
 
 // request is the single wire request envelope; fields are populated
@@ -63,6 +94,13 @@ type request struct {
 	// connection.
 	ID uint64
 	Op op
+
+	// Store names the namespace the op addresses; empty selects
+	// DefaultStore. Ignored by opHello/opPing.
+	Store string
+
+	// Version is the client's ProtocolVersion (opHello only).
+	Version int
 
 	// Clear-text store fields.
 	Schema relation.Schema
@@ -102,4 +140,14 @@ type response struct {
 	// RowBatches is one row set per requested address list
 	// (opEncFetchBatch), indexed like request.AddrBatches.
 	RowBatches [][]storage.EncRow
+	// Version is the server's ProtocolVersion (opHello only).
+	Version int
+}
+
+// storeName canonicalises a request's namespace.
+func storeName(s string) string {
+	if s == "" {
+		return DefaultStore
+	}
+	return s
 }

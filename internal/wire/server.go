@@ -7,33 +7,50 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
 
-// Cloud is the server-side state: one clear-text store (loaded on demand)
-// and one encrypted store. It is what an honest-but-curious operator would
-// run. Each connection is handled in its own goroutine, and the ops
-// decoded from one connection are themselves dispatched concurrently
-// through a bounded per-connection worker pool (responses are serialised
-// by a send mutex, so frames never interleave). The stores synchronise
-// internally; the cloud-level lock only guards swapping the plaintext
-// store, which keeps opPlainLoad (and snapshot Restore) exclusive against
-// every in-flight op.
+// Cloud is the server-side state: a registry of named stores, each one
+// clear-text store (loaded on demand) plus one encrypted store. It is
+// what an honest-but-curious operator would run, serving any number of
+// independently keyed relations side by side.
+//
+// Each connection is handled in its own goroutine, and the ops decoded
+// from one connection are themselves dispatched concurrently through a
+// bounded per-connection worker pool (responses are serialised by a send
+// mutex, so frames never interleave). Locking is layered: the stores
+// synchronise internally; each storage.Store's lock makes opPlainLoad
+// exclusive against in-flight ops on the same namespace only; and the
+// cloud-level lock is taken exclusively just by snapshot Save/Restore,
+// which must quiesce every namespace at once.
+//
+// Connections must open with an opHello carrying ProtocolVersion; any
+// other first frame is answered with an explicit version-mismatch error
+// and the connection is closed, so a pre-namespace client fails loudly
+// instead of having its ops misrouted into the default store.
 type Cloud struct {
-	mu    sync.RWMutex // guards the plain pointer, not the stores
-	plain *storage.PlainStore
-	enc   *storage.EncryptedStore
+	mu     sync.RWMutex // exclusive for Save/Restore, shared by dispatch
+	stores *storage.StoreSet
 
 	// connWorkers bounds concurrent dispatch per connection; 0 selects
 	// GOMAXPROCS.
 	connWorkers int
+
+	// statsMu guards the per-store op counters (read-mostly: the fast
+	// path is a shared-lock map hit).
+	statsMu  sync.RWMutex
+	opCounts map[string]*atomic.Uint64
 }
 
 // NewCloud returns an empty cloud.
 func NewCloud() *Cloud {
-	return &Cloud{enc: storage.NewEncryptedStore()}
+	return &Cloud{
+		stores:   storage.NewStoreSet(),
+		opCounts: make(map[string]*atomic.Uint64),
+	}
 }
 
 // SetConnWorkers bounds how many ops from a single connection may execute
@@ -45,6 +62,53 @@ func (c *Cloud) workersPerConn() int {
 		return c.connWorkers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// StoreNames returns the namespaces currently hosted, sorted.
+func (c *Cloud) StoreNames() []string { return c.stores.Names() }
+
+// StoreStats is the per-namespace accounting a multi-tenant operator
+// watches: ops dispatched, clear-text tuples and encrypted rows held.
+type StoreStats struct {
+	Ops         uint64
+	PlainTuples int
+	EncRows     int
+}
+
+// Stats reports per-store statistics for every hosted namespace.
+func (c *Cloud) Stats() map[string]StoreStats {
+	out := make(map[string]StoreStats)
+	for _, name := range c.stores.Names() {
+		st, ok := c.stores.Get(name)
+		if !ok {
+			continue
+		}
+		s := StoreStats{EncRows: st.Enc().Len(), Ops: c.opCounter(name).Load()}
+		if ps := st.Plain(); ps != nil {
+			s.PlainTuples = ps.Len()
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// opCounter returns the op counter for a namespace, creating it on first
+// use.
+func (c *Cloud) opCounter(name string) *atomic.Uint64 {
+	c.statsMu.RLock()
+	ctr, ok := c.opCounts[name]
+	c.statsMu.RUnlock()
+	if ok {
+		return ctr
+	}
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if ctr, ok := c.opCounts[name]; ok {
+		return ctr
+	}
+	ctr = new(atomic.Uint64)
+	c.opCounts[name] = ctr
+	return ctr
 }
 
 // Serve accepts connections until the listener is closed, handling each
@@ -62,9 +126,16 @@ func (c *Cloud) Serve(lis net.Listener) error {
 	}
 }
 
+// errNoHello is the explicit refusal sent to a connection whose first
+// frame is not a matching opHello — the pre-namespace (v1) client case.
+var errNoHello = fmt.Sprintf(
+	"wire: protocol version mismatch: server speaks v%d and requires an opHello handshake before any op (a v1 client predates store namespaces); upgrade the client",
+	ProtocolVersion)
+
 // ServeConn serves one established connection (e.g. net.Pipe in tests and
-// benchmarks) until it fails or closes, then closes it. Decoded requests
-// are dispatched concurrently through the per-connection worker pool.
+// benchmarks) until it fails or closes, then closes it. The first frame
+// must be a version-matched opHello; after that, decoded requests are
+// dispatched concurrently through the per-connection worker pool.
 func (c *Cloud) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
@@ -83,6 +154,10 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 		}
 	}
 
+	// Handshake: decoded sequentially, before the dispatch pool spins up,
+	// so no op can race past it.
+	helloed := false
+
 	sem := make(chan struct{}, c.workersPerConn())
 	var wg sync.WaitGroup
 	for {
@@ -93,6 +168,21 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 			// written — only well-formed frames (with an ID to echo) get
 			// responses — so just close the connection.
 			break
+		}
+		if !helloed {
+			if req.Op != opHello {
+				send(&response{ID: req.ID, Err: errNoHello})
+				break
+			}
+			if req.Version != ProtocolVersion {
+				send(&response{ID: req.ID, Version: ProtocolVersion, Err: fmt.Sprintf(
+					"wire: protocol version mismatch: server speaks v%d, client spoke v%d",
+					ProtocolVersion, req.Version)})
+				break
+			}
+			helloed = true
+			send(&response{ID: req.ID, Version: ProtocolVersion})
+			continue
 		}
 		sem <- struct{}{}
 		wg.Add(1)
@@ -108,6 +198,29 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 }
 
 func (c *Cloud) dispatch(req *request) response {
+	// The cloud-level read lock is held across the whole op so snapshot
+	// Save/Restore (which replace the entire store set) stay exclusive
+	// against every in-flight op; dispatches on different namespaces
+	// share it and proceed in parallel.
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	// Store-less ops answer before the namespace is resolved: a Ping (or
+	// a duplicate hello) must not materialise a phantom store in
+	// StoreNames/Stats or in the next snapshot.
+	switch req.Op {
+	case opPing:
+		return response{}
+	case opHello:
+		// A duplicate hello after the handshake is harmless: echo the
+		// version again.
+		return response{Version: ProtocolVersion}
+	}
+
+	name := storeName(req.Store)
+	st := c.stores.GetOrCreate(name)
+	c.opCounter(name).Add(1)
+
 	if req.Op == opPlainLoad {
 		rel := relation.New(req.Schema)
 		for _, t := range req.Tuples {
@@ -119,43 +232,40 @@ func (c *Cloud) dispatch(req *request) response {
 		if err != nil {
 			return response{Err: err.Error()}
 		}
-		c.mu.Lock()
-		c.plain = ps
-		c.mu.Unlock()
+		// Exclusive against in-flight ops on this namespace only.
+		st.SetPlain(ps)
 		return response{N: rel.Len()}
 	}
 
-	// The read lock is held across the whole op — not just the pointer
-	// read — so an op can never land in a store that a concurrent
-	// opPlainLoad has already swapped out (the stores themselves
-	// synchronise internally, so read ops still run in parallel).
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	plain := c.plain
+	// The store's read lock is held across the whole op — not just the
+	// pointer read — so an op can never land in a relation that a
+	// concurrent opPlainLoad on the same namespace has already swapped
+	// out (the stores themselves synchronise internally, so read ops
+	// still run in parallel).
+	plain, encStore, release := st.ReadView()
+	defer release()
 
 	switch req.Op {
-	case opPing:
-		return response{}
 	case opPlainSearch:
 		if plain == nil {
-			return response{Err: "wire: no relation loaded"}
+			return response{Err: "wire: no relation loaded in store " + name}
 		}
 		return response{Tuples: plain.Search(req.Values)}
 	case opPlainSearchRange:
 		if plain == nil {
-			return response{Err: "wire: no relation loaded"}
+			return response{Err: "wire: no relation loaded in store " + name}
 		}
 		return response{Tuples: plain.SearchRange(req.Lo, req.Hi)}
 	case opPlainInsert:
 		if plain == nil {
-			return response{Err: "wire: no relation loaded"}
+			return response{Err: "wire: no relation loaded in store " + name}
 		}
 		if err := plain.Insert(req.Tuple); err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{}
 	case opEncAdd:
-		return response{Addr: c.enc.Add(req.TupleCT, req.AttrCT, req.Token)}
+		return response{Addr: encStore.Add(req.TupleCT, req.AttrCT, req.Token)}
 	case opEncAddBatch:
 		// Validate before applying anything: the client's flush-retry
 		// logic relies on a rejected batch being all-or-nothing (a
@@ -168,29 +278,29 @@ func (c *Cloud) dispatch(req *request) response {
 		}
 		last := -1
 		for _, u := range req.Batch {
-			last = c.enc.Add(u.TupleCT, u.AttrCT, u.Token)
+			last = encStore.Add(u.TupleCT, u.AttrCT, u.Token)
 		}
 		return response{Addr: last, N: len(req.Batch)}
 	case opEncLen:
-		return response{N: c.enc.Len()}
+		return response{N: encStore.Len()}
 	case opEncAttrColumn:
-		return response{Rows: c.enc.AttrColumn()}
+		return response{Rows: encStore.AttrColumn()}
 	case opEncFetch:
-		rows, err := c.enc.Fetch(req.Addrs)
+		rows, err := encStore.Fetch(req.Addrs)
 		if err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{Rows: rows}
 	case opEncFetchBatch:
-		batches, err := c.enc.FetchBatch(req.AddrBatches)
+		batches, err := encStore.FetchBatch(req.AddrBatches)
 		if err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{RowBatches: batches}
 	case opEncLookupToken:
-		return response{Addrs: c.enc.LookupToken(req.Token)}
+		return response{Addrs: encStore.LookupToken(req.Token)}
 	case opEncRows:
-		return response{Rows: c.enc.Rows()}
+		return response{Rows: encStore.Rows()}
 	default:
 		return response{Err: "wire: unknown op"}
 	}

@@ -4,20 +4,31 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
 
-// snapshot is the serialised cloud state. Only cloud-visible data is
-// persisted — clear-text tuples and opaque ciphertexts — never owner
-// secrets, so a stolen snapshot is no worse than a compromised cloud,
-// which the threat model already assumes.
+// snapshot is the serialised cloud state — every namespace. Only
+// cloud-visible data is persisted — clear-text tuples and opaque
+// ciphertexts — never owner secrets, so a stolen snapshot is no worse
+// than a compromised cloud, which the threat model already assumes.
 //
-// Save and Restore take the cloud-level write lock, so like opPlainLoad
-// they are exclusive against every op in flight on the concurrent
-// per-connection dispatchers.
+// Save and Restore take the cloud-level write lock, so they are exclusive
+// against every op in flight on the concurrent per-connection
+// dispatchers across all namespaces.
+//
+// The legacy single-store fields keep protocol-v1-era state files
+// restorable: a snapshot without Version (gob-decoded as 0) is loaded
+// into DefaultStore.
 type snapshot struct {
+	// Version distinguishes snapshot generations: 0 is the legacy
+	// single-store layout, ProtocolVersion (2) the namespaced one.
+	Version int
+	Stores  []storeSnapshot
+
+	// Legacy single-store layout (Version 0).
 	HasPlain bool
 	Schema   relation.Schema
 	Tuples   []relation.Tuple
@@ -25,17 +36,35 @@ type snapshot struct {
 	Enc      []storage.EncRow
 }
 
-// Save serialises the cloud state.
+// storeSnapshot is one namespace's serialised state.
+type storeSnapshot struct {
+	Name     string
+	HasPlain bool
+	Schema   relation.Schema
+	Tuples   []relation.Tuple
+	Attr     string
+	Enc      []storage.EncRow
+}
+
+// Save serialises the state of every hosted namespace.
 func (c *Cloud) Save(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	snap := snapshot{Enc: c.enc.Rows()}
-	if c.plain != nil {
-		rel := c.plain.Relation()
-		snap.HasPlain = true
-		snap.Schema = rel.Schema
-		snap.Tuples = rel.Tuples
-		snap.Attr = c.plain.Attr()
+	snap := snapshot{Version: ProtocolVersion}
+	for _, name := range c.stores.Names() {
+		st, ok := c.stores.Get(name)
+		if !ok {
+			continue
+		}
+		ss := storeSnapshot{Name: name, Enc: st.Enc().Rows()}
+		if ps := st.Plain(); ps != nil {
+			rel := ps.Relation()
+			ss.HasPlain = true
+			ss.Schema = rel.Schema
+			ss.Tuples = rel.Tuples
+			ss.Attr = ps.Attr()
+		}
+		snap.Stores = append(snap.Stores, ss)
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("wire: snapshot save: %w", err)
@@ -43,32 +72,62 @@ func (c *Cloud) Save(w io.Writer) error {
 	return nil
 }
 
-// Restore replaces the cloud state with a previously saved snapshot.
+// Restore replaces the entire cloud state — all namespaces — with a
+// previously saved snapshot. Legacy (pre-namespace) snapshots restore
+// into DefaultStore.
 func (c *Cloud) Restore(r io.Reader) error {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("wire: snapshot restore: %w", err)
 	}
+	stores := snap.Stores
+	if snap.Version == 0 {
+		// Legacy layout: one implicit store.
+		if snap.HasPlain || len(snap.Enc) > 0 {
+			stores = []storeSnapshot{{
+				Name:     DefaultStore,
+				HasPlain: snap.HasPlain,
+				Schema:   snap.Schema,
+				Tuples:   snap.Tuples,
+				Attr:     snap.Attr,
+				Enc:      snap.Enc,
+			}}
+		}
+	}
+
+	// Materialise every store before touching the live registry, so a bad
+	// snapshot leaves the current state (all namespaces) intact.
+	rebuilt := make(map[string]*storage.Store, len(stores))
+	for _, ss := range stores {
+		st := storage.NewStore()
+		if ss.HasPlain {
+			rel := relation.New(ss.Schema)
+			for _, t := range ss.Tuples {
+				if err := rel.Append(t); err != nil {
+					return fmt.Errorf("wire: snapshot restore: store %q: %w", ss.Name, err)
+				}
+			}
+			ps, err := storage.NewPlainStore(rel, ss.Attr)
+			if err != nil {
+				return fmt.Errorf("wire: snapshot restore: store %q: %w", ss.Name, err)
+			}
+			st.SetPlain(ps)
+		}
+		for _, row := range ss.Enc {
+			st.Enc().Add(row.TupleCT, row.AttrCT, row.Token)
+		}
+		rebuilt[storeName(ss.Name)] = st
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if snap.HasPlain {
-		rel := relation.New(snap.Schema)
-		for _, t := range snap.Tuples {
-			if err := rel.Append(t); err != nil {
-				return fmt.Errorf("wire: snapshot restore: %w", err)
-			}
-		}
-		ps, err := storage.NewPlainStore(rel, snap.Attr)
-		if err != nil {
-			return fmt.Errorf("wire: snapshot restore: %w", err)
-		}
-		c.plain = ps
-	} else {
-		c.plain = nil
+	c.stores.Reset()
+	for name, st := range rebuilt {
+		c.stores.Set(name, st)
 	}
-	c.enc = storage.NewEncryptedStore()
-	for _, row := range snap.Enc {
-		c.enc.Add(row.TupleCT, row.AttrCT, row.Token)
-	}
+	// The op counters describe the replaced state; restart them with it.
+	c.statsMu.Lock()
+	c.opCounts = make(map[string]*atomic.Uint64)
+	c.statsMu.Unlock()
 	return nil
 }

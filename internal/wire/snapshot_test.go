@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/gob"
 	mrand "math/rand/v2"
 	"net"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/owner"
 	"repro/internal/relation"
+	"repro/internal/storage"
 	"repro/internal/technique"
 	"repro/internal/workload"
 )
@@ -113,6 +115,135 @@ func cloud1Len(t *testing.T, c *Client) int {
 // restoredStore wraps a client without the upload buffer semantics (reads
 // only).
 type restoredStore struct{ *Client }
+
+// TestSnapshotMultiStoreRoundTrip: a cloud hosting several namespaces
+// persists and restores all of them, with plain and encrypted sides
+// isolated per store.
+func TestSnapshotMultiStoreRoundTrip(t *testing.T) {
+	c1 := NewCloud()
+	for i, name := range []string{"hr", "finance"} {
+		st := c1.stores.GetOrCreate(name)
+		st.Enc().Add([]byte(name+"-ct"), nil, []byte("tok"))
+		rel := relation.New(relation.MustSchema("T",
+			relation.Column{Name: "K", Kind: relation.KindInt},
+		))
+		for j := 0; j <= i; j++ {
+			rel.MustInsert(relation.Int(int64(j)))
+		}
+		ps, err := storage.NewPlainStore(rel, "K")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetPlain(ps)
+	}
+	// An enc-only namespace (no relation loaded yet).
+	c1.stores.GetOrCreate("staging").Enc().Add([]byte("s-ct"), nil, nil)
+
+	var buf bytes.Buffer
+	if err := c1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCloud()
+	if err := c2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.StoreNames(); !reflect.DeepEqual(got, []string{"finance", "hr", "staging"}) {
+		t.Fatalf("restored namespaces = %v", got)
+	}
+	for i, name := range []string{"hr", "finance"} {
+		st, ok := c2.stores.Get(name)
+		if !ok {
+			t.Fatalf("namespace %q lost", name)
+		}
+		rows := st.Enc().Rows()
+		if len(rows) != 1 || string(rows[0].TupleCT) != name+"-ct" {
+			t.Fatalf("%s enc rows = %v", name, rows)
+		}
+		if got := st.Enc().LookupToken([]byte("tok")); len(got) != 1 {
+			t.Fatalf("%s token index not rebuilt: %v", name, got)
+		}
+		if ps := st.Plain(); ps == nil || ps.Len() != i+1 {
+			t.Fatalf("%s plain store = %v", name, ps)
+		}
+	}
+	if st, _ := c2.stores.Get("staging"); st.Plain() != nil || st.Enc().Len() != 1 {
+		t.Fatal("enc-only namespace restored wrong")
+	}
+}
+
+// TestRestoreLegacySnapshot: a pre-namespace state file (no Version
+// field, single implicit store) restores into DefaultStore, so qbcloud
+// upgrades keep their data.
+func TestRestoreLegacySnapshot(t *testing.T) {
+	// The v1 snapshot layout, gob-encoded exactly as PR 2/3 wrote it.
+	type legacySnapshot struct {
+		HasPlain bool
+		Schema   relation.Schema
+		Tuples   []relation.Tuple
+		Attr     string
+		Enc      []storage.EncRow
+	}
+	rel := relation.New(relation.MustSchema("T",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+	))
+	rel.MustInsert(relation.Int(7))
+	legacy := legacySnapshot{
+		HasPlain: true,
+		Schema:   rel.Schema,
+		Tuples:   rel.Tuples,
+		Attr:     "K",
+		Enc:      []storage.EncRow{{Addr: 0, TupleCT: []byte("old-ct"), Token: []byte("t")}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCloud()
+	if err := c.Restore(&buf); err != nil {
+		t.Fatalf("legacy snapshot refused: %v", err)
+	}
+	st, ok := c.stores.Get(DefaultStore)
+	if !ok {
+		t.Fatalf("legacy data not in DefaultStore; namespaces = %v", c.StoreNames())
+	}
+	if st.Plain() == nil || st.Plain().Len() != 1 {
+		t.Fatal("legacy plain relation lost")
+	}
+	rows := st.Enc().Rows()
+	if len(rows) != 1 || string(rows[0].TupleCT) != "old-ct" {
+		t.Fatalf("legacy enc rows = %v", rows)
+	}
+}
+
+// TestRestoreFailureLeavesStateIntact: a snapshot that gob-decodes but
+// contains an invalid store must not destroy the cloud's live state —
+// the failed Restore is a no-op, as it was pre-namespaces.
+func TestRestoreFailureLeavesStateIntact(t *testing.T) {
+	c := NewCloud()
+	c.stores.GetOrCreate("live").Enc().Add([]byte("precious"), nil, nil)
+
+	bad := snapshot{Version: ProtocolVersion, Stores: []storeSnapshot{{
+		Name:     "bad",
+		HasPlain: true,
+		Schema:   relation.MustSchema("T", relation.Column{Name: "K", Kind: relation.KindInt}),
+		Attr:     "Nonexistent", // NewPlainStore fails: no such column
+	}}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restore(&buf); err == nil {
+		t.Fatal("invalid snapshot accepted")
+	}
+	st, ok := c.stores.Get("live")
+	if !ok || st.Enc().Len() != 1 {
+		t.Fatalf("failed restore destroyed live state: namespaces = %v", c.StoreNames())
+	}
+	if _, ok := c.stores.Get("bad"); ok {
+		t.Fatal("failed restore left a partial store behind")
+	}
+}
 
 func TestRestoreRejectsGarbage(t *testing.T) {
 	c := NewCloud()

@@ -60,14 +60,175 @@ func TestClientAgainstRemoteCloud(t *testing.T) {
 	_ = addr
 }
 
-// TestRemoteCloudRejectsVerticalClient: one qbcloud hosts a single
-// encrypted store, so the two differently-keyed sub-clients of a
-// vertical client cannot share it.
-func TestRemoteCloudRejectsVerticalClient(t *testing.T) {
+// TestRemoteVerticalClientMatchesInProcess is the vertical-client
+// equivalence property over the wire: a vertical client whose two
+// differently keyed sub-clients share one qbcloud (via the namespaced
+// store registry — residual rows in one store, sensitive columns in its
+// "/columns" sibling) must return exactly the tuples and log exactly the
+// adversarial views of the in-process vertical client, across the
+// store-backed technique matrix and with and without a connection pool.
+func TestRemoteVerticalClientMatchesInProcess(t *testing.T) {
+	for _, tech := range []Technique{TechNoInd, TechDetIndex, TechArx} {
+		for _, conns := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%v/conns=%d", tech, conns), func(t *testing.T) {
+				mk := func(addr string) *VerticalClient {
+					c, err := NewVerticalClient(Config{
+						MasterKey:  []byte("vertical remote equivalence"),
+						Attr:       "EId",
+						Technique:  tech,
+						Seed:       seed(41),
+						CloudAddr:  addr, // "" = in-process
+						CloudConns: conns,
+					}, []string{"SSN", "Dept"})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { c.Close() })
+					return c
+				}
+				local, remote := mk(""), mk(startRemoteCloud(t))
+				emp := workload.Employee()
+				if err := local.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+					t.Fatal(err)
+				}
+				if err := remote.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+					t.Fatal(err)
+				}
+				for _, eid := range []string{"E101", "E259", "E199", "E152", "E000"} {
+					want, err := local.Query(Str(eid))
+					if err != nil {
+						t.Fatalf("local Query(%s): %v", eid, err)
+					}
+					got, err := remote.Query(Str(eid))
+					if err != nil {
+						t.Fatalf("remote Query(%s): %v", eid, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("Query(%s) over wire = %v, want %v", eid, got, want)
+					}
+					// Full original schema reassembled, sensitive columns
+					// included.
+					for _, tp := range got {
+						if len(tp.Values) != 6 {
+							t.Errorf("tuple %d has %d columns, want 6", tp.ID, len(tp.Values))
+						}
+					}
+				}
+				lv, rv := local.AdversarialViews(), remote.AdversarialViews()
+				if len(lv) != len(rv) {
+					t.Fatalf("view counts differ: local %d, remote %d", len(lv), len(rv))
+				}
+				for i := range lv {
+					if viewKey(lv[i]) != viewKey(rv[i]) {
+						t.Errorf("view %d: remote %s != local %s", i, viewKey(rv[i]), viewKey(lv[i]))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteVerticalNamespaces: the two sub-clients really live in two
+// cloud-side namespaces (main + "/columns"), so their differently keyed
+// ciphertexts never share a store.
+func TestRemoteVerticalNamespaces(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := wire.NewCloud()
+	go func() { _ = cl.Serve(lis) }()
+	t.Cleanup(func() { lis.Close() })
+
+	c, err := NewVerticalClient(Config{
+		MasterKey: []byte("k"), Attr: "EId", Seed: seed(3),
+		CloudAddr: lis.Addr().String(), Store: "emp",
+	}, []string{"SSN"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Outsource(workload.Employee(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	names := cl.StoreNames()
+	if !reflect.DeepEqual(names, []string{"emp", "emp/columns"}) {
+		t.Fatalf("cloud namespaces = %v, want [emp emp/columns]", names)
+	}
+	stats := cl.Stats()
+	if stats["emp"].EncRows == 0 || stats["emp/columns"].EncRows == 0 {
+		t.Fatalf("both namespaces should hold encrypted rows: %+v", stats)
+	}
+	if stats["emp/columns"].PlainTuples != 0 {
+		t.Fatal("columns namespace must never hold clear-text tuples")
+	}
+}
+
+// TestTwoTenantsShareOneCloud: two clients with different Config.Store
+// values outsource different relations through one qbcloud and stay
+// fully isolated at the public API level.
+func TestTwoTenantsShareOneCloud(t *testing.T) {
+	addr := startRemoteCloud(t)
+	mk := func(store string, seedV uint64) *Client {
+		c, err := NewClient(Config{
+			MasterKey: []byte("tenant " + store),
+			Attr:      "EId",
+			Seed:      seed(seedV),
+			CloudAddr: addr,
+			Store:     store,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	a, b := mk("tenant-a", 10), mk("tenant-b", 11)
+
+	emp := workload.Employee()
+	if err := a.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant B outsources a disjoint subset (everything sensitive), so a
+	// cross-tenant leak would be visible as extra rows.
+	empB := workload.Employee()
+	if err := b.Outsource(empB.Clone(), func(Tuple) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, eid := range []string{"E101", "E259", "E199"} {
+		want, _ := emp.Select("EId", Str(eid))
+		gotA, err := a.Query(Str(eid))
+		if err != nil {
+			t.Fatalf("tenant-a Query(%s): %v", eid, err)
+		}
+		if !reflect.DeepEqual(relation.IDs(gotA), relation.IDs(want)) {
+			t.Errorf("tenant-a Query(%s) = %v, want %v", eid, relation.IDs(gotA), relation.IDs(want))
+		}
+		gotB, err := b.Query(Str(eid))
+		if err != nil {
+			t.Fatalf("tenant-b Query(%s): %v", eid, err)
+		}
+		if !reflect.DeepEqual(relation.IDs(gotB), relation.IDs(want)) {
+			t.Errorf("tenant-b Query(%s) = %v, want %v", eid, relation.IDs(gotB), relation.IDs(want))
+		}
+	}
+}
+
+// TestReservedColumnsNamespace: a regular client cannot claim some
+// vertical client's "/columns" sibling — that would interleave
+// differently keyed ciphertexts in one store.
+func TestReservedColumnsNamespace(t *testing.T) {
+	addr := startRemoteCloud(t)
+	if _, err := NewClient(Config{
+		MasterKey: []byte("k"), Attr: "EId", CloudAddr: addr, Store: "emp/columns",
+	}); err == nil {
+		t.Fatal("reserved /columns namespace accepted by NewClient")
+	}
 	if _, err := NewVerticalClient(Config{
-		MasterKey: []byte("k"), Attr: "EId", CloudAddr: startRemoteCloud(t),
-	}, []string{"Salary"}); err == nil {
-		t.Fatal("vertical client accepted a remote cloud")
+		MasterKey: []byte("k"), Attr: "EId", CloudAddr: addr, Store: "emp/columns",
+	}, []string{"SSN"}); err == nil {
+		t.Fatal("reserved /columns namespace accepted by NewVerticalClient")
 	}
 }
 
