@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-remote docs smoke-remote ci
+.PHONY: build test vet race bench bench-remote docs smoke-remote smoke-chaos ci
 
 build:
 	$(GO) build ./...
@@ -39,4 +39,13 @@ smoke-remote:
 	$(GO) build -o bin/qbcloud ./cmd/qbcloud
 	$(GO) run ./cmd/qbsmoke -qbcloud bin/qbcloud
 
-ci: build test race docs smoke-remote
+# Crash-recovery + control-plane smoke: boot qbcloud with periodic atomic
+# snapshots, drive a reconnecting client, SIGKILL the server mid-traffic,
+# restart from the state file and require identical answers; then drive
+# the qbadmin CLI (ping/list/stats/compact/drop + wrong-key refusal).
+smoke-chaos:
+	$(GO) build -o bin/qbcloud ./cmd/qbcloud
+	$(GO) build -o bin/qbadmin ./cmd/qbadmin
+	$(GO) run ./cmd/qbsmoke -phase chaos -qbcloud bin/qbcloud -qbadmin bin/qbadmin
+
+ci: build test race docs smoke-remote smoke-chaos

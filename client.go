@@ -94,6 +94,16 @@ type Config struct {
 	// parallelise the server's per-connection decode/encode work, which
 	// pays off for CPU-bound encrypted scans under QueryBatch.
 	CloudConns int
+	// Reconnect, when set, wraps the cloud connection in a reconnecting
+	// transport: a transport failure — the cloud restarting, a dropped
+	// TCP session — no longer poisons the client permanently. Instead the
+	// transport redials with capped exponential backoff, re-runs the
+	// protocol handshake, re-ships the clear-text partition, resyncs the
+	// encrypted address space and replays any un-acknowledged encrypted
+	// uploads (exactly once), while in-flight queries block and then
+	// retry. The price is an owner-side mirror of the clear-text
+	// partition. Currently requires CloudConns <= 1.
+	Reconnect bool
 	// Store selects the cloud-side namespace this client's relation lives
 	// in when CloudAddr is set. One qbcloud hosts any number of named
 	// store pairs, each with its own address space, token index and
@@ -142,6 +152,12 @@ func dialTransport(cfg Config) (wire.Transport, error) {
 	if err := checkStoreName(cfg.Store); err != nil {
 		return nil, err
 	}
+	if cfg.Reconnect {
+		if cfg.CloudConns > 1 {
+			return nil, errors.New("repro: Config.Reconnect currently requires CloudConns <= 1 (the reconnecting transport wraps a single connection)")
+		}
+		return wire.DialReconnect(cfg.CloudAddr, wire.ReconnectOptions{})
+	}
 	if cfg.CloudConns > 1 {
 		return wire.DialPool(cfg.CloudAddr, cfg.CloudConns)
 	}
@@ -177,6 +193,10 @@ func newClientOn(cfg Config, transport wire.Transport, owns bool) (*Client, erro
 	var remote wire.Backend
 	if transport != nil {
 		remote = transport.Store(cfg.Store)
+		// Control plane: the first write claims the namespace for this
+		// master key, making the owner-authenticated admin ops (stats,
+		// drop, compact — see cmd/qbadmin) available to it alone.
+		remote.SetAdminToken(wire.OwnerToken(cfg.MasterKey, cfg.Store))
 	}
 	encStore := func() technique.EncStore {
 		if remote != nil {

@@ -9,21 +9,27 @@
 //
 // Usage:
 //
-//	qbcloud -addr :7040 [-workers N] [-state FILE] [-stats DUR]
+//	qbcloud -addr :7040 [-workers N] [-store-workers N] [-state FILE]
+//	        [-snapshot-every DUR] [-stats DUR]
 //
 // Point a client at it with repro.Config{CloudAddr: "host:7040",
 // Store: "tenant"}. The wire protocol is versioned (clients and server
 // must speak the same generation; a pre-namespace client is refused with
 // an explicit version-mismatch error) and multiplexed: every connection's
-// requests are dispatched concurrently through a bounded worker pool
-// (-workers per connection, default GOMAXPROCS), so a single owner
-// running QueryBatch gets real server-side parallelism; namespaces only
-// lock against themselves, so tenants don't contend.
+// requests are dispatched concurrently through two-level admission — a
+// bounded per-connection pool (-workers, default GOMAXPROCS) plus an
+// optional per-namespace bound (-store-workers) that keeps one tenant's
+// CPU burst from starving tenants sharing the same connection; namespaces
+// only lock against themselves, so tenants don't otherwise contend.
 //
 // -state persists every namespace in one snapshot file (restored at
 // start if present, saved on SIGINT/SIGTERM; pre-namespace state files
-// load into "default"). -stats prints per-store op/row counts every DUR
-// (e.g. 30s); the same table is always printed on shutdown.
+// load into "default"); -snapshot-every additionally saves it in the
+// background every DUR. Every save is atomic (tmp + rename), so a crash
+// mid-save never corrupts the state file. -stats prints per-store op/row
+// counts every DUR (e.g. 30s); the same table is always printed on
+// shutdown. The owner-side control plane (namespace stats/compact/drop,
+// owner-authenticated) is driven by cmd/qbadmin.
 package main
 
 import (
@@ -45,9 +51,11 @@ func main() {
 	addr := flag.String("addr", ":7040", "listen address")
 	state := flag.String("state", "", "state file: restored at start if present, saved on SIGINT/SIGTERM (all namespaces)")
 	workers := flag.Int("workers", 0, "concurrent ops dispatched per connection (0 = GOMAXPROCS)")
+	storeWorkers := flag.Int("store-workers", 0, "concurrent ops dispatched per namespace across all connections (0 = unbounded)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also save -state at this interval, atomically (0 = only on shutdown)")
 	statsEvery := flag.Duration("stats", 0, "print per-store stats at this interval (0 = only on shutdown)")
 	flag.Parse()
-	if err := run(*addr, *state, *workers, *statsEvery); err != nil {
+	if err := run(*addr, *state, *workers, *storeWorkers, *snapshotEvery, *statsEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "qbcloud:", err)
 		os.Exit(1)
 	}
@@ -73,9 +81,10 @@ func printStats(cloud *wire.Cloud) {
 	}
 }
 
-func run(addr, state string, workers int, statsEvery time.Duration) error {
+func run(addr, state string, workers, storeWorkers int, snapshotEvery, statsEvery time.Duration) error {
 	cloud := wire.NewCloud()
 	cloud.SetConnWorkers(workers)
+	cloud.SetStoreWorkers(storeWorkers)
 	if state != "" {
 		f, err := os.Open(state)
 		switch {
@@ -106,6 +115,22 @@ func run(addr, state string, workers int, statsEvery time.Duration) error {
 			}
 		}()
 	}
+	if snapshotEvery > 0 && state != "" {
+		// Periodic background snapshots: every save is atomic (tmp +
+		// rename inside SaveFile), so a SIGKILL mid-save leaves the
+		// previous complete snapshot and a restart loses at most one
+		// interval of writes — the crash-recovery story the reconnecting
+		// clients lean on.
+		go func() {
+			for range time.Tick(snapshotEvery) {
+				if err := cloud.SaveFile(state); err != nil {
+					fmt.Fprintln(os.Stderr, "qbcloud: background snapshot:", err)
+				} else {
+					fmt.Printf("qbcloud: snapshot saved to %s\n", state)
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -113,14 +138,7 @@ func run(addr, state string, workers int, statsEvery time.Duration) error {
 		<-sig
 		printStats(cloud)
 		if state != "" {
-			f, err := os.Create(state)
-			if err == nil {
-				err = cloud.Save(f)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
+			if err := cloud.SaveFile(state); err != nil {
 				fmt.Fprintln(os.Stderr, "qbcloud: saving state:", err)
 				os.Exit(1)
 			}

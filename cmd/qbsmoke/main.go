@@ -1,14 +1,27 @@
-// Command qbsmoke is the end-to-end smoke test behind `make smoke-remote`:
-// it boots a real qbcloud binary as a separate process, runs a vertical
-// client and a second tenant against it over TCP — two-plus namespaces
-// through one server — and checks every answer against an in-process
-// reference. It exits non-zero on any mismatch, so CI catches a broken
-// binary or protocol even when unit tests (which link the server in
-// process) still pass.
+// Command qbsmoke is the end-to-end smoke test behind `make smoke-remote`
+// and `make smoke-chaos`: it boots a real qbcloud binary as a separate
+// process and drives it over TCP, checking every answer against an
+// in-process reference. It exits non-zero on any mismatch, so CI catches
+// a broken binary or protocol even when unit tests (which link the server
+// in process) still pass.
+//
+// Phases:
+//
+//	-phase tenants (default): a vertical client plus a second tenant —
+//	    three namespaces through one server — plus per-store shutdown
+//	    stats.
+//	-phase chaos: crash recovery and the control plane. Boots qbcloud
+//	    with -state and -snapshot-every, outsources through a
+//	    Config.Reconnect client, SIGKILLs the server mid-traffic,
+//	    restarts it from the state file on the same port, and requires
+//	    the same client to finish with answers identical to the
+//	    in-process reference; then drives the qbadmin binary (ping,
+//	    list, stats, compact, drop, and a wrong-key refusal) against
+//	    the survivor.
 //
 // Usage:
 //
-//	qbsmoke -qbcloud path/to/qbcloud
+//	qbsmoke -qbcloud path/to/qbcloud [-qbadmin path/to/qbadmin] [-phase tenants|chaos]
 package main
 
 import (
@@ -29,8 +42,19 @@ import (
 
 func main() {
 	bin := flag.String("qbcloud", "bin/qbcloud", "path to the qbcloud binary to boot")
+	adminBin := flag.String("qbadmin", "bin/qbadmin", "path to the qbadmin binary (chaos phase)")
+	phase := flag.String("phase", "tenants", "which smoke phase to run: tenants or chaos")
 	flag.Parse()
-	if err := run(*bin); err != nil {
+	var err error
+	switch *phase {
+	case "tenants":
+		err = run(*bin)
+	case "chaos":
+		err = runChaos(*bin, *adminBin)
+	default:
+		err = fmt.Errorf("unknown -phase %q", *phase)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qbsmoke: FAIL:", err)
 		os.Exit(1)
 	}
@@ -52,10 +76,12 @@ func (o *cloudOutput) String() string {
 	return o.buf.String()
 }
 
-// bootCloud starts the qbcloud binary on an ephemeral port and returns
-// the address it reports, the process, and its collected output.
-func bootCloud(bin string) (string, *exec.Cmd, *cloudOutput, error) {
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+// bootCloud starts the qbcloud binary (by default on an ephemeral port;
+// pass -addr in extra to pin one) and returns the address it reports, the
+// process, and its collected output.
+func bootCloud(bin string, extra ...string) (string, *exec.Cmd, *cloudOutput, error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
 	pipe, err := cmd.StdoutPipe()
 	if err != nil {
 		return "", nil, nil, err
@@ -197,4 +223,204 @@ func run(bin string) error {
 	}
 	fmt.Println("qbsmoke: qbcloud reported per-store stats for all namespaces")
 	return nil
+}
+
+// waitExit waits for the collected output stream to hit EOF and the
+// process to be reaped.
+func waitExit(cmd *exec.Cmd, out *cloudOutput, what string) error {
+	select {
+	case <-out.done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		return fmt.Errorf("%s did not exit within 10s", what)
+	}
+	cmd.Wait()
+	return nil
+}
+
+// qbadmin runs the qbadmin binary and returns its combined output;
+// wantFail inverts the exit-status expectation (refusal tests).
+func qbadmin(adminBin string, wantFail bool, args ...string) (string, error) {
+	out, err := exec.Command(adminBin, args...).CombinedOutput()
+	if wantFail && err == nil {
+		return string(out), fmt.Errorf("qbadmin %v succeeded, expected refusal (output: %s)", args, out)
+	}
+	if !wantFail && err != nil {
+		return string(out), fmt.Errorf("qbadmin %v: %w (output: %s)", args, err, out)
+	}
+	return string(out), nil
+}
+
+// runChaos is the crash-recovery and control-plane phase: SIGKILL a live
+// qbcloud under a reconnecting client, restart it from its periodic
+// snapshot, verify observational equivalence with an in-process
+// reference, then administer the survivor with qbadmin.
+func runChaos(bin, adminBin string) error {
+	dir, err := os.MkdirTemp("", "qbsmoke-chaos-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	state := dir + "/state.gob"
+
+	addr, cmd, out, err := bootCloud(bin, "-state", state, "-snapshot-every", "150ms")
+	if err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+	fmt.Printf("qbsmoke: qbcloud up on %s (state=%s, snapshots every 150ms)\n", addr, state)
+
+	var s uint64 = 535353
+	masterKey := "chaos master key"
+	baseCfg := repro.Config{
+		MasterKey: []byte(masterKey),
+		Attr:      "EId",
+		Seed:      &s,
+	}
+	emp := workload.Employee()
+	queries := []string{"E101", "E259", "E199", "E152", "E000"}
+
+	local, err := repro.NewClient(baseCfg)
+	if err != nil {
+		return err
+	}
+	remoteCfg := baseCfg
+	remoteCfg.CloudAddr = addr
+	remoteCfg.Store = "chaos-tenant"
+	remoteCfg.Reconnect = true
+	remote, err := repro.NewClient(remoteCfg)
+	if err != nil {
+		return err
+	}
+	defer remote.Close()
+	if err := local.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		return err
+	}
+	if err := remote.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		return fmt.Errorf("outsource over the wire: %w", err)
+	}
+	// A scratch namespace for qbadmin's destructive commands.
+	scratchCfg := repro.Config{
+		MasterKey: []byte("scratch key"), Attr: "EId", Seed: &s,
+		CloudAddr: addr, Store: "chaos-scratch",
+	}
+	scratch, err := repro.NewClient(scratchCfg)
+	if err != nil {
+		return err
+	}
+	defer scratch.Close()
+	if err := scratch.Outsource(emp.Clone(), func(repro.Tuple) bool { return true }); err != nil {
+		return err
+	}
+	check := func(when string) error {
+		for _, eid := range queries {
+			want, err := local.Query(repro.Str(eid))
+			if err != nil {
+				return err
+			}
+			got, err := remote.Query(repro.Str(eid))
+			if err != nil {
+				return fmt.Errorf("%s: Query(%s): %w", when, eid, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("%s: Query(%s) = %v, want %v", when, eid, got, want)
+			}
+		}
+		return nil
+	}
+	if err := check("pre-kill"); err != nil {
+		return err
+	}
+	outsourced := time.Now()
+
+	// Wait for a background snapshot that certainly started after the
+	// outsourced state settled (saves are atomic, ticks every 150ms).
+	for {
+		if fi, err := os.Stat(state); err == nil && fi.ModTime().After(outsourced.Add(200*time.Millisecond)) {
+			break
+		}
+		if time.Since(outsourced) > 15*time.Second {
+			return fmt.Errorf("no background snapshot of %s within 15s", state)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Println("qbsmoke: background snapshot captured, sending SIGKILL")
+
+	// The crash: no shutdown save, no warning. Everything after this line
+	// leans on the periodic snapshot and the reconnecting client.
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	if err := waitExit(cmd, out, "killed qbcloud"); err != nil {
+		return err
+	}
+
+	addr2, cmd2, out2, err := bootCloud(bin, "-state", state, "-addr", addr)
+	if err != nil {
+		return fmt.Errorf("restarting qbcloud: %w", err)
+	}
+	defer cmd2.Process.Kill()
+	if addr2 != addr {
+		return fmt.Errorf("restarted qbcloud on %s, want %s", addr2, addr)
+	}
+	if !strings.Contains(out2.String(), "restored state") {
+		return fmt.Errorf("restarted qbcloud did not restore state:\n%s", out2)
+	}
+	fmt.Printf("qbsmoke: qbcloud restarted on %s from %s\n", addr, state)
+
+	// The SAME client object, across the crash: reconnect, resync, same
+	// answers.
+	if err := check("post-restart"); err != nil {
+		return err
+	}
+	fmt.Println("qbsmoke: reconnecting client survived SIGKILL+restart with identical answers")
+
+	// Control-plane drive against the survivor.
+	if _, err := qbadmin(adminBin, false, "-addr", addr, "ping"); err != nil {
+		return err
+	}
+	list, err := qbadmin(adminBin, false, "-addr", addr, "list")
+	if err != nil {
+		return err
+	}
+	for _, ns := range []string{"chaos-tenant", "chaos-scratch"} {
+		if !strings.Contains(list, ns) {
+			return fmt.Errorf("qbadmin list missing %q:\n%s", ns, list)
+		}
+	}
+	stats, err := qbadmin(adminBin, false, "-addr", addr, "-master", masterKey, "-store", "chaos-tenant", "stats")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(stats, "enc_rows=") {
+		return fmt.Errorf("qbadmin stats output unexpected:\n%s", stats)
+	}
+	if _, err := qbadmin(adminBin, false, "-addr", addr, "-master", masterKey, "-store", "chaos-tenant", "compact"); err != nil {
+		return err
+	}
+	// The owner token survives the snapshot: a wrong key is refused even
+	// after the restart, and the right key can drop its namespace.
+	if _, err := qbadmin(adminBin, true, "-addr", addr, "-master", "wrong key", "-store", "chaos-scratch", "drop"); err != nil {
+		return err
+	}
+	if _, err := qbadmin(adminBin, false, "-addr", addr, "-master", "scratch key", "-store", "chaos-scratch", "drop"); err != nil {
+		return err
+	}
+	list, err = qbadmin(adminBin, false, "-addr", addr, "list")
+	if err != nil {
+		return err
+	}
+	if strings.Contains(list, "chaos-scratch") {
+		return fmt.Errorf("chaos-scratch still listed after drop:\n%s", list)
+	}
+	// The tenant that was compacted (not dropped) still answers.
+	if err := check("post-admin"); err != nil {
+		return err
+	}
+	fmt.Println("qbsmoke: qbadmin ping/list/stats/compact/drop behaved, wrong key refused")
+
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return waitExit(cmd2, out2, "qbcloud")
 }

@@ -21,6 +21,7 @@ type KeySet struct {
 	Nonce []byte // synthetic-IV derivation for the deterministic cipher
 	PRF   []byte // search-token PRF
 	Arx   []byte // Arx-style counter tokens
+	Admin []byte // control-plane owner tokens (namespace lifecycle ops)
 }
 
 // DeriveKeys expands a master secret into a KeySet using HMAC-SHA-256 with
@@ -32,6 +33,7 @@ func DeriveKeys(master []byte) *KeySet {
 		Nonce: derive(master, "nonce"),
 		PRF:   derive(master, "prf"),
 		Arx:   derive(master, "arx"),
+		Admin: derive(master, "admin"),
 	}
 }
 

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestClaimOwner: first claim wins, later and empty claims are ignored.
+func TestClaimOwner(t *testing.T) {
+	st := NewStore()
+	if st.OwnerHash() != nil {
+		t.Fatal("fresh store has an owner hash")
+	}
+	if st.ClaimOwner(nil) {
+		t.Fatal("empty claim took effect")
+	}
+	if !st.ClaimOwner([]byte("hash-a")) {
+		t.Fatal("first claim refused")
+	}
+	if st.ClaimOwner([]byte("hash-b")) {
+		t.Fatal("second claim overwrote the owner")
+	}
+	if got := st.OwnerHash(); string(got) != "hash-a" {
+		t.Fatalf("OwnerHash = %q, want hash-a", got)
+	}
+}
+
+// TestStoreSetDrop: a dropped namespace disappears from the registry, a
+// recreated one is fresh (empty, unclaimed), and Drop reports existence.
+func TestStoreSetDrop(t *testing.T) {
+	ss := NewStoreSet()
+	st := ss.GetOrCreate("tenant")
+	st.Enc().Add([]byte("ct"), nil, []byte("tok"))
+	st.ClaimOwner([]byte("hash"))
+
+	if ss.Drop("missing") {
+		t.Fatal("Drop reported success for a namespace that never existed")
+	}
+	if !ss.Drop("tenant") {
+		t.Fatal("Drop reported failure for an existing namespace")
+	}
+	if _, ok := ss.Get("tenant"); ok {
+		t.Fatal("dropped namespace still registered")
+	}
+	fresh := ss.GetOrCreate("tenant")
+	if fresh == st {
+		t.Fatal("recreated namespace is the dropped store")
+	}
+	if fresh.Enc().Len() != 0 || fresh.OwnerHash() != nil {
+		t.Fatal("recreated namespace inherited state from the dropped one")
+	}
+}
+
+// TestStoreSetDropQuiesces: Drop must not return while an operation still
+// holds the dropped store's read lock.
+func TestStoreSetDropQuiesces(t *testing.T) {
+	ss := NewStoreSet()
+	st := ss.GetOrCreate("tenant")
+
+	_, _, release := st.ReadView()
+	dropped := make(chan struct{})
+	go func() {
+		ss.Drop("tenant")
+		close(dropped)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Drop reach the quiesce
+	select {
+	case <-dropped:
+		t.Fatal("Drop returned while a read view was still held")
+	default:
+	}
+	release()
+	<-dropped
+}
+
+// TestEncStoreCompact: compaction preserves rows, addresses and token
+// lookups exactly, under concurrent readers (-race covers the interleaving).
+func TestEncStoreCompact(t *testing.T) {
+	s := NewEncryptedStore()
+	const rows = 100
+	for i := 0; i < rows; i++ {
+		s.Add([]byte(fmt.Sprintf("ct-%d", i)), []byte(fmt.Sprintf("attr-%d", i)), []byte(fmt.Sprintf("tok-%d", i%7)))
+	}
+	before := s.Rows()
+	wantTok := s.LookupToken([]byte("tok-3"))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Rows()
+					s.LookupToken([]byte("tok-3"))
+				}
+			}
+		}()
+	}
+	if n := s.Compact(); n != rows {
+		t.Fatalf("Compact = %d, want %d", n, rows)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !reflect.DeepEqual(s.Rows(), before) {
+		t.Fatal("Compact changed the row column")
+	}
+	if got := s.LookupToken([]byte("tok-3")); !reflect.DeepEqual(got, wantTok) {
+		t.Fatalf("LookupToken after Compact = %v, want %v", got, wantTok)
+	}
+	if _, err := s.Fetch([]int{0, rows - 1}); err != nil {
+		t.Fatalf("Fetch after Compact: %v", err)
+	}
+}
+
+// TestStoreCompactExclusive: Store.Compact takes the store write lock, so
+// it waits for in-flight read views like SetPlain does.
+func TestStoreCompactExclusive(t *testing.T) {
+	st := NewStore()
+	st.Enc().Add([]byte("ct"), nil, nil)
+	_, _, release := st.ReadView()
+	done := make(chan int, 1)
+	go func() { done <- st.Compact() }()
+	time.Sleep(20 * time.Millisecond) // let Compact reach the lock
+	select {
+	case <-done:
+		t.Fatal("Compact returned while a read view was still held")
+	default:
+	}
+	release()
+	if n := <-done; n != 1 {
+		t.Fatalf("Compact = %d, want 1", n)
+	}
+}

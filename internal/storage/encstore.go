@@ -154,6 +154,37 @@ func (s *EncryptedStore) FetchBatch(addrBatches [][]int) ([][]EncRow, error) {
 	return out, nil
 }
 
+// Compact rebuilds the row column and the token index into exactly-sized
+// allocations and returns the row count. The row column is append-only, so
+// successive Adds leave up to 2x capacity slack in the snapshot slice and
+// growth garbage in the stripe maps; a long-lived multi-tenant cloud
+// reclaims it per namespace through the control plane's compact op.
+// Addresses are preserved exactly — rows never move relative to their
+// Addr — so owner-side metadata stays valid. Readers are lock-free and
+// see either the old or the new snapshot, which hold identical content.
+func (s *EncryptedStore) Compact() int {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	rows := make([]EncRow, len(s.rows))
+	copy(rows, s.rows)
+	s.rows = rows
+	s.snap.Store(&rows)
+
+	// Rebuild each stripe's map with exact-size buckets; per-stripe locks
+	// keep concurrent LookupToken calls safe throughout.
+	for i := range s.tokens {
+		sh := &s.tokens[i]
+		sh.mu.Lock()
+		m := make(map[string][]int, len(sh.m))
+		for k, addrs := range sh.m {
+			m[k] = append(make([]int, 0, len(addrs)), addrs...)
+		}
+		sh.m = m
+		sh.mu.Unlock()
+	}
+	return len(rows)
+}
+
 // LookupToken returns the addresses whose token equals tok (indexable
 // techniques only). Only the stripe owning tok is locked.
 func (s *EncryptedStore) LookupToken(tok []byte) []int {

@@ -19,6 +19,13 @@ type Store struct {
 	mu    sync.RWMutex // guards the plain pointer, not the stores
 	plain *PlainStore
 	enc   *EncryptedStore
+
+	// ownerMu guards ownerHash: the hash of the owner's control-plane
+	// token, claimed by the first write to the namespace. The cloud never
+	// sees the token itself outside an admin request; at rest it keeps only
+	// the hash, so a stolen snapshot does not confer admin rights.
+	ownerMu   sync.Mutex
+	ownerHash []byte
 }
 
 // NewStore returns an empty store (no relation loaded, empty encrypted
@@ -57,6 +64,41 @@ func (s *Store) Plain() *PlainStore {
 // Enc returns the encrypted store. The pointer never changes for the
 // Store's lifetime, so no lock is needed.
 func (s *Store) Enc() *EncryptedStore { return s.enc }
+
+// ClaimOwner records hash as the namespace's owner-token hash if none is
+// registered yet and reports whether the claim took effect. Later claims
+// with a different hash are ignored: the first writer to a namespace is
+// its owner until the namespace is dropped.
+func (s *Store) ClaimOwner(hash []byte) bool {
+	if len(hash) == 0 {
+		return false
+	}
+	s.ownerMu.Lock()
+	defer s.ownerMu.Unlock()
+	if s.ownerHash != nil {
+		return false
+	}
+	s.ownerHash = append([]byte(nil), hash...)
+	return true
+}
+
+// OwnerHash returns the registered owner-token hash (nil when the
+// namespace has never been written with a token).
+func (s *Store) OwnerHash() []byte {
+	s.ownerMu.Lock()
+	defer s.ownerMu.Unlock()
+	return s.ownerHash
+}
+
+// Compact rebuilds the encrypted side into exactly-sized allocations (see
+// EncryptedStore.Compact) under the store's write lock, so it is exclusive
+// against every in-flight operation on the same namespace — the same
+// quiescence SetPlain relies on — and returns the retained row count.
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Compact()
+}
 
 // StoreSet is a race-safe registry of named stores — the state of a
 // multi-tenant cloud. Lookup and creation are atomic: two clients
@@ -104,6 +146,30 @@ func (ss *StoreSet) Set(name string, st *Store) {
 	ss.mu.Lock()
 	ss.m[name] = st
 	ss.mu.Unlock()
+}
+
+// Drop removes the named store from the registry and reports whether it
+// existed. The removal is published first — operations arriving after Drop
+// returns (or racing past it) resolve to a fresh empty store on next
+// touch — and then the dropped store's write lock is taken and released,
+// so by the time Drop returns every operation that was in flight on the
+// old store has drained and its memory is unreachable. An op that loses
+// the race lands in the orphaned store and its effect vanishes with it,
+// which is exactly the semantics of an owner-ordered destruction.
+func (ss *StoreSet) Drop(name string) bool {
+	ss.mu.Lock()
+	st, ok := ss.m[name]
+	if ok {
+		delete(ss.m, name)
+	}
+	ss.mu.Unlock()
+	if !ok {
+		return false
+	}
+	// Quiesce: wait out readers still holding the dropped store's lock.
+	st.mu.Lock()
+	st.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+	return true
 }
 
 // Reset drops every store. Restore paths use it under the same quiescence

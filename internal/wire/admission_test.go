@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// TestStoreAdmissionIsolatesTenants is the acceptance property for
+// two-level admission, made deterministic with the dispatch hook: tenant A
+// saturates its per-store bound with ops that park inside dispatch, plus
+// more ops queueing on A's semaphore, all through the SAME connection as
+// tenant B — and B's query still completes, because ops waiting on their
+// own store's bound hold no per-connection capacity.
+func TestStoreAdmissionIsolatesTenants(t *testing.T) {
+	cl := NewCloud()
+	cl.SetConnWorkers(4)
+	cl.SetStoreWorkers(2)
+
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	entered := make(chan string, 16)
+	cl.testHookDispatch = func(o op, store string) {
+		if store == "tenant-a" && o == opEncLen {
+			entered <- store
+			<-gate // park inside dispatch, holding both admission slots
+		}
+	}
+	defer gateOnce.Do(func() { close(gate) })
+
+	srvConn, cliConn := net.Pipe()
+	go cl.ServeConn(srvConn)
+	c := NewClient(cliConn)
+	defer c.Close()
+
+	a := c.WithStore("tenant-a")
+	b := c.WithStore("tenant-b")
+
+	// Four ops on tenant A through the one connection: with store-workers=2
+	// exactly two enter dispatch (and park at the gate); two wait on A's
+	// semaphore — crucially, without holding per-connection slots.
+	aDone := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		go func() { aDone <- a.Len() }()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("tenant A ops never reached dispatch")
+		}
+	}
+	select {
+	case s := <-entered:
+		t.Fatalf("third %s op passed a store bound of 2", s)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Tenant B's query on the same connection must complete while A is
+	// saturated: B's store semaphore is free and the connection pool (4)
+	// has slots left because A's two queued ops are not holding any.
+	bDone := make(chan int, 1)
+	go func() { bDone <- b.Len() }()
+	select {
+	case n := <-bDone:
+		if n != 0 {
+			t.Fatalf("tenant B Len = %d, want 0", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("tenant B starved by tenant A's saturation")
+	}
+
+	// Release the gate: every parked and queued A op completes.
+	gateOnce.Do(func() { close(gate) })
+	for i := 0; i < 4; i++ {
+		select {
+		case <-aDone:
+		case <-time.After(5 * time.Second):
+			t.Fatal("tenant A ops did not drain after the gate opened")
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreAdmissionDisabledByDefault: with store-workers unset the
+// namespace level is off and ops run under the connection bound alone.
+func TestStoreAdmissionDisabledByDefault(t *testing.T) {
+	cl := NewCloud()
+	srvConn, cliConn := net.Pipe()
+	go cl.ServeConn(srvConn)
+	c := NewClient(cliConn)
+	defer c.Close()
+	v := c.WithStore("tenant")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Len()
+		}()
+	}
+	wg.Wait()
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreAdmissionUnderLoad drives two tenants with real concurrency
+// (no hook) through one connection with a tight store bound; everything
+// must complete and stay correct under -race.
+func TestStoreAdmissionUnderLoad(t *testing.T) {
+	cl := NewCloud()
+	cl.SetConnWorkers(4)
+	cl.SetStoreWorkers(1)
+	srvConn, cliConn := net.Pipe()
+	go cl.ServeConn(srvConn)
+	c := NewClient(cliConn)
+	defer c.Close()
+
+	rel := relation.New(relation.MustSchema("T",
+		relation.Column{Name: "K", Kind: relation.KindInt},
+	))
+	for i := 0; i < 50; i++ {
+		rel.MustInsert(relation.Int(int64(i % 5)))
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := c.WithStore(name).Load(rel, "K"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := c.WithStore([]string{"a", "b"}[w%2])
+			for i := 0; i < 20; i++ {
+				if got := v.Search([]relation.Value{relation.Int(int64(i % 5))}); len(got) != 10 {
+					t.Errorf("worker %d: Search = %d tuples, want 10", w, len(got))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

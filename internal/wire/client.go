@@ -184,6 +184,9 @@ func (c *Client) Ping() error {
 // The Client keeps the full Backend surface for the one-relation case;
 // every method is the DefaultStore view's.
 
+// SetAdminToken attaches the default store's owner token.
+func (c *Client) SetAdminToken(tok []byte) { c.def.SetAdminToken(tok) }
+
 // Load implements cloud.PlainBackend on the default store.
 func (c *Client) Load(rns *relation.Relation, attr string) error { return c.def.Load(rns, attr) }
 
@@ -238,6 +241,12 @@ type StoreClient struct {
 	c     *Client
 	store string
 
+	// adminMu guards adminToken: the namespace's control-plane owner
+	// token, attached to write requests so the first write claims the
+	// namespace (see SetAdminToken).
+	adminMu    sync.Mutex
+	adminToken []byte
+
 	// bufMu guards the encrypted-upload buffer. It is held across the
 	// flush round trip so the buffer and serverLen stay consistent with
 	// the server.
@@ -254,6 +263,25 @@ type StoreClient struct {
 
 // StoreName returns the namespace this view addresses.
 func (s *StoreClient) StoreName() string { return s.store }
+
+// SetAdminToken attaches the namespace's owner token (see OwnerToken) to
+// this view: every write request carries it, so the first write registers
+// the caller as the namespace's owner and the matching admin ops (stats,
+// drop, compact) become available to whoever holds the master key. A nil
+// token leaves the namespace unclaimed — and its admin ops permanently
+// refused until a tokened writer claims it.
+func (s *StoreClient) SetAdminToken(tok []byte) {
+	s.adminMu.Lock()
+	s.adminToken = cloneBytes(tok)
+	s.adminMu.Unlock()
+}
+
+// ownerToken returns the view's owner token (nil when unset).
+func (s *StoreClient) ownerToken() []byte {
+	s.adminMu.Lock()
+	defer s.adminMu.Unlock()
+	return s.adminToken
+}
 
 // call flushes buffered uploads and performs one round trip, stamping the
 // request with the view's namespace.
@@ -288,37 +316,57 @@ func (s *StoreClient) Close() error { return s.c.Close() }
 // the view's namespace in clear-text.
 func (s *StoreClient) Load(rns *relation.Relation, attr string) error {
 	_, err := s.call(&request{
-		Op:     opPlainLoad,
-		Schema: rns.Schema,
-		Tuples: rns.Tuples,
-		Attr:   attr,
+		Op:         opPlainLoad,
+		Schema:     rns.Schema,
+		Tuples:     rns.Tuples,
+		Attr:       attr,
+		AdminToken: s.ownerToken(),
 	})
 	return err
 }
 
+// searchErr is Search with the error surfaced (retrying wrappers need it;
+// the interface method swallows it into noteLogical).
+func (s *StoreClient) searchErr(values []relation.Value) ([]relation.Tuple, error) {
+	resp, err := s.call(&request{Op: opPlainSearch, Values: values})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tuples, nil
+}
+
 // Search implements cloud.PlainBackend.
 func (s *StoreClient) Search(values []relation.Value) []relation.Tuple {
-	resp, err := s.call(&request{Op: opPlainSearch, Values: values})
+	ts, err := s.searchErr(values)
 	if err != nil {
 		s.c.noteLogical(err)
 		return nil
 	}
-	return resp.Tuples
+	return ts
+}
+
+// searchRangeErr is SearchRange with the error surfaced.
+func (s *StoreClient) searchRangeErr(lo, hi relation.Value) ([]relation.Tuple, error) {
+	resp, err := s.call(&request{Op: opPlainSearchRange, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tuples, nil
 }
 
 // SearchRange implements cloud.PlainBackend.
 func (s *StoreClient) SearchRange(lo, hi relation.Value) []relation.Tuple {
-	resp, err := s.call(&request{Op: opPlainSearchRange, Lo: lo, Hi: hi})
+	ts, err := s.searchRangeErr(lo, hi)
 	if err != nil {
 		s.c.noteLogical(err)
 		return nil
 	}
-	return resp.Tuples
+	return ts
 }
 
 // Insert implements cloud.PlainBackend.
 func (s *StoreClient) Insert(t relation.Tuple) error {
-	_, err := s.call(&request{Op: opPlainInsert, Tuple: t})
+	_, err := s.call(&request{Op: opPlainInsert, Tuple: t, AdminToken: s.ownerToken()})
 	return err
 }
 
@@ -367,7 +415,7 @@ func (s *StoreClient) Flush() error {
 		return nil
 	}
 	batch := s.pending
-	resp, err := s.c.roundTrip(&request{Op: opEncAddBatch, Store: s.store, Batch: batch})
+	resp, err := s.c.roundTrip(&request{Op: opEncAddBatch, Store: s.store, Batch: batch, AdminToken: s.ownerToken()})
 	if err != nil {
 		// Keep the batch buffered for retry: its addresses were already
 		// handed out by Add, so dropping the rows would silently corrupt
@@ -400,24 +448,66 @@ func (s *StoreClient) Flush() error {
 	return nil
 }
 
+// takeRetained extracts the view's retained upload state so a reconnecting
+// wrapper can replay it on a fresh connection. It is only meaningful on a
+// poisoned connection: the sticky error (checked under the same bufMu)
+// guarantees no concurrent Add can buffer after the harvest.
+func (s *StoreClient) takeRetained() (pending []EncUpload, serverLen int, synced bool) {
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	pending = s.pending
+	s.pending = nil
+	return pending, s.serverLen, s.lenSynced
+}
+
+// seed installs upload state harvested from a dead connection's view of
+// the same namespace: the retained rows keep the addresses Add already
+// handed out, and serverLen anchors them to the server-side row count the
+// reconnect resync verified.
+func (s *StoreClient) seed(pending []EncUpload, serverLen int) {
+	s.bufMu.Lock()
+	s.pending = pending
+	s.serverLen = serverLen
+	s.lenSynced = true
+	s.bufMu.Unlock()
+}
+
+// lenErr is Len with the error surfaced.
+func (s *StoreClient) lenErr() (int, error) {
+	resp, err := s.call(&request{Op: opEncLen})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
 // Len implements technique.EncStore.
 func (s *StoreClient) Len() int {
-	resp, err := s.call(&request{Op: opEncLen})
+	n, err := s.lenErr()
 	if err != nil {
 		s.c.noteLogical(err)
 		return 0
 	}
-	return resp.N
+	return n
+}
+
+// attrColumnErr is AttrColumn with the error surfaced.
+func (s *StoreClient) attrColumnErr() ([]storage.EncRow, error) {
+	resp, err := s.call(&request{Op: opEncAttrColumn})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
 }
 
 // AttrColumn implements technique.EncStore.
 func (s *StoreClient) AttrColumn() []storage.EncRow {
-	resp, err := s.call(&request{Op: opEncAttrColumn})
+	rows, err := s.attrColumnErr()
 	if err != nil {
 		s.c.noteLogical(err)
 		return nil
 	}
-	return resp.Rows
+	return rows
 }
 
 // Fetch implements technique.EncStore.
@@ -441,24 +531,42 @@ func (s *StoreClient) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error
 	return resp.RowBatches, nil
 }
 
+// lookupTokenErr is LookupToken with the error surfaced.
+func (s *StoreClient) lookupTokenErr(tok []byte) ([]int, error) {
+	resp, err := s.call(&request{Op: opEncLookupToken, Token: tok})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Addrs, nil
+}
+
 // LookupToken implements technique.EncStore.
 func (s *StoreClient) LookupToken(tok []byte) []int {
-	resp, err := s.call(&request{Op: opEncLookupToken, Token: tok})
+	addrs, err := s.lookupTokenErr(tok)
 	if err != nil {
 		s.c.noteLogical(err)
 		return nil
 	}
-	return resp.Addrs
+	return addrs
+}
+
+// rowsErr is Rows with the error surfaced.
+func (s *StoreClient) rowsErr() ([]storage.EncRow, error) {
+	resp, err := s.call(&request{Op: opEncRows})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
 }
 
 // Rows implements technique.EncStore.
 func (s *StoreClient) Rows() []storage.EncRow {
-	resp, err := s.call(&request{Op: opEncRows})
+	rows, err := s.rowsErr()
 	if err != nil {
 		s.c.noteLogical(err)
 		return nil
 	}
-	return resp.Rows
+	return rows
 }
 
 func cloneBytes(b []byte) []byte {

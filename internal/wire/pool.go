@@ -29,6 +29,11 @@ type Backend interface {
 	LogicalErr() error
 	LogicalErrCount() uint64
 	Close() error
+
+	// SetAdminToken attaches the namespace's control-plane owner token
+	// (see OwnerToken): writes carry it so the first write claims the
+	// namespace for the owner.
+	SetAdminToken(tok []byte)
 }
 
 // Transport is a shared connection (or connection pool) to one cloud from
@@ -225,6 +230,9 @@ func (p *Pool) LogicalErrCount() uint64 {
 
 // --- default-store Backend surface --------------------------------------
 
+// SetAdminToken attaches the default store's owner token.
+func (p *Pool) SetAdminToken(tok []byte) { p.def.SetAdminToken(tok) }
+
 // Load ships the clear-text partition through the default store's home.
 func (p *Pool) Load(rns *relation.Relation, attr string) error { return p.def.Load(rns, attr) }
 
@@ -311,6 +319,10 @@ func (s *PoolStore) LogicalErrCount() uint64 { return s.p.LogicalErrCount() }
 
 // Close closes the SHARED pool: every namespace view dies with it.
 func (s *PoolStore) Close() error { return s.p.Close() }
+
+// SetAdminToken attaches the owner token to the home connection's view —
+// the one this namespace's writes (which carry the token) go through.
+func (s *PoolStore) SetAdminToken(tok []byte) { s.home.SetAdminToken(tok) }
 
 // Load ships the clear-text partition through the home connection.
 func (s *PoolStore) Load(rns *relation.Relation, attr string) error {

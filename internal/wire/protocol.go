@@ -37,6 +37,15 @@
 // Client/Pool satisfy technique.BatchEncStore and how a remote QueryBatch
 // avoids paying one network latency per query.
 //
+// The control plane rides the same protocol: namespace lifecycle ops
+// (list/stats/drop/compact) authenticated by a per-namespace owner token
+// derived from the owner's master key (OwnerToken; the cloud stores only
+// its hash, claimed by the namespace's first write), a Reconnector that
+// survives transport failure by redialing, re-handshaking and replaying
+// retained uploads exactly once, and two-level dispatch admission
+// (per-connection plus per-namespace) so tenants sharing a connection
+// cannot starve each other.
+//
 // The protocol deliberately mirrors what the paper's adversary observes:
 // the clear-text side travels in the clear (the cloud owns that data
 // anyway), while the encrypted side carries only ciphertexts, tokens and
@@ -84,6 +93,18 @@ const (
 	// version skew fails the connection explicitly before any op can be
 	// misrouted.
 	opHello
+
+	// Control-plane ops. opAdminList enumerates hosted namespaces (names
+	// only — discovery needs no secret). The per-namespace ops are guarded
+	// by the namespace's owner token (request.AdminToken): the cloud keeps
+	// only a hash of the token, registered by the first tokened write to
+	// the namespace, so only the data owner — who derives the token from
+	// the master key — can inspect, destroy or compact an outsourced
+	// partition.
+	opAdminList
+	opAdminStats
+	opAdminDrop
+	opAdminCompact
 )
 
 // request is the single wire request envelope; fields are populated
@@ -101,6 +122,11 @@ type request struct {
 
 	// Version is the client's ProtocolVersion (opHello only).
 	Version int
+
+	// AdminToken carries the namespace's owner token. On write ops
+	// (opPlainLoad/opPlainInsert/opEncAddBatch) it registers the owner on
+	// first write; on per-namespace admin ops it authenticates the caller.
+	AdminToken []byte
 
 	// Clear-text store fields.
 	Schema relation.Schema
@@ -142,6 +168,10 @@ type response struct {
 	RowBatches [][]storage.EncRow
 	// Version is the server's ProtocolVersion (opHello only).
 	Version int
+	// Names lists hosted namespaces (opAdminList).
+	Names []string
+	// Stats is one namespace's accounting (opAdminStats).
+	Stats StoreStats
 }
 
 // storeName canonicalises a request's namespace.

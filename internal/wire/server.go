@@ -19,9 +19,12 @@ import (
 // independently keyed relations side by side.
 //
 // Each connection is handled in its own goroutine, and the ops decoded
-// from one connection are themselves dispatched concurrently through a
-// bounded per-connection worker pool (responses are serialised by a send
-// mutex, so frames never interleave). Locking is layered: the stores
+// from one connection are themselves dispatched concurrently through
+// two-level admission: a bounded per-connection worker pool plus an
+// optional per-namespace bound (SetStoreWorkers) that isolates tenants
+// sharing one connection from each other's CPU bursts (responses are
+// serialised by a send mutex, so frames never interleave). Locking is
+// layered: the stores
 // synchronise internally; each storage.Store's lock makes opPlainLoad
 // exclusive against in-flight ops on the same namespace only; and the
 // cloud-level lock is taken exclusively just by snapshot Save/Restore,
@@ -39,17 +42,32 @@ type Cloud struct {
 	// GOMAXPROCS.
 	connWorkers int
 
+	// storeWorkers bounds concurrent dispatch per namespace across all
+	// connections; 0 disables the per-store level. Together with the
+	// per-connection bound this makes admission two-level: the connection
+	// bound caps what one transport can execute at once, the store bound
+	// caps what one tenant can, so tenants multiplexed onto a shared
+	// connection (e.g. behind a proxy) cannot starve each other.
+	storeWorkers int
+	storeSemMu   sync.Mutex
+	storeSems    map[string]chan struct{}
+
 	// statsMu guards the per-store op counters (read-mostly: the fast
 	// path is a shared-lock map hit).
 	statsMu  sync.RWMutex
 	opCounts map[string]*atomic.Uint64
+
+	// testHookDispatch, when set (tests only, before Serve), runs after an
+	// op has passed both admission levels and immediately before dispatch.
+	testHookDispatch func(o op, store string)
 }
 
 // NewCloud returns an empty cloud.
 func NewCloud() *Cloud {
 	return &Cloud{
-		stores:   storage.NewStoreSet(),
-		opCounts: make(map[string]*atomic.Uint64),
+		stores:    storage.NewStoreSet(),
+		storeSems: make(map[string]chan struct{}),
+		opCounts:  make(map[string]*atomic.Uint64),
 	}
 }
 
@@ -57,11 +75,68 @@ func NewCloud() *Cloud {
 // concurrently (<= 0 selects GOMAXPROCS). It must be called before Serve.
 func (c *Cloud) SetConnWorkers(n int) { c.connWorkers = n }
 
+// SetStoreWorkers bounds how many ops may execute concurrently per
+// namespace, across all connections (<= 0 disables the bound). It must be
+// called before Serve.
+func (c *Cloud) SetStoreWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.storeWorkers = n
+}
+
+// storeSem returns the named namespace's admission semaphore, creating it
+// on first use. Semaphores survive a drop — the bound is a property of
+// the name, and keeping the channel avoids a drop/create race handing out
+// two semaphores for one namespace.
+func (c *Cloud) storeSem(name string) chan struct{} {
+	c.storeSemMu.Lock()
+	defer c.storeSemMu.Unlock()
+	sem, ok := c.storeSems[name]
+	if !ok {
+		sem = make(chan struct{}, c.storeWorkers)
+		c.storeSems[name] = sem
+	}
+	return sem
+}
+
+// admitStore takes the per-namespace admission slot for a data-plane op
+// and returns its release, or nil when no slot is needed: the bound is
+// disabled, the op is store-less (ping, hello), or it is a control-plane
+// op — admin ops bypass data-plane admission so an owner can always
+// inspect or drop a namespace that is saturated, and drop/compact do
+// their own quiescing through the per-store lock.
+func (c *Cloud) admitStore(req *request) func() {
+	if c.storeWorkers <= 0 {
+		return nil
+	}
+	switch req.Op {
+	case opPing, opHello, opAdminList, opAdminStats, opAdminDrop, opAdminCompact:
+		return nil
+	}
+	sem := c.storeSem(storeName(req.Store))
+	sem <- struct{}{}
+	return func() { <-sem }
+}
+
 func (c *Cloud) workersPerConn() int {
 	if c.connWorkers > 0 {
 		return c.connWorkers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// connInflightCap bounds decoded-but-unfinished requests per connection —
+// the memory backstop against a client that streams requests without
+// awaiting responses. It is deliberately far above the execution bound so
+// that ops queueing on a saturated namespace don't block the decode loop
+// (which would reintroduce cross-tenant starvation) under any cooperative
+// workload.
+func (c *Cloud) connInflightCap() int {
+	if n := 16 * c.workersPerConn(); n > 256 {
+		return n
+	}
+	return 256
 }
 
 // StoreNames returns the namespaces currently hosted, sorted.
@@ -159,6 +234,11 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 	helloed := false
 
 	sem := make(chan struct{}, c.workersPerConn())
+	// inflight is the decode loop's flood bound: it caps live request
+	// goroutines per connection well above the execution bounds, so
+	// admission queueing never stalls decoding but a request stream that
+	// ignores responses cannot grow server memory without limit.
+	inflight := make(chan struct{}, c.connInflightCap())
 	var wg sync.WaitGroup
 	for {
 		req := new(request)
@@ -184,12 +264,30 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 			send(&response{ID: req.ID, Version: ProtocolVersion})
 			continue
 		}
-		sem <- struct{}{}
+		inflight <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { <-inflight }()
+			// Two-level admission, namespace level first: an op queueing on
+			// its own saturated store must not hold per-connection capacity,
+			// or one tenant's burst would starve every tenant sharing the
+			// connection. Only once its store admits it does the op compete
+			// for a per-connection execution slot. The decode loop blocks on
+			// the flood bound only, not on admission, so queued-but-waiting
+			// requests are bounded without reintroducing cross-tenant
+			// head-of-line blocking; executing ops stay bounded by both
+			// semaphores.
+			releaseStore := c.admitStore(req)
+			sem <- struct{}{}
+			if h := c.testHookDispatch; h != nil {
+				h(req.Op, storeName(req.Store))
+			}
 			resp := c.dispatch(req)
+			<-sem
+			if releaseStore != nil {
+				releaseStore()
+			}
 			resp.ID = req.ID
 			send(&resp)
 		}()
@@ -215,11 +313,23 @@ func (c *Cloud) dispatch(req *request) response {
 		// A duplicate hello after the handshake is harmless: echo the
 		// version again.
 		return response{Version: ProtocolVersion}
+	case opAdminList, opAdminStats, opAdminDrop, opAdminCompact:
+		// Control plane: resolves (never creates) its namespace itself.
+		return c.dispatchAdmin(req)
 	}
 
 	name := storeName(req.Store)
 	st := c.stores.GetOrCreate(name)
 	c.opCounter(name).Add(1)
+
+	// Writes presenting an owner token claim the namespace on first write
+	// (later claims are no-ops); the cloud keeps only the hash.
+	if len(req.AdminToken) != 0 {
+		switch req.Op {
+		case opPlainLoad, opPlainInsert, opEncAdd, opEncAddBatch:
+			st.ClaimOwner(hashToken(req.AdminToken))
+		}
+	}
 
 	if req.Op == opPlainLoad {
 		rel := relation.New(req.Schema)

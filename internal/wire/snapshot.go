@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"repro/internal/relation"
@@ -44,6 +46,11 @@ type storeSnapshot struct {
 	Tuples   []relation.Tuple
 	Attr     string
 	Enc      []storage.EncRow
+	// OwnerHash is the hash of the namespace's control-plane owner token
+	// (nil when unclaimed) — the hash, never the token, so a stolen
+	// snapshot confers no admin rights. Absent in older snapshots, which
+	// restore as unclaimed (gob leaves the field nil).
+	OwnerHash []byte
 }
 
 // Save serialises the state of every hosted namespace.
@@ -56,7 +63,7 @@ func (c *Cloud) Save(w io.Writer) error {
 		if !ok {
 			continue
 		}
-		ss := storeSnapshot{Name: name, Enc: st.Enc().Rows()}
+		ss := storeSnapshot{Name: name, Enc: st.Enc().Rows(), OwnerHash: st.OwnerHash()}
 		if ps := st.Plain(); ps != nil {
 			rel := ps.Relation()
 			ss.HasPlain = true
@@ -67,6 +74,36 @@ func (c *Cloud) Save(w io.Writer) error {
 		snap.Stores = append(snap.Stores, ss)
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("wire: snapshot save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the snapshot to path atomically: the state is written
+// to a sibling temporary file (uniquely named, so a periodic snapshot
+// loop and a shutdown save racing each other never interleave writes
+// into one file), synced, and renamed into place — a crash at any point
+// leaves either the previous complete snapshot or a new one, never a
+// torn file.
+func (c *Cloud) SaveFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("wire: snapshot save: %w", err)
+	}
+	tmp := f.Name()
+	err = c.Save(f)
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("wire: snapshot save: %w", err)
 	}
 	return nil
@@ -116,6 +153,7 @@ func (c *Cloud) Restore(r io.Reader) error {
 		for _, row := range ss.Enc {
 			st.Enc().Add(row.TupleCT, row.AttrCT, row.Token)
 		}
+		st.ClaimOwner(ss.OwnerHash)
 		rebuilt[storeName(ss.Name)] = st
 	}
 

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"net"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/wire"
@@ -446,5 +449,187 @@ func TestRemoteCloudUnreachable(t *testing.T) {
 		MasterKey: []byte("k"), Attr: "K", CloudAddr: "127.0.0.1:1",
 	}); err == nil {
 		t.Fatal("unreachable cloud accepted")
+	}
+}
+
+// chaosCloud hosts a wire.Cloud on a fixed loopback address and can kill
+// the listener plus every live connection, then restart a (restored)
+// cloud on the same address — a qbcloud crash and recovery, in-process.
+type chaosCloud struct {
+	addr  string
+	mu    sync.Mutex
+	lis   net.Listener
+	conns []net.Conn
+}
+
+func startChaosCloud(t *testing.T, cl *wire.Cloud) *chaosCloud {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &chaosCloud{addr: lis.Addr().String()}
+	s.serve(cl, lis)
+	t.Cleanup(s.kill)
+	return s
+}
+
+func (s *chaosCloud) serve(cl *wire.Cloud, lis net.Listener) {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+			go cl.ServeConn(conn)
+		}
+	}()
+}
+
+func (s *chaosCloud) kill() {
+	s.mu.Lock()
+	lis, conns := s.lis, s.conns
+	s.lis, s.conns = nil, nil
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *chaosCloud) restart(t *testing.T, cl *wire.Cloud) {
+	t.Helper()
+	lis, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", s.addr, err)
+	}
+	s.serve(cl, lis)
+}
+
+// TestReconnectClientSurvivesCloudKillMidBatch is the crash/recovery
+// acceptance property: a Config.Reconnect client whose cloud is killed in
+// the middle of a QueryBatch — and restarted from the snapshot taken
+// after Outsource — must produce batch results AND adversarial views
+// identical to a client whose cloud was never touched. The reconnect is
+// invisible at the observational-equivalence level the whole test suite
+// is built on.
+func TestReconnectClientSurvivesCloudKillMidBatch(t *testing.T) {
+	for _, tech := range []Technique{TechNoInd, TechArx} {
+		t.Run(tech.String(), func(t *testing.T) {
+			ds, err := workload.Generate(workload.GenSpec{
+				Tuples: 160, DistinctValues: 16, Alpha: 0.4,
+				AssocFraction: 0.5, Seed: 23,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func(addr string, reconnect bool) *Client {
+				c, err := NewClient(Config{
+					MasterKey: []byte("chaos equivalence"),
+					Attr:      workload.Attr,
+					Technique: tech,
+					Seed:      seed(31),
+					CloudAddr: addr,
+					Reconnect: reconnect,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { c.Close() })
+				return c
+			}
+			// Reference: identical client, never-killed cloud.
+			ref := mk(startRemoteCloud(t), false)
+			// Chaos: reconnect-enabled client on a killable cloud.
+			cloud := wire.NewCloud()
+			srv := startChaosCloud(t, cloud)
+			chaos := mk(srv.addr, true)
+
+			if err := ref.Outsource(ds.Relation.Clone(), ds.Sensitive); err != nil {
+				t.Fatal(err)
+			}
+			if err := chaos.Outsource(ds.Relation.Clone(), ds.Sensitive); err != nil {
+				t.Fatal(err)
+			}
+			// The operator's last snapshot: everything outsourced so far.
+			var snap bytes.Buffer
+			if err := cloud.Save(&snap); err != nil {
+				t.Fatal(err)
+			}
+
+			ws := batchWorkload(ds, 48, 97)
+			want, err := ref.QueryBatchN(ws, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Kill the cloud while the batch is in flight and bring a
+			// restored one back on the same address.
+			killed := make(chan struct{})
+			go func() {
+				defer close(killed)
+				time.Sleep(2 * time.Millisecond)
+				srv.kill()
+				restored := wire.NewCloud()
+				if err := restored.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+					t.Error(err)
+					return
+				}
+				srv.restart(t, restored)
+			}()
+			got, err := chaos.QueryBatchN(ws, 4)
+			<-killed
+			if err != nil {
+				t.Fatalf("QueryBatch across the kill: %v", err)
+			}
+			for i := range ws {
+				if !reflect.DeepEqual(relation.IDs(got[i]), relation.IDs(want[i])) {
+					t.Errorf("query %d (%v): chaos IDs %v != reference %v",
+						i, ws[i], relation.IDs(got[i]), relation.IDs(want[i]))
+				}
+			}
+			gv, wv := chaos.AdversarialViews(), ref.AdversarialViews()
+			if len(gv) != len(wv) {
+				t.Fatalf("view counts differ: chaos %d, reference %d", len(gv), len(wv))
+			}
+			for i := range gv {
+				if viewKey(gv[i]) != viewKey(wv[i]) {
+					t.Errorf("view %d: chaos %s != reference %s", i, viewKey(gv[i]), viewKey(wv[i]))
+				}
+			}
+
+			// And the client keeps working after the dust settles.
+			w := ws[0]
+			gotQ, err := chaos.Query(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantQ, err := ref.Query(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(relation.IDs(gotQ), relation.IDs(wantQ)) {
+				t.Errorf("post-recovery Query = %v, want %v", relation.IDs(gotQ), relation.IDs(wantQ))
+			}
+		})
+	}
+}
+
+// TestReconnectConfigValidation: Reconnect composes with a single
+// connection only, for now.
+func TestReconnectConfigValidation(t *testing.T) {
+	if _, err := NewClient(Config{
+		MasterKey: []byte("k"), Attr: "K",
+		CloudAddr: "127.0.0.1:1", CloudConns: 3, Reconnect: true,
+	}); err == nil || !strings.Contains(err.Error(), "CloudConns") {
+		t.Fatalf("Reconnect+pool accepted: %v", err)
 	}
 }
