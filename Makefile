@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-remote docs smoke-remote smoke-chaos ci
+.PHONY: build test vet race bench bench-remote fuzz-smoke docs smoke-remote smoke-chaos ci
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,24 @@ bench:
 
 # Remote-backend parallelism headline: queries/sec of QueryBatch against a
 # cloud behind net.Pipe and TCP loopback at 1/4/GOMAXPROCS workers.
+# Besides the human-readable output, cmd/benchjson distils the run into
+# machine-readable BENCH_remote.json (ns/op, queries/sec, B/op, allocs/op
+# per sub-benchmark) for dashboards and regression tracking.
 bench-remote:
-	$(GO) test -bench=BenchmarkRemoteQueryBatch -benchmem -run='^$$' .
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -bench=BenchmarkRemoteQueryBatch -benchmem -run='^$$' . \
+		| tee /dev/stderr | bin/benchjson -o BENCH_remote.json
+
+# Fuzz smoke: run each binary-codec fuzz target's mutation engine briefly
+# (the seed corpora already run as plain tests on every `make test`). The
+# targets cover the framed-protocol attack surface: request/response body
+# decoders and the length-prefixed frame reader.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinRequest -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeBinResponse -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeTuple -fuzztime=$(FUZZTIME) ./internal/relation
 
 # End-to-end multi-tenant smoke: boot the real qbcloud binary, run a
 # vertical client plus a second tenant against it over TCP (three
@@ -48,4 +64,4 @@ smoke-chaos:
 	$(GO) build -o bin/qbadmin ./cmd/qbadmin
 	$(GO) run ./cmd/qbsmoke -phase chaos -qbcloud bin/qbcloud -qbadmin bin/qbadmin
 
-ci: build test race docs smoke-remote smoke-chaos
+ci: build test race docs fuzz-smoke smoke-remote smoke-chaos

@@ -102,7 +102,9 @@ type Config struct {
 	// encrypted address space and replays any un-acknowledged encrypted
 	// uploads (exactly once), while in-flight queries block and then
 	// retry. The price is an owner-side mirror of the clear-text
-	// partition. Currently requires CloudConns <= 1.
+	// partition. Composes with CloudConns > 1: each pooled connection
+	// reconnects independently, migrating the upload buffers of the
+	// namespaces homed on it.
 	Reconnect bool
 	// Store selects the cloud-side namespace this client's relation lives
 	// in when CloudAddr is set. One qbcloud hosts any number of named
@@ -154,7 +156,7 @@ func dialTransport(cfg Config) (wire.Transport, error) {
 	}
 	if cfg.Reconnect {
 		if cfg.CloudConns > 1 {
-			return nil, errors.New("repro: Config.Reconnect currently requires CloudConns <= 1 (the reconnecting transport wraps a single connection)")
+			return wire.DialReconnectPool(cfg.CloudAddr, cfg.CloudConns, wire.ReconnectOptions{})
 		}
 		return wire.DialReconnect(cfg.CloudAddr, wire.ReconnectOptions{})
 	}

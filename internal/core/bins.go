@@ -6,6 +6,7 @@ import (
 	"fmt"
 	mrand "math/rand/v2"
 	"sort"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -54,6 +55,15 @@ type Bins struct {
 
 	sensPos map[string]position
 	nsPos   map[string]position
+
+	// valsOnce guards the lazily built per-bin value slices handed out by
+	// Retrieve. Bins are immutable once created, so every retrieval of the
+	// same bin can share one exact-capacity slice (callers that extend it
+	// — e.g. the vertical owner concatenating both sides — force a copy
+	// because len == cap).
+	valsOnce sync.Once
+	sensVals [][]relation.Value
+	nsVals   [][]relation.Value
 }
 
 // CreateBins runs Algorithm 1 (with the §IV-B general case when value

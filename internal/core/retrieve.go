@@ -54,11 +54,10 @@ func (b *Bins) otherIndex(slot, otherBins int) int {
 }
 
 func (b *Bins) buildRetrieval(sensBin, nsBin int) Retrieval {
+	b.valsOnce.Do(b.buildBinValues)
 	r := Retrieval{SensBin: sensBin, NSBin: nsBin}
 	if sensBin >= 0 && sensBin < len(b.Sensitive) {
-		for _, vc := range b.Sensitive[sensBin] {
-			r.SensValues = append(r.SensValues, vc.Value)
-		}
+		r.SensValues = b.sensVals[sensBin]
 		if sensBin < len(b.FakePerBin) {
 			r.Fake = b.FakePerBin[sensBin]
 		}
@@ -66,13 +65,29 @@ func (b *Bins) buildRetrieval(sensBin, nsBin int) Retrieval {
 		r.SensBin = -1
 	}
 	if nsBin >= 0 && nsBin < len(b.NonSensitive) {
-		for _, vc := range b.NonSensitive[nsBin] {
-			r.NSValues = append(r.NSValues, vc.Value)
-		}
+		r.NSValues = b.nsVals[nsBin]
 	} else {
 		r.NSBin = -1
 	}
 	return r
+}
+
+// buildBinValues materialises each bin's value list once; retrievals are
+// per query and were re-building these slices every time.
+func (b *Bins) buildBinValues() {
+	collect := func(bins [][]relation.ValueCount) [][]relation.Value {
+		out := make([][]relation.Value, len(bins))
+		for i, bin := range bins {
+			vals := make([]relation.Value, len(bin))
+			for j, vc := range bin {
+				vals[j] = vc.Value
+			}
+			out[i] = vals
+		}
+		return out
+	}
+	b.sensVals = collect(b.Sensitive)
+	b.nsVals = collect(b.NonSensitive)
 }
 
 // SensitiveBinCount returns |SB|, the number of sensitive bins.

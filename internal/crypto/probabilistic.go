@@ -49,11 +49,19 @@ var ErrDecrypt = errors.New("crypto: decryption failed")
 
 // Decrypt opens nonce || ct.
 func (p *Probabilistic) Decrypt(ct []byte) ([]byte, error) {
+	return p.DecryptAppend(nil, ct)
+}
+
+// DecryptAppend opens nonce || ct, appending the plaintext to dst and
+// returning the extended slice. Scan-style callers (NoInd's column pass
+// decrypts every stored attribute cell per search) pass a reused scratch
+// buffer so steady-state decryption allocates nothing.
+func (p *Probabilistic) DecryptAppend(dst, ct []byte) ([]byte, error) {
 	ns := p.aead.NonceSize()
 	if len(ct) < ns {
 		return nil, ErrDecrypt
 	}
-	pt, err := p.aead.Open(nil, ct[:ns], ct[ns:], nil)
+	pt, err := p.aead.Open(dst, ct[:ns], ct[ns:], nil)
 	if err != nil {
 		return nil, ErrDecrypt
 	}

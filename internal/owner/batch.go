@@ -203,17 +203,37 @@ func (o *Owner) executeViewBatch(matches []func(relation.Value) bool, sensValues
 	// below. Unlike executeView's buffered-channel early return, the pool
 	// is always drained (<-done on every path) so no goroutine outlives
 	// the caller's lock.
+	// Queries whose selection values fall in the same non-sensitive bin
+	// issue the exact same whole-bin search (Bins.Retrieve hands out one
+	// shared value slice per bin), so each distinct bin is fetched once
+	// and the result shared. Identity is by slice backing: distinct bins
+	// never share a first element address, and callers only read the
+	// shared result. This is the plaintext counterpart of the technique
+	// sharing its column pull across the batch.
 	plains := make([][]relation.Tuple, n)
+	reps := plainIdx[:0:0]
+	share := make([]int, len(plainIdx))
+	repFor := make(map[*relation.Value]int, len(plainIdx))
+	for k, i := range plainIdx {
+		key := &nsValues[i][0]
+		ri, ok := repFor[key]
+		if !ok {
+			ri = len(reps)
+			reps = append(reps, i)
+			repFor[key] = ri
+		}
+		share[k] = ri
+	}
+	plainShared := make([][]relation.Tuple, len(reps))
 	done := make(chan struct{})
 	srv := o.server
 	go func() {
 		defer close(done)
-		if len(plainIdx) == 0 {
+		if len(reps) == 0 {
 			return
 		}
-		runPool(len(plainIdx), normalizeWorkers(workers, len(plainIdx)), func(k int) {
-			i := plainIdx[k]
-			plains[i] = srv.SearchPlain(nsValues[i])
+		runPool(len(reps), normalizeWorkers(workers, len(reps)), func(k int) {
+			plainShared[k] = srv.SearchPlain(nsValues[reps[k]])
 		})
 	}()
 
@@ -237,6 +257,9 @@ func (o *Owner) executeViewBatch(matches []func(relation.Value) bool, sensValues
 		}
 	}
 	<-done
+	for k, i := range plainIdx {
+		plains[i] = plainShared[share[k]]
+	}
 
 	for k, i := range encIdx {
 		per := encSt.PerQuery[k]

@@ -219,8 +219,9 @@ func (o *Owner) executeView(match func(relation.Value) bool, sensValues, nsValue
 // the matches to out. Shared by the sequential and batched paths so their
 // merge semantics cannot diverge.
 func (o *Owner) mergeEnc(payloads [][]byte, match func(relation.Value) bool, st *QueryStats, out []relation.Tuple) ([]relation.Tuple, error) {
+	var slab []relation.Value
 	for _, p := range payloads {
-		t, fake, err := decodePayload(p)
+		t, fake, err := decodePayloadSlab(p, &slab)
 		if err != nil {
 			return nil, err
 		}

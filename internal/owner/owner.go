@@ -225,6 +225,23 @@ func decodePayload(p []byte) (relation.Tuple, bool, error) {
 	return t, p[0] == flagFake, nil
 }
 
+// decodePayloadSlab is decodePayload drawing Values storage from a shared
+// slab — the q_merge loops decode one payload per retrieved row, and a
+// per-tuple allocation there was a top line in the remote query profile.
+func decodePayloadSlab(p []byte, slab *[]relation.Value) (relation.Tuple, bool, error) {
+	if len(p) < 1 {
+		return relation.Tuple{}, false, relation.ErrCorrupt
+	}
+	t, rest, err := relation.DecodeTupleSlab(p[1:], slab)
+	if err != nil {
+		return relation.Tuple{}, false, err
+	}
+	if len(rest) != 0 {
+		return relation.Tuple{}, false, relation.ErrCorrupt
+	}
+	return t, p[0] == flagFake, nil
+}
+
 // ErrNotOutsourced is returned by queries before Outsource.
 var ErrNotOutsourced = errors.New("owner: relation not outsourced yet")
 

@@ -104,8 +104,9 @@ func (v *VerticalOwner) Query(w relation.Value) ([]relation.Tuple, error) {
 		return nil, err
 	}
 	colsByID := make(map[int]relation.Tuple, len(payloads))
+	var slab []relation.Value
 	for _, p := range payloads {
-		t, fake, err := decodePayload(p)
+		t, fake, err := decodePayloadSlab(p, &slab)
 		if err != nil {
 			return nil, err
 		}

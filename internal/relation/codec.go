@@ -4,11 +4,14 @@ import (
 	"encoding/binary"
 )
 
-// EncodeTuple serialises a tuple to a self-describing binary form:
-// uvarint ID, uvarint arity, then each value's encoding. The encoding is the
-// plaintext that gets encrypted when a sensitive tuple is outsourced.
-func EncodeTuple(t Tuple) []byte {
-	buf := binary.AppendUvarint(nil, uint64(t.ID))
+// AppendEncodeTuple appends a self-describing binary encoding of t to buf
+// and returns the extended buffer: uvarint ID, uvarint arity, then each
+// value's encoding. The encoding is the plaintext that gets encrypted when
+// a sensitive tuple is outsourced; it is also how tuples travel inside the
+// wire protocol's binary frames, where the append form avoids one
+// allocation per tuple.
+func AppendEncodeTuple(buf []byte, t Tuple) []byte {
+	buf = binary.AppendUvarint(buf, uint64(t.ID))
 	buf = binary.AppendUvarint(buf, uint64(len(t.Values)))
 	for _, v := range t.Values {
 		buf = v.AppendEncode(buf)
@@ -16,29 +19,99 @@ func EncodeTuple(t Tuple) []byte {
 	return buf
 }
 
-// DecodeTuple parses a tuple previously produced by EncodeTuple.
-func DecodeTuple(b []byte) (Tuple, error) {
+// EncodeTuple serialises a tuple to its binary form.
+func EncodeTuple(t Tuple) []byte { return AppendEncodeTuple(nil, t) }
+
+// DecodeTupleFrom decodes one tuple from the front of b and returns the
+// remaining bytes — the streaming form of DecodeTuple for buffers carrying
+// several tuples back to back. The declared arity is bounded by the bytes
+// actually present before any allocation, so corrupt input cannot force a
+// huge allocation.
+func DecodeTupleFrom(b []byte) (Tuple, []byte, error) {
 	id, w := binary.Uvarint(b)
 	if w <= 0 {
-		return Tuple{}, ErrCorrupt
+		return Tuple{}, b, ErrCorrupt
 	}
 	b = b[w:]
 	n, w := binary.Uvarint(b)
 	if w <= 0 {
-		return Tuple{}, ErrCorrupt
+		return Tuple{}, b, ErrCorrupt
 	}
 	b = b[w:]
+	// Every value costs at least one byte.
+	if n > uint64(len(b)) {
+		return Tuple{}, b, ErrCorrupt
+	}
 	t := Tuple{ID: int(id), Values: make([]Value, 0, n)}
 	for i := uint64(0); i < n; i++ {
 		var v Value
 		var err error
 		v, b, err = DecodeValue(b)
 		if err != nil {
-			return Tuple{}, err
+			return Tuple{}, b, err
 		}
 		t.Values = append(t.Values, v)
 	}
-	if len(b) != 0 {
+	return t, b, nil
+}
+
+// DecodeTupleSlab is DecodeTupleFrom with the Values backing drawn from
+// *slab instead of a fresh allocation per tuple, for decode loops that
+// materialise many tuples from one buffer (the wire codec's search
+// responses, the owner's q_merge payload decode). The slab grows
+// geometrically; when it grows, previously returned tuples keep their old
+// backing, and every returned Values slice is capped with a full slice
+// expression so a caller's append cannot clobber a neighbour.
+func DecodeTupleSlab(b []byte, slab *[]Value) (Tuple, []byte, error) {
+	id, w := binary.Uvarint(b)
+	if w <= 0 {
+		return Tuple{}, b, ErrCorrupt
+	}
+	b = b[w:]
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return Tuple{}, b, ErrCorrupt
+	}
+	b = b[w:]
+	// Every value costs at least one byte, so a lying arity cannot force
+	// allocation beyond the bytes actually present.
+	if n > uint64(len(b)) {
+		return Tuple{}, b, ErrCorrupt
+	}
+	s := *slab
+	if uint64(cap(s)-len(s)) < n {
+		grow := 2 * cap(s)
+		if grow < 64 {
+			grow = 64
+		}
+		if uint64(grow) < n {
+			grow = int(n)
+		}
+		s = make([]Value, 0, grow)
+	}
+	base := len(s)
+	for i := uint64(0); i < n; i++ {
+		var v Value
+		var err error
+		v, b, err = DecodeValue(b)
+		if err != nil {
+			*slab = s
+			return Tuple{}, b, err
+		}
+		s = append(s, v)
+	}
+	*slab = s
+	return Tuple{ID: int(id), Values: s[base:len(s):len(s)]}, b, nil
+}
+
+// DecodeTuple parses a tuple previously produced by EncodeTuple,
+// requiring the buffer to contain exactly one tuple.
+func DecodeTuple(b []byte) (Tuple, error) {
+	t, rest, err := DecodeTupleFrom(b)
+	if err != nil {
+		return Tuple{}, err
+	}
+	if len(rest) != 0 {
 		return Tuple{}, ErrCorrupt
 	}
 	return t, nil

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"slices"
 	"testing"
 )
 
@@ -31,19 +32,37 @@ func FuzzDecodeValue(f *testing.F) {
 	})
 }
 
-// FuzzDecodeTuple ensures the tuple decoder never panics and round-trips
-// what it accepts.
+// FuzzDecodeTuple ensures the tuple decoder never panics and that its
+// re-encoding is stable. Byte-for-byte canonicality is NOT the invariant:
+// binary.Uvarint accepts non-minimal varints (e.g. 0x80 0x00 for zero), so
+// distinct inputs may decode to the same tuple — what must hold is that
+// re-encoding and re-decoding reach a fixed point, and that the slab
+// decoder agrees with the per-tuple one.
 func FuzzDecodeTuple(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeTuple(Tuple{ID: 7, Values: []Value{Int(1), Str("x")}}))
 	f.Add(EncodeTuple(Tuple{}))
+	f.Add([]byte{'0', 0x80, 0x00}) // non-minimal arity varint, found by fuzzing
+	tupleEq := func(a, b Tuple) bool {
+		return a.ID == b.ID && slices.Equal(a.Values, b.Values)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tu, err := DecodeTuple(data)
 		if err != nil {
 			return
 		}
-		if !bytes.Equal(EncodeTuple(tu), data) {
-			t.Fatalf("accepted non-canonical encoding %x", data)
+		enc := EncodeTuple(tu)
+		tu2, err := DecodeTuple(enc)
+		if err != nil || !tupleEq(tu2, tu) {
+			t.Fatalf("re-decode of %x: got %v err %v, want %v", enc, tu2, err, tu)
+		}
+		if !bytes.Equal(EncodeTuple(tu2), enc) {
+			t.Fatalf("re-encoding of %x is not a fixed point", data)
+		}
+		var slab []Value
+		tu3, rest, err := DecodeTupleSlab(data, &slab)
+		if err != nil || len(rest) != 0 || !tupleEq(tu3, tu) {
+			t.Fatalf("DecodeTupleSlab(%x) = %v rest %x err %v, want %v", data, tu3, rest, err, tu)
 		}
 	})
 }

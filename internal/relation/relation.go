@@ -3,6 +3,8 @@ package relation
 import (
 	"fmt"
 	"sort"
+
+	"slices"
 )
 
 // Tuple is one row of a relation. ID is the stable identifier assigned at
@@ -161,7 +163,10 @@ func (r *Relation) Clone() *Relation {
 // SortByID orders tuples by their stable ID; useful for comparing result
 // sets.
 func SortByID(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	// slices.SortFunc, not sort.Slice: this runs once per merged query
+	// result, and sort.Slice's reflect-built swapper was a measurable
+	// allocation source in the remote batch profile.
+	slices.SortFunc(ts, func(a, b Tuple) int { return a.ID - b.ID })
 }
 
 // IDs extracts the IDs of a tuple slice, sorted.

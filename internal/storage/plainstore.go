@@ -70,7 +70,17 @@ func (s *PlainStore) DistinctValues() int { return s.hash.Len() }
 func (s *PlainStore) Search(values []relation.Value) []relation.Tuple {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var out []relation.Tuple
+	// Two passes: size first, then fill. The result is one exact
+	// allocation instead of append-doubling — this runs once per query on
+	// the server and its growth churn was visible in the remote profile.
+	n := 0
+	for _, v := range values {
+		n += len(s.hash.Lookup(v))
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]relation.Tuple, 0, n)
 	for _, v := range values {
 		for _, pos := range s.hash.Lookup(v) {
 			out = append(out, s.rel.Tuples[pos])

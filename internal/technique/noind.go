@@ -75,25 +75,34 @@ func (n *NoInd) Outsource(rows []Row) (*Stats, error) {
 // Search implements Technique.
 func (n *NoInd) Search(values []relation.Value) ([][]byte, *Stats, error) {
 	st := &Stats{Rounds: 2}
-	want := valueKeySet(values)
+	// Values are comparable, so the predicate set is keyed by the value
+	// itself — no per-row Key() string materialisation in the scan below.
+	want := make(map[relation.Value]bool, len(values))
+	for _, v := range values {
+		want[v] = true
+	}
 
-	// Round 1: pull the encrypted attribute column and match locally.
+	// Round 1: pull the encrypted attribute column and match locally. The
+	// decrypted cell only lives for one iteration, so one scratch buffer
+	// serves the whole scan.
 	col := n.store.AttrColumn()
 	st.TuplesScanned += len(col)
 	st.TuplesTransferred += len(col)
 	var addrs []int
+	var scratch []byte
 	for _, row := range col {
 		st.BytesTransferred += len(row.AttrCT)
-		pt, err := n.prob.Decrypt(row.AttrCT)
+		pt, err := n.prob.DecryptAppend(scratch[:0], row.AttrCT)
 		if err != nil {
 			return nil, nil, fmt.Errorf("technique: noind attr decrypt addr %d: %w", row.Addr, err)
 		}
+		scratch = pt
 		st.EncOps++
 		v, _, err := relation.DecodeValue(pt)
 		if err != nil {
 			return nil, nil, err
 		}
-		if want[v.Key()] {
+		if want[v] {
 			addrs = append(addrs, row.Addr)
 		}
 	}
@@ -134,39 +143,70 @@ func (n *NoInd) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, err
 	if nq == 0 {
 		return out, agg, nil
 	}
-	// Inverted predicate index: value key -> the queries wanting it, so
-	// the column pass costs one lookup per row, not one per (row, query).
-	wantedBy := make(map[string][]int)
+	// Queries carrying the same predicate slice are the same bin retrieval
+	// (Bins.Retrieve hands out one shared value slice per bin): match and
+	// fetch each distinct slice once, then share the rows. rep[i] is the
+	// lowest query index with the same backing slice as query i.
+	rep := make([]int, nq)
+	firstFor := make(map[*relation.Value]int, nq)
+	for i, q := range queries {
+		rep[i] = i
+		if len(q) == 0 {
+			continue
+		}
+		if j, ok := firstFor[&q[0]]; ok {
+			rep[i] = j
+		} else {
+			firstFor[&q[0]] = i
+		}
+	}
+
+	// Inverted predicate index: value -> the representative queries
+	// wanting it, so the column pass costs one lookup per row, not one
+	// per (row, query). Values are comparable, so the map is keyed by the
+	// value itself and the scan below never materialises Key() strings.
+	wantedBy := make(map[relation.Value][]int)
 	for i, q := range queries {
 		agg.PerQuery[i] = &Stats{Rounds: 2}
-		for k := range valueKeySet(q) {
-			wantedBy[k] = append(wantedBy[k], i)
+		if rep[i] != i {
+			continue
+		}
+		for _, v := range q {
+			if qs := wantedBy[v]; len(qs) == 0 || qs[len(qs)-1] != i {
+				wantedBy[v] = append(qs, i)
+			}
 		}
 	}
 
 	// Round 1, shared: one column pull and one decryption pass serve
-	// every query in the batch.
+	// every query in the batch. The decrypted cell only lives for one
+	// iteration, so one scratch buffer serves the whole scan.
 	col := n.store.AttrColumn()
 	agg.TuplesScanned = len(col)
 	agg.TuplesTransferred = len(col)
 	addrs := make([][]int, nq)
+	var scratch []byte
 	for _, row := range col {
 		agg.BytesTransferred += len(row.AttrCT)
-		pt, err := n.prob.Decrypt(row.AttrCT)
+		pt, err := n.prob.DecryptAppend(scratch[:0], row.AttrCT)
 		if err != nil {
 			return nil, nil, fmt.Errorf("technique: noind attr decrypt addr %d: %w", row.Addr, err)
 		}
+		scratch = pt
 		agg.EncOps++
 		v, _, err := relation.DecodeValue(pt)
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, qi := range wantedBy[v.Key()] {
+		for _, qi := range wantedBy[v] {
 			addrs[qi] = append(addrs[qi], row.Addr)
 		}
 	}
 
-	// Round 2, batched: one round trip fetches every query's matches.
+	// Round 2, batched: one round trip fetches every representative
+	// query's matches (duplicate bin retrievals ride along as empty
+	// address lists and share the representative's decrypted payloads and
+	// transfer accounting).
 	rowBatches, err := fetchBatch(n.store, addrs)
 	if err != nil {
 		return nil, nil, err
@@ -174,6 +214,16 @@ func (n *NoInd) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, err
 	opened := make(map[int][]byte)
 	for qi, rows := range rowBatches {
 		per := agg.PerQuery[qi]
+		if r := rep[qi]; r != qi {
+			repPer := agg.PerQuery[r]
+			per.TuplesTransferred = repPer.TuplesTransferred
+			per.BytesTransferred = repPer.BytesTransferred
+			per.ReturnedAddrs = repPer.ReturnedAddrs
+			out[qi] = out[r]
+			agg.TuplesTransferred += per.TuplesTransferred
+			agg.BytesTransferred += per.BytesTransferred
+			continue
+		}
 		payloads := make([][]byte, 0, len(rows))
 		for _, r := range rows {
 			pt, ok := opened[r.Addr]

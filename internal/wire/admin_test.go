@@ -138,12 +138,15 @@ func TestAdminFirstWriteClaims(t *testing.T) {
 	c := startCloudOn(t, NewCloud())
 	loadTenant(t, c, "claimed", []byte("first owner"))
 
-	// A second writer with a different key writes into the same namespace
-	// (writes are not gated — see the package docs) but cannot claim it.
+	// A second writer with a different key is refused outright: once a
+	// namespace is claimed, data-plane writes are gated by the owner token
+	// just like the control plane, and a mismatched token cannot steal the
+	// claim either.
 	v2 := c.WithStore("claimed")
 	v2.SetAdminToken(OwnerToken([]byte("second owner"), "claimed"))
-	if err := v2.Insert(relation.Tuple{ID: 99, Values: []relation.Value{relation.Int(42)}}); err != nil {
-		t.Fatal(err)
+	err := v2.Insert(relation.Tuple{ID: 99, Values: []relation.Value{relation.Int(42)}})
+	if err == nil || !strings.Contains(err.Error(), "owner token mismatch") {
+		t.Fatalf("second writer's insert = %v, want owner-token refusal", err)
 	}
 	if err := c.AdminDrop("claimed", OwnerToken([]byte("second owner"), "claimed")); err == nil {
 		t.Fatal("second writer stole the namespace")
@@ -219,5 +222,94 @@ func TestDropIsolatesSiblings(t *testing.T) {
 	}
 	if got := v.Search([]relation.Value{relation.Int(3)}); len(got) != 1 {
 		t.Fatalf("sibling plain search = %v", got)
+	}
+}
+
+// TestWriteAdmissionGate is the tenant-isolation property for every
+// write-path op: once tenant A's first tokened write claims a namespace,
+// tenant B can append or load nothing into it — not with a missing token,
+// not with a token derived from a different key — while A's own writes
+// keep working and an unclaimed namespace stays open to tokenless writers.
+func TestWriteAdmissionGate(t *testing.T) {
+	cl := NewCloud()
+	cA := startCloudOn(t, cl)
+	a := loadTenant(t, cA, "claimed", []byte("key A")) // claims the namespace
+
+	mkRel := func(vals ...int64) *relation.Relation {
+		rel := relation.New(relation.MustSchema("T",
+			relation.Column{Name: "K", Kind: relation.KindInt},
+		))
+		for _, v := range vals {
+			rel.MustInsert(relation.Int(v))
+		}
+		return rel
+	}
+
+	// Every write-path op (opEncAdd via the batched flush, opPlainInsert,
+	// opPlainLoad), each driven through its own fresh connection so one
+	// refusal's client-side state cannot mask another, for both a missing
+	// token and a wrong-key token.
+	attacks := []struct {
+		name string
+		run  func(v *StoreClient) error
+	}{
+		{"enc-add", func(v *StoreClient) error {
+			v.Add([]byte("intruder"), nil, nil)
+			return v.Flush()
+		}},
+		{"plain-insert", func(v *StoreClient) error {
+			return v.Insert(relation.Tuple{ID: 999, Values: []relation.Value{relation.Int(77)}})
+		}},
+		{"plain-load", func(v *StoreClient) error {
+			return v.Load(mkRel(666), "K")
+		}},
+	}
+	tokens := []struct {
+		name string
+		tok  []byte
+	}{
+		{"no-token", nil},
+		{"wrong-key", OwnerToken([]byte("key B"), "claimed")},
+	}
+	for _, tk := range tokens {
+		for _, atk := range attacks {
+			t.Run(tk.name+"/"+atk.name, func(t *testing.T) {
+				v := startCloudOn(t, cl).WithStore("claimed")
+				v.SetAdminToken(tk.tok)
+				err := atk.run(v)
+				if err == nil || !strings.Contains(err.Error(), "refused") {
+					t.Fatalf("%s with %s = %v, want write refusal", atk.name, tk.name, err)
+				}
+			})
+		}
+	}
+
+	// Nothing leaked into tenant A's namespace, and A keeps writing.
+	if n := a.Len(); n != 5 {
+		t.Fatalf("enc rows after refused writes = %d, want 5", n)
+	}
+	if got := a.Search([]relation.Value{relation.Int(77)}); len(got) != 0 {
+		t.Fatalf("intruder tuple visible: %v", got)
+	}
+	if addr := a.Add([]byte("more"), nil, nil); addr != 5 {
+		t.Fatalf("owner Add = %d", addr)
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatalf("owner flush after refusals: %v", err)
+	}
+	if err := a.Insert(relation.Tuple{ID: 100, Values: []relation.Value{relation.Int(1)}}); err != nil {
+		t.Fatalf("owner insert after refusals: %v", err)
+	}
+
+	// An unclaimed namespace still accepts tokenless writes (the open
+	// single-tenant mode), and a tokenless writer cannot be locked out
+	// retroactively by its own earlier writes.
+	open := startCloudOn(t, cl).WithStore("open")
+	if err := open.Load(mkRel(1, 2, 3), "K"); err != nil {
+		t.Fatalf("tokenless load into unclaimed namespace: %v", err)
+	}
+	open.Add([]byte("ct"), nil, nil)
+	if err := open.Flush(); err != nil {
+		t.Fatalf("tokenless flush into unclaimed namespace: %v", err)
 	}
 }

@@ -122,12 +122,13 @@ func (c *Client) takeInflightErr(id uint64, ch chan *response) error {
 }
 
 // writeLoop frames queued requests in submission order. It owns the gob
-// encoder; nothing else may touch it.
+// encoder and the outgoing half of the connection; nothing else may touch
+// them.
 func (c *Client) writeLoop() {
 	for {
 		select {
 		case req := <-c.sendq:
-			if err := c.enc.Encode(req); err != nil {
+			if err := c.writeRequest(req); err != nil {
 				c.fail(fmt.Errorf("wire: send: %w", err))
 				return
 			}
@@ -137,14 +138,53 @@ func (c *Client) writeLoop() {
 	}
 }
 
+// writeRequest frames one request. Before the handshake completes it is
+// plain gob straight on the connection — the v2 wire image, so a
+// generation-skewed server sees a well-formed hello, not unparseable
+// frames. After it, every request rides a length-prefixed frame assembled
+// in a pooled buffer: the binary codec for hot ops, a gob message for the
+// rest.
+func (c *Client) writeRequest(req *request) error {
+	if !c.framed.Load() {
+		return c.enc.Encode(req)
+	}
+	bp := getFrameBuf()
+	var buf []byte
+	if binaryOp(req.Op) {
+		buf = appendBinRequest(beginFrame(*bp, tagBinReq), req)
+	} else {
+		buf = beginFrame(*bp, tagGob)
+		c.gobOut.buf = &buf
+		err := c.enc.Encode(req)
+		c.gobOut.buf = nil
+		if err != nil {
+			*bp = buf
+			putFrameBuf(bp)
+			return err
+		}
+	}
+	err := finishFrame(c.conn, buf)
+	*bp = buf
+	putFrameBuf(bp)
+	return err
+}
+
 // readLoop decodes response frames and demultiplexes them by ID to the
-// waiting caller. It owns the gob decoder; nothing else may touch it.
+// waiting caller. It owns the gob decoder, the frame scratch and the
+// incoming half of the connection; nothing else may touch them.
 func (c *Client) readLoop() {
+	// partials accumulates chunked row responses by ID until their final
+	// frame (respFlagPartial clear) arrives; chunks of one response are
+	// ordered, frames of other responses may interleave between them.
+	partials := make(map[uint64]*response)
 	for {
-		var resp response
-		if err := c.dec.Decode(&resp); err != nil {
+		resp, err := c.readResponse(partials)
+		if err != nil {
 			c.fail(fmt.Errorf("wire: receive: %w", err))
 			return
+		}
+		if resp == nil {
+			continue // a partial chunk, absorbed into partials
 		}
 		c.mu.Lock()
 		ch, ok := c.inflight[resp.ID]
@@ -159,7 +199,66 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("wire: receive: unknown response ID %d", resp.ID))
 			return
 		}
-		ch <- &resp
+		ch <- resp
+	}
+}
+
+// readResponse reads one message off the connection: plain gob before the
+// handshake completes, one frame after. It returns (nil, nil) when the
+// frame was a partial chunk that was absorbed into partials.
+func (c *Client) readResponse(partials map[uint64]*response) (*response, error) {
+	if !c.framed.Load() {
+		resp := new(response)
+		if err := c.dec.Decode(resp); err != nil {
+			return nil, err
+		}
+		if resp.Err == "" && resp.Version == ProtocolVersion {
+			// The v3 hello succeeded: everything after this message, in
+			// both directions, is framed. The hello is the only op in
+			// flight until ensureHello returns, so the writer cannot be
+			// mid-encode while the sink is repointed.
+			c.gobIn.direct = nil
+			c.gobOut.direct = nil
+			c.framed.Store(true)
+		}
+		return resp, nil
+	}
+	tag, body, err := readFrame(c.br, &c.readBuf)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagGob:
+		c.gobIn.buf = body
+		resp := new(response)
+		err := c.dec.Decode(resp)
+		left := len(c.gobIn.buf)
+		c.gobIn.buf = nil
+		if err != nil {
+			return nil, err
+		}
+		if left != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes after gob response frame", left)
+		}
+		return resp, nil
+	case tagBinResp:
+		resp, partial, err := decodeBinResponse(body)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := partials[resp.ID]; ok {
+			prev.Rows = append(prev.Rows, resp.Rows...)
+			prev.Err = resp.Err
+			resp = prev
+		}
+		if partial {
+			partials[resp.ID] = resp
+			return nil, nil
+		}
+		delete(partials, resp.ID)
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown frame tag 0x%02x", tag)
 	}
 }
 
@@ -189,3 +288,6 @@ func (c *Client) stickyErr() error {
 	defer c.mu.Unlock()
 	return c.err
 }
+
+// healthy implements poolConn: a Client is routable until poisoned.
+func (c *Client) healthy() bool { return c.stickyErr() == nil }

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/gob"
 	"fmt"
 	mrand "math/rand/v2"
 	"net"
@@ -11,54 +10,63 @@ import (
 	"time"
 
 	"repro/internal/relation"
+	"repro/internal/storage"
 )
 
-// pipeClient wires a Client to a scripted peer over net.Pipe and returns
-// both ends' codecs for the script side.
-func pipeClient(t *testing.T) (*Client, *gob.Decoder, *gob.Encoder) {
+// pipeClient wires a Client to a scripted peer over net.Pipe. The script
+// side speaks through a serverStream — the same framing state machine the
+// real server uses — so scripted tests exercise the gob handshake and the
+// framed binary codec exactly as deployed.
+func pipeClient(t *testing.T) (*Client, *serverStream) {
 	t.Helper()
 	cend, send := net.Pipe()
 	c := NewClient(cend)
 	t.Cleanup(func() { c.Close(); send.Close() })
-	return c, gob.NewDecoder(send), gob.NewEncoder(send)
+	return c, newServerStream(send)
 }
 
-// serveHello answers the client's handshake from a scripted server. It
-// returns false if the frame was not the expected opHello or the reply
-// could not be written (the script should bail out).
-func serveHello(dec *gob.Decoder, enc *gob.Encoder) bool {
-	var req request
-	if err := dec.Decode(&req); err != nil || req.Op != opHello {
+// serveHello answers the client's handshake from a scripted server and
+// switches the script side to framed mode. It returns false if the frame
+// was not the expected opHello or the reply could not be written (the
+// script should bail out).
+func serveHello(ss *serverStream) bool {
+	req, err := ss.readRequest()
+	if err != nil || req.Op != opHello {
 		return false
 	}
-	return enc.Encode(response{ID: req.ID, Version: ProtocolVersion}) == nil
+	if ss.writeResponse(opHello, &response{ID: req.ID, Version: ProtocolVersion}) != nil {
+		return false
+	}
+	ss.setFramed()
+	return true
 }
 
 // TestMuxOutOfOrderResponses proves the demux: two calls go out on one
 // connection, the scripted server answers them in reverse order, and each
 // caller still receives its own response.
 func TestMuxOutOfOrderResponses(t *testing.T) {
-	c, dec, enc := pipeClient(t)
+	c, ss := pipeClient(t)
 
 	done := make(chan error, 1)
 	go func() {
-		if !serveHello(dec, enc) {
+		if !serveHello(ss) {
 			done <- fmt.Errorf("handshake script failed")
 			return
 		}
-		var reqs []request
+		var reqs []*request
 		for i := 0; i < 2; i++ {
-			var req request
-			if err := dec.Decode(&req); err != nil {
+			req, err := ss.readRequest()
+			if err != nil {
 				done <- err
 				return
 			}
 			reqs = append(reqs, req)
 		}
 		// Reply in reverse order; payload identifies the request it
-		// answers (Fetch addr echoed as N).
+		// answers (Fetch addr echoed back as the row address).
 		for i := len(reqs) - 1; i >= 0; i-- {
-			if err := enc.Encode(response{ID: reqs[i].ID, N: reqs[i].Addrs[0]}); err != nil {
+			resp := response{ID: reqs[i].ID, Rows: []storage.EncRow{{Addr: reqs[i].Addrs[0], TupleCT: []byte("x")}}}
+			if err := ss.writeResponse(opEncFetch, &resp); err != nil {
 				done <- err
 				return
 			}
@@ -77,8 +85,8 @@ func TestMuxOutOfOrderResponses(t *testing.T) {
 				errs[addr] = err
 				return
 			}
-			if resp.N != addr {
-				errs[addr] = fmt.Errorf("caller %d got response payload %d", addr, resp.N)
+			if len(resp.Rows) != 1 || resp.Rows[0].Addr != addr {
+				errs[addr] = fmt.Errorf("caller %d got response payload %v", addr, resp.Rows)
 			}
 		}(i)
 	}
@@ -122,14 +130,13 @@ func TestLogicalErrorDoesNotPoison(t *testing.T) {
 // in-flight call, poisons the client, and every caller blocked on the
 // connection is released with the sticky transport error.
 func TestTransportErrorPoisonsAndReleases(t *testing.T) {
-	c, dec, _ := pipeClient(t)
+	c, ss := pipeClient(t)
 
 	const callers = 5
 	read := make(chan struct{})
 	go func() {
-		var req request
-		_ = dec.Decode(&req) // absorb one request...
-		close(read)          // ...then vanish without replying
+		_, _ = ss.readRequest() // absorb one request...
+		close(read)             // ...then vanish without replying
 	}()
 
 	var wg sync.WaitGroup
@@ -167,13 +174,13 @@ func TestTransportErrorPoisonsAndReleases(t *testing.T) {
 // waiting for means the stream is corrupt; the client must poison itself
 // rather than keep decoding garbage.
 func TestUnknownResponseIDFailsConnection(t *testing.T) {
-	c, dec, enc := pipeClient(t)
+	c, ss := pipeClient(t)
 	go func() {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req, err := ss.readRequest()
+		if err != nil {
 			return
 		}
-		_ = enc.Encode(response{ID: req.ID + 1000})
+		_ = ss.writeResponse(opHello, &response{ID: req.ID + 1000})
 	}()
 	if err := c.Ping(); err == nil {
 		t.Fatal("call answered by a stray response ID succeeded")
@@ -188,15 +195,15 @@ func TestUnknownResponseIDFailsConnection(t *testing.T) {
 // is resynced via opEncLen, and a retry delivers the same rows at the
 // same addresses.
 func TestFlushFailureRetainsPending(t *testing.T) {
-	c, dec, enc := pipeClient(t)
+	c, ss := pipeClient(t)
 
 	serverRows := 0
 	rejected := false
 	done := make(chan error, 1)
 	go func() {
 		for {
-			var req request
-			if err := dec.Decode(&req); err != nil {
+			req, err := ss.readRequest()
+			if err != nil {
 				done <- nil // client closed at test end
 				return
 			}
@@ -218,9 +225,12 @@ func TestFlushFailureRetainsPending(t *testing.T) {
 			default:
 				resp.Err = "unexpected op in script"
 			}
-			if err := enc.Encode(resp); err != nil {
+			if err := ss.writeResponse(req.Op, &resp); err != nil {
 				done <- err
 				return
+			}
+			if req.Op == opHello {
+				ss.setFramed()
 			}
 		}
 	}()
@@ -275,12 +285,12 @@ func TestFlushFailureRetainsPending(t *testing.T) {
 // out can no longer be honoured — the client must fail loudly instead of
 // retrying the rows at shifted addresses.
 func TestFlushPartialApplicationPoisons(t *testing.T) {
-	c, dec, enc := pipeClient(t)
+	c, ss := pipeClient(t)
 	go func() {
 		serverRows := 0
 		for {
-			var req request
-			if err := dec.Decode(&req); err != nil {
+			req, err := ss.readRequest()
+			if err != nil {
 				return
 			}
 			resp := response{ID: req.ID}
@@ -293,8 +303,11 @@ func TestFlushPartialApplicationPoisons(t *testing.T) {
 			case opEncLen:
 				resp.N = serverRows
 			}
-			if err := enc.Encode(resp); err != nil {
+			if err := ss.writeResponse(req.Op, &resp); err != nil {
 				return
+			}
+			if req.Op == opHello {
+				ss.setFramed()
 			}
 		}
 	}()
@@ -364,20 +377,19 @@ func TestFlushRejectedByRealServer(t *testing.T) {
 // transport the rows are still retained (a reconnecting wrapper could
 // resend them) and the client is poisoned.
 func TestFlushTransportFailureRetainsPending(t *testing.T) {
-	c, dec, enc := pipeClient(t)
+	c, ss := pipeClient(t)
 	// Serve the handshake and Add's first-use length sync, then vanish
 	// before the flush.
 	go func() {
-		if !serveHello(dec, enc) {
+		if !serveHello(ss) {
 			return
 		}
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req, err := ss.readRequest()
+		if err != nil {
 			return
 		}
-		_ = enc.Encode(response{ID: req.ID})
-		var next request
-		_ = dec.Decode(&next)
+		_ = ss.writeResponse(req.Op, &response{ID: req.ID})
+		_, _ = ss.readRequest()
 		c.conn.Close()
 	}()
 
@@ -656,8 +668,8 @@ func TestPoolSkipsPoisonedConnections(t *testing.T) {
 	}
 
 	// Kill one secondary's transport and let its teardown land.
-	p.conns[1].conn.Close()
-	for p.conns[1].stickyErr() == nil {
+	p.conns[1].(*Client).conn.Close()
+	for p.conns[1].(*Client).stickyErr() == nil {
 		time.Sleep(time.Millisecond)
 	}
 
@@ -677,8 +689,8 @@ func TestPoolSkipsPoisonedConnections(t *testing.T) {
 	}
 	// A dead primary, by contrast, is a pool failure: writes and flushes
 	// depend on it.
-	p.conns[0].conn.Close()
-	for p.conns[0].stickyErr() == nil {
+	p.conns[0].(*Client).conn.Close()
+	for p.conns[0].(*Client).stickyErr() == nil {
 		time.Sleep(time.Millisecond)
 	}
 	if p.Err() == nil {

@@ -56,7 +56,30 @@ var (
 	_ Backend   = (*PoolStore)(nil)
 	_ Transport = (*Client)(nil)
 	_ Transport = (*Pool)(nil)
+	_ poolConn  = (*Client)(nil)
+	_ poolConn  = (*Reconnector)(nil)
 )
+
+// poolConn is what the Pool needs from each pooled transport: the
+// per-namespace Backend factory, liveness, and the shared logical-error
+// record. Both *Client (fail-fast; poisoned by its first transport error)
+// and *Reconnector (self-healing; unhealthy only after a permanent
+// failure) satisfy it, so pools compose with reconnecting transports —
+// each pooled Reconnector redials its own connection and migrates its own
+// namespaces' upload buffers, while the rest of the pool keeps serving.
+type poolConn interface {
+	Store(name string) Backend
+	Ping() error
+	Close() error
+	Err() error
+	LogicalErr() error
+	LogicalErrCount() uint64
+
+	// healthy reports whether reads should be routed here.
+	healthy() bool
+	// noteLogical records a per-op error a void method swallowed.
+	noteLogical(err error)
+}
 
 // Pool fans calls out over several multiplexed connections to the same
 // cloud. A single connection already supports unbounded in-flight calls,
@@ -80,7 +103,7 @@ var (
 // is the first connection — the exact single-store behaviour of earlier
 // protocol generations.
 type Pool struct {
-	conns []*Client
+	conns []poolConn
 	next  atomic.Uint64
 
 	storeMu  sync.Mutex
@@ -92,12 +115,27 @@ type Pool struct {
 // DialPool connects n multiplexed connections to the cloud at addr.
 // n <= 1 degrades to a pool over a single connection.
 func DialPool(addr string, n int) (*Pool, error) {
+	return dialPool(n, func() (poolConn, error) { return Dial(addr) })
+}
+
+// DialReconnectPool is DialPool over reconnecting transports: n
+// independent Reconnectors to the cloud at addr, composed into one Pool.
+// Each pooled Reconnector redials its own connection on failure and
+// migrates the upload buffers of the namespaces homed on it, so one
+// connection's death stalls only the ops routed to it mid-cycle — the
+// rest of the pool keeps serving. This is what lifts the old
+// Reconnect-xor-pool restriction.
+func DialReconnectPool(addr string, n int, opts ReconnectOptions) (*Pool, error) {
+	return dialPool(n, func() (poolConn, error) { return DialReconnect(addr, opts) })
+}
+
+func dialPool(n int, dial func() (poolConn, error)) (*Pool, error) {
 	if n < 1 {
 		n = 1
 	}
-	conns := make([]*Client, 0, n)
+	conns := make([]poolConn, 0, n)
 	for i := 0; i < n; i++ {
-		c, err := Dial(addr)
+		c, err := dial()
 		if err != nil {
 			for _, open := range conns {
 				open.Close()
@@ -106,12 +144,30 @@ func DialPool(addr string, n int) (*Pool, error) {
 		}
 		conns = append(conns, c)
 	}
-	return NewPool(conns), nil
+	return newPool(conns), nil
 }
 
 // NewPool wraps established clients (e.g. net.Pipe pairs in tests) into a
 // pool. It panics on an empty slice.
 func NewPool(conns []*Client) *Pool {
+	pcs := make([]poolConn, len(conns))
+	for i, c := range conns {
+		pcs[i] = c
+	}
+	return newPool(pcs)
+}
+
+// NewReconnectPool composes established Reconnectors (e.g. over net.Pipe
+// dialers in tests) into a pool.
+func NewReconnectPool(conns []*Reconnector) *Pool {
+	pcs := make([]poolConn, len(conns))
+	for i, c := range conns {
+		pcs[i] = c
+	}
+	return newPool(pcs)
+}
+
+func newPool(conns []poolConn) *Pool {
 	if len(conns) == 0 {
 		panic("wire: NewPool with no connections")
 	}
@@ -134,9 +190,9 @@ func (p *Pool) WithStore(name string) *PoolStore {
 	if s, ok := p.stores[name]; ok {
 		return s
 	}
-	home := p.conns[p.nextHome%len(p.conns)]
+	conn := p.conns[p.nextHome%len(p.conns)]
 	p.nextHome++
-	s := &PoolStore{p: p, home: home.WithStore(name), name: name}
+	s := &PoolStore{p: p, conn: conn, home: conn.Store(name), name: name}
 	p.stores[name] = s
 	return s
 }
@@ -149,18 +205,18 @@ func (p *Pool) Size() int { return len(p.conns) }
 
 // primary is the first connection: home of the default namespace and the
 // pool's liveness bellwether.
-func (p *Pool) primary() *Client { return p.conns[0] }
+func (p *Pool) primary() poolConn { return p.conns[0] }
 
 // pick round-robins across all connections for read ops, skipping
-// poisoned ones: a dead secondary must not keep swallowing reads as
+// unhealthy ones: a dead secondary must not keep swallowing reads as
 // silent zero values while the rest of the pool works. With every
-// connection poisoned it falls back to the primary, whose fail-fast
+// connection unhealthy it falls back to the primary, whose fail-fast
 // errors surface the cause.
-func (p *Pool) pick() *Client {
+func (p *Pool) pick() poolConn {
 	n := uint64(len(p.conns))
 	start := p.next.Add(1)
 	for i := uint64(0); i < n; i++ {
-		if c := p.conns[(start+i)%n]; c.stickyErr() == nil {
+		if c := p.conns[(start+i)%n]; c.healthy() {
 			return c
 		}
 	}
@@ -197,11 +253,12 @@ func (p *Pool) Ping() error {
 // and the capacity loss through Alive.
 func (p *Pool) Err() error { return p.primary().Err() }
 
-// Alive reports how many pooled connections are not poisoned.
+// Alive reports how many pooled connections are healthy (not poisoned;
+// for reconnecting members, not permanently failed).
 func (p *Pool) Alive() int {
 	n := 0
 	for _, c := range p.conns {
-		if c.stickyErr() == nil {
+		if c.healthy() {
 			n++
 		}
 	}
@@ -282,7 +339,8 @@ func (p *Pool) Rows() []storage.EncRow { return p.def.Rows() }
 // uploads are visible wherever the read lands.
 type PoolStore struct {
 	p    *Pool
-	home *StoreClient // the pinned connection's view of this namespace
+	conn poolConn // the pinned home connection
+	home Backend  // the pinned connection's view of this namespace
 	name string
 }
 
@@ -290,16 +348,16 @@ type PoolStore struct {
 func (s *PoolStore) StoreName() string { return s.name }
 
 // Home exposes the pinned connection's view (tests assert the pinning).
-func (s *PoolStore) Home() *StoreClient { return s.home }
+func (s *PoolStore) Home() Backend { return s.home }
 
 // read picks a connection for a read op, making this namespace's buffered
 // uploads durable first. The no-pending fast path is a single mutex
 // acquisition on the home view.
-func (s *PoolStore) read() (*StoreClient, error) {
+func (s *PoolStore) read() (Backend, error) {
 	if err := s.home.Flush(); err != nil {
 		return nil, err
 	}
-	return s.p.pick().WithStore(s.name), nil
+	return s.p.pick().Store(s.name), nil
 }
 
 // Ping checks liveness of every pooled connection.
@@ -333,7 +391,7 @@ func (s *PoolStore) Load(rns *relation.Relation, attr string) error {
 func (s *PoolStore) Search(values []relation.Value) []relation.Tuple {
 	v, err := s.read()
 	if err != nil {
-		s.home.c.noteLogical(err)
+		s.conn.noteLogical(err)
 		return nil
 	}
 	return v.Search(values)
@@ -343,7 +401,7 @@ func (s *PoolStore) Search(values []relation.Value) []relation.Tuple {
 func (s *PoolStore) SearchRange(lo, hi relation.Value) []relation.Tuple {
 	v, err := s.read()
 	if err != nil {
-		s.home.c.noteLogical(err)
+		s.conn.noteLogical(err)
 		return nil
 	}
 	return v.SearchRange(lo, hi)
@@ -365,7 +423,7 @@ func (s *PoolStore) Flush() error { return s.home.Flush() }
 func (s *PoolStore) Len() int {
 	v, err := s.read()
 	if err != nil {
-		s.home.c.noteLogical(err)
+		s.conn.noteLogical(err)
 		return 0
 	}
 	return v.Len()
@@ -375,7 +433,7 @@ func (s *PoolStore) Len() int {
 func (s *PoolStore) AttrColumn() []storage.EncRow {
 	v, err := s.read()
 	if err != nil {
-		s.home.c.noteLogical(err)
+		s.conn.noteLogical(err)
 		return nil
 	}
 	return v.AttrColumn()
@@ -403,7 +461,7 @@ func (s *PoolStore) FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error) 
 func (s *PoolStore) LookupToken(tok []byte) []int {
 	v, err := s.read()
 	if err != nil {
-		s.home.c.noteLogical(err)
+		s.conn.noteLogical(err)
 		return nil
 	}
 	return v.LookupToken(tok)
@@ -413,7 +471,7 @@ func (s *PoolStore) LookupToken(tok []byte) []int {
 func (s *PoolStore) Rows() []storage.EncRow {
 	v, err := s.read()
 	if err != nil {
-		s.home.c.noteLogical(err)
+		s.conn.noteLogical(err)
 		return nil
 	}
 	return v.Rows()

@@ -1,6 +1,7 @@
 // Package wire implements a multiplexed owner↔cloud network protocol so
-// the untrusted cloud can run as a separate process: gob-framed
-// request/response messages over any net.Conn, a server hosting any
+// the untrusted cloud can run as a separate process: length-prefixed
+// frames over any net.Conn carrying a hand-rolled binary codec for the
+// hot data-plane ops (and gob for the cold ones), a server hosting any
 // number of named store pairs (clear-text + encrypted), and clients that
 // plug into the owner as a cloud.PlainBackend and into any technique as a
 // technique.EncStore.
@@ -24,13 +25,17 @@
 // the server keeps per-store state and per-store locks, so tenants never
 // contend except on the transport itself.
 //
-// The protocol is versioned: the first frame on every connection must be
-// an opHello carrying ProtocolVersion. A server refuses to dispatch
-// anything before a matching hello (it answers with an explicit
-// version-mismatch error instead of misrouting the op into a default
-// namespace), and a client refuses to proceed against a server that
-// cannot echo its version — so mixing protocol generations fails loudly
-// at the first call rather than corrupting either side's stores.
+// The protocol is versioned: the first message on every connection must
+// be an opHello carrying ProtocolVersion, exchanged as plain gob exactly
+// like earlier generations. A server refuses to dispatch anything before
+// a matching hello (it answers with an explicit version-mismatch error
+// instead of misrouting the op into a default namespace), and a client
+// refuses to proceed against a server that cannot echo its version — so
+// mixing protocol generations fails loudly at the first call rather than
+// corrupting either side's stores. Only after a successful v3↔v3 hello do
+// both directions switch to length-prefixed frames: the binary codec
+// (codec.go) for hot ops, gob frames for the rest, with large row pulls
+// streamed in bounded chunks (see frame.go).
 //
 // Reads come in batched flavours too: opEncFetchBatch serves one address
 // list per query of a batched search in a single round trip, which is how
@@ -59,10 +64,15 @@ import (
 	"repro/internal/storage"
 )
 
-// ProtocolVersion is the wire protocol generation. Version 2 introduced
-// store namespaces and the mandatory hello handshake; version 1 (no
-// handshake, single implicit store) is refused with an explicit error.
-const ProtocolVersion = 2
+// ProtocolVersion is the wire protocol generation. Version 3 introduced
+// the framed transport (binary codec for hot ops, chunked row streaming)
+// that both sides switch to after the hello; version 2 introduced store
+// namespaces and the mandatory hello handshake; version 1 (no handshake,
+// single implicit store) is refused with an explicit error. The hello
+// itself stays plain gob across generations, so v2↔v3 skew fails with an
+// explicit version error in both directions rather than unparseable
+// frames.
+const ProtocolVersion = 3
 
 // DefaultStore is the namespace used when a request names none — the
 // single implicit store of protocol v1, preserved so one-relation

@@ -199,6 +199,16 @@ func (rc *Reconnector) Err() error {
 	return rc.permErr
 }
 
+// healthy implements poolConn: a Reconnector is routable until it fails
+// permanently (redial exhaustion, unreconcilable resync) or is closed —
+// transient connection death is its own problem to fix, so a pool keeps
+// routing to it and the routed ops block through the reconnect cycle.
+func (rc *Reconnector) healthy() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.permErr == nil && !rc.closed
+}
+
 // noteLogical records a per-op error a void interface method swallowed —
 // the reconnector-level counterpart of Client.noteLogical, surviving the
 // connections whose own records die with them.

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"bufio"
+	"crypto/hmac"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -207,31 +209,190 @@ var errNoHello = fmt.Sprintf(
 	"wire: protocol version mismatch: server speaks v%d and requires an opHello handshake before any op (a v1 client predates store namespaces); upgrade the client",
 	ProtocolVersion)
 
-// ServeConn serves one established connection (e.g. net.Pipe in tests and
-// benchmarks) until it fails or closes, then closes it. The first frame
-// must be a version-matched opHello; after that, decoded requests are
-// dispatched concurrently through the per-connection worker pool.
-func (c *Cloud) ServeConn(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+// serverStream is the server side of one connection's transport framing:
+// persistent gob codecs shared between the handshake and later gob
+// frames, a reader-owned frame scratch, and pooled frame assembly on the
+// send path. Sends from concurrent dispatch workers are serialised by
+// sendMu; the read side is touched only by the decode loop.
+type serverStream struct {
+	conn net.Conn
+	br   *bufio.Reader
 
-	// sendMu serialises response frames from the dispatch workers.
-	var sendMu sync.Mutex
-	send := func(resp *response) {
-		sendMu.Lock()
-		err := enc.Encode(resp)
-		sendMu.Unlock()
+	gobIn   *gobSource
+	dec     *gob.Decoder
+	readBuf []byte
+
+	sendMu sync.Mutex
+	gobOut *gobSink
+	enc    *gob.Encoder
+
+	// framed flips after the hello exchange, strictly before any
+	// dispatch goroutine exists, so no synchronisation is needed.
+	framed bool
+}
+
+func newServerStream(conn net.Conn) *serverStream {
+	s := &serverStream{conn: conn, br: bufio.NewReader(conn)}
+	s.gobIn = &gobSource{direct: s.br}
+	s.dec = gob.NewDecoder(s.gobIn)
+	s.gobOut = &gobSink{direct: conn}
+	s.enc = gob.NewEncoder(s.gobOut)
+	return s
+}
+
+// setFramed switches both directions to length-prefixed frames; called
+// once, after a successful hello, while the connection is still handled
+// sequentially.
+func (s *serverStream) setFramed() {
+	s.gobIn.direct = nil
+	s.gobOut.direct = nil
+	s.framed = true
+}
+
+// readRequest decodes one request: plain gob before the handshake, one
+// frame after it.
+func (s *serverStream) readRequest() (*request, error) {
+	if !s.framed {
+		req := new(request)
+		if err := s.dec.Decode(req); err != nil {
+			return nil, err
+		}
+		return req, nil
+	}
+	tag, body, err := readFrame(s.br, &s.readBuf)
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagGob:
+		s.gobIn.buf = body
+		req := new(request)
+		err := s.dec.Decode(req)
+		left := len(s.gobIn.buf)
+		s.gobIn.buf = nil
 		if err != nil {
-			// The response stream is broken; closing the conn unblocks
-			// the decode loop so the whole handler winds down.
-			conn.Close()
+			return nil, err
+		}
+		if left != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes after gob request frame", left)
+		}
+		return req, nil
+	case tagBinReq:
+		return decodeBinRequest(body)
+	default:
+		return nil, fmt.Errorf("wire: unknown frame tag 0x%02x", tag)
+	}
+}
+
+// writeResponse sends one response to an op-o request, framing per the
+// connection mode and streaming large row sets in bounded chunks.
+func (s *serverStream) writeResponse(o op, resp *response) error {
+	if !s.framed {
+		s.sendMu.Lock()
+		defer s.sendMu.Unlock()
+		return s.enc.Encode(resp)
+	}
+	if !binaryOp(o) {
+		return s.writeGobFrame(resp)
+	}
+	if (o == opEncAttrColumn || o == opEncRows) && resp.Err == "" && len(resp.Rows) > 0 {
+		return s.writeChunkedRows(o, resp)
+	}
+	return s.writeBinFrame(o, resp, 0)
+}
+
+func (s *serverStream) writeGobFrame(resp *response) error {
+	bp := getFrameBuf()
+	buf := beginFrame(*bp, tagGob)
+	// The gob encode runs under sendMu: the persistent encoder's stream
+	// state must match the order frames hit the wire.
+	s.sendMu.Lock()
+	s.gobOut.buf = &buf
+	err := s.enc.Encode(resp)
+	s.gobOut.buf = nil
+	if err == nil {
+		err = finishFrame(s.conn, buf)
+	}
+	s.sendMu.Unlock()
+	*bp = buf
+	putFrameBuf(bp)
+	return err
+}
+
+func (s *serverStream) writeBinFrame(o op, resp *response, flags byte) error {
+	bp := getFrameBuf()
+	buf := appendBinResponse(beginFrame(*bp, tagBinResp), o, resp, flags)
+	s.sendMu.Lock()
+	err := finishFrame(s.conn, buf)
+	s.sendMu.Unlock()
+	*bp = buf
+	putFrameBuf(bp)
+	return err
+}
+
+// writeChunkedRows streams a large row set as a sequence of frames near
+// chunkTarget bytes each, all but the last flagged partial. sendMu is
+// taken per chunk, so responses to other in-flight ops may interleave
+// between chunks — a big column pull does not head-of-line-block the
+// connection; the client reassembles by ID.
+func (s *serverStream) writeChunkedRows(o op, resp *response) error {
+	rows := resp.Rows
+	for {
+		n, size := 0, 0
+		for n < len(rows) && size < chunkTarget {
+			r := &rows[n]
+			size += 16 + len(r.TupleCT) + len(r.AttrCT) + len(r.Token)
+			n++
+		}
+		chunk := response{ID: resp.ID, Rows: rows[:n]}
+		rows = rows[n:]
+		var flags byte
+		if len(rows) > 0 {
+			flags = respFlagPartial
+		}
+		if err := s.writeBinFrame(o, &chunk, flags); err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			return nil
 		}
 	}
+}
+
+// ServeConn serves one established connection (e.g. net.Pipe in tests and
+// benchmarks) until it fails or closes, then closes it. The first message
+// must be a version-matched opHello — exchanged as plain gob, the wire
+// image every protocol generation shares, so skewed peers get an explicit
+// version error. After it both directions switch to framed mode and
+// decoded requests are dispatched concurrently through the per-connection
+// worker pool.
+func (c *Cloud) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	s := newServerStream(conn)
 
 	// Handshake: decoded sequentially, before the dispatch pool spins up,
 	// so no op can race past it.
-	helloed := false
+	req, err := s.readRequest()
+	if err != nil {
+		// io.EOF is a clean shutdown; anything else means the stream is
+		// desynchronised. Either way no reply can safely be written —
+		// only well-formed messages (with an ID to echo) get responses.
+		return
+	}
+	if req.Op != opHello {
+		_ = s.writeResponse(req.Op, &response{ID: req.ID, Err: errNoHello})
+		return
+	}
+	if req.Version != ProtocolVersion {
+		_ = s.writeResponse(opHello, &response{ID: req.ID, Version: ProtocolVersion, Err: fmt.Sprintf(
+			"wire: protocol version mismatch: server speaks v%d, client spoke v%d",
+			ProtocolVersion, req.Version)})
+		return
+	}
+	if err := s.writeResponse(opHello, &response{ID: req.ID, Version: ProtocolVersion}); err != nil {
+		return
+	}
+	s.setFramed()
 
 	sem := make(chan struct{}, c.workersPerConn())
 	// inflight is the decode loop's flood bound: it caps live request
@@ -241,28 +402,9 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 	inflight := make(chan struct{}, c.connInflightCap())
 	var wg sync.WaitGroup
 	for {
-		req := new(request)
-		if err := dec.Decode(req); err != nil {
-			// io.EOF is a clean shutdown; anything else means the frame
-			// stream is desynchronised. Either way no reply can safely be
-			// written — only well-formed frames (with an ID to echo) get
-			// responses — so just close the connection.
+		req, err := s.readRequest()
+		if err != nil {
 			break
-		}
-		if !helloed {
-			if req.Op != opHello {
-				send(&response{ID: req.ID, Err: errNoHello})
-				break
-			}
-			if req.Version != ProtocolVersion {
-				send(&response{ID: req.ID, Version: ProtocolVersion, Err: fmt.Sprintf(
-					"wire: protocol version mismatch: server speaks v%d, client spoke v%d",
-					ProtocolVersion, req.Version)})
-				break
-			}
-			helloed = true
-			send(&response{ID: req.ID, Version: ProtocolVersion})
-			continue
 		}
 		inflight <- struct{}{}
 		wg.Add(1)
@@ -289,10 +431,34 @@ func (c *Cloud) ServeConn(conn net.Conn) {
 				releaseStore()
 			}
 			resp.ID = req.ID
-			send(&resp)
+			if err := s.writeResponse(req.Op, &resp); err != nil {
+				// The response stream is broken; closing the conn unblocks
+				// the decode loop so the whole handler winds down.
+				conn.Close()
+			}
 		}()
 	}
 	wg.Wait()
+}
+
+// authorizeWrite refuses a write into a claimed namespace whose caller
+// does not hold the owner token. Unclaimed namespaces accept tokenless
+// writes (the open single-tenant mode earlier versions shipped with); the
+// first tokened write closes the door behind its owner. The comparison is
+// constant-time, like the admin path's.
+func authorizeWrite(st *storage.Store, name string, tok []byte) *response {
+	stored := st.OwnerHash()
+	if stored == nil {
+		return nil
+	}
+	if len(tok) == 0 {
+		return &response{Err: fmt.Sprintf(
+			"wire: write to store %q refused: namespace is owner-claimed and the request carries no owner token", name)}
+	}
+	if !hmac.Equal(stored, hashToken(tok)) {
+		return &response{Err: fmt.Sprintf("wire: write to store %q refused: owner token mismatch", name)}
+	}
+	return nil
 }
 
 func (c *Cloud) dispatch(req *request) response {
@@ -322,12 +488,20 @@ func (c *Cloud) dispatch(req *request) response {
 	st := c.stores.GetOrCreate(name)
 	c.opCounter(name).Add(1)
 
-	// Writes presenting an owner token claim the namespace on first write
-	// (later claims are no-ops); the cloud keeps only the hash.
-	if len(req.AdminToken) != 0 {
-		switch req.Op {
-		case opPlainLoad, opPlainInsert, opEncAdd, opEncAddBatch:
+	// Write admission. A write presenting an owner token claims the
+	// namespace on first write (later claims are no-ops; the cloud keeps
+	// only the hash) — and once a namespace is claimed, every write must
+	// present the owner's token. The claim is an isolation boundary, not
+	// just a control-plane credential: tenant B must not be able to
+	// append rows into, or replace the plain partition of, tenant A's
+	// claimed store.
+	switch req.Op {
+	case opPlainLoad, opPlainInsert, opEncAdd, opEncAddBatch:
+		if len(req.AdminToken) != 0 {
 			st.ClaimOwner(hashToken(req.AdminToken))
+		}
+		if refuse := authorizeWrite(st, name, req.AdminToken); refuse != nil {
+			return *refuse
 		}
 	}
 

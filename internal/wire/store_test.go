@@ -114,6 +114,42 @@ func TestClientRejectsLegacyServer(t *testing.T) {
 	}
 }
 
+// TestClientRejectsV2Server: a v3 client handshaking with a v2 server —
+// which speaks unframed gob and answers the hello with its own version —
+// must fail its first op with an explicit mismatch naming both versions,
+// not hang and not attempt framed traffic against a gob peer.
+func TestClientRejectsV2Server(t *testing.T) {
+	cend, send := net.Pipe()
+	c := NewClient(cend)
+	t.Cleanup(func() { c.Close(); send.Close() })
+	go func() {
+		// A v2 server: plain gob both ways, never switches to frames.
+		dec, enc := gob.NewDecoder(send), gob.NewEncoder(send)
+		for {
+			var req request
+			if err := dec.Decode(&req); err != nil {
+				return
+			}
+			resp := response{ID: req.ID}
+			if req.Op == opHello {
+				resp.Version = ProtocolVersion - 1
+			}
+			if err := enc.Encode(resp); err != nil {
+				return
+			}
+		}
+	}()
+
+	err := c.Ping()
+	if err == nil || !strings.Contains(err.Error(), "version mismatch") ||
+		!strings.Contains(err.Error(), fmt.Sprintf("v%d", ProtocolVersion-1)) {
+		t.Fatalf("ping against v2 server = %v, want explicit version mismatch", err)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("Err = %v, want sticky version mismatch", err)
+	}
+}
+
 // TestPingCreatesNoStore: store-less ops (the handshake, Ping) must not
 // materialise a phantom "default" namespace in the registry, the stats
 // or the next snapshot.
@@ -246,10 +282,10 @@ func TestPoolPinsWritesPerStore(t *testing.T) {
 
 	a := p.WithStore("tenant-a")
 	b := p.WithStore("tenant-b")
-	if a.Home().c == b.Home().c {
+	if a.conn == b.conn {
 		t.Fatal("two namespaces share one home connection on a 2-conn pool")
 	}
-	if p.WithStore("").Home().c != p.conns[0] {
+	if p.WithStore("").conn != p.conns[0] {
 		t.Fatal("default store not homed on the first connection")
 	}
 	// Same name, same view.
@@ -298,8 +334,8 @@ func TestPoolStoreSurvivesOtherHomeDeath(t *testing.T) {
 	}
 
 	// Kill tenant-a's home.
-	a.Home().c.conn.Close()
-	for a.Home().c.stickyErr() == nil {
+	a.Home().(*StoreClient).c.conn.Close()
+	for a.Home().(*StoreClient).c.stickyErr() == nil {
 		time.Sleep(time.Millisecond)
 	}
 

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"net"
 	"reflect"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -623,13 +622,90 @@ func TestReconnectClientSurvivesCloudKillMidBatch(t *testing.T) {
 	}
 }
 
-// TestReconnectConfigValidation: Reconnect composes with a single
-// connection only, for now.
-func TestReconnectConfigValidation(t *testing.T) {
-	if _, err := NewClient(Config{
-		MasterKey: []byte("k"), Attr: "K",
-		CloudAddr: "127.0.0.1:1", CloudConns: 3, Reconnect: true,
-	}); err == nil || !strings.Contains(err.Error(), "CloudConns") {
-		t.Fatalf("Reconnect+pool accepted: %v", err)
+// TestReconnectPoolSurvivesCloudKill: Reconnect now composes with
+// CloudConns > 1 — each pooled connection redials independently. A
+// pooled reconnecting client whose cloud is killed mid-batch and
+// restored from the post-Outsource snapshot must produce batch results
+// identical to a client whose cloud was never touched.
+func TestReconnectPoolSurvivesCloudKill(t *testing.T) {
+	ds, err := workload.Generate(workload.GenSpec{
+		Tuples: 160, DistinctValues: 16, Alpha: 0.4,
+		AssocFraction: 0.5, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(addr string, conns int, reconnect bool) *Client {
+		c, err := NewClient(Config{
+			MasterKey:  []byte("pooled chaos equivalence"),
+			Attr:       workload.Attr,
+			Technique:  TechArx,
+			Seed:       seed(37),
+			CloudAddr:  addr,
+			CloudConns: conns,
+			Reconnect:  reconnect,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	ref := mk(startRemoteCloud(t), 1, false)
+	cloud := wire.NewCloud()
+	srv := startChaosCloud(t, cloud)
+	chaos := mk(srv.addr, 3, true)
+
+	if err := ref.Outsource(ds.Relation.Clone(), ds.Sensitive); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.Outsource(ds.Relation.Clone(), ds.Sensitive); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := cloud.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := batchWorkload(ds, 48, 101)
+	want, err := ref.QueryBatchN(ws, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(2 * time.Millisecond)
+		srv.kill()
+		restored := wire.NewCloud()
+		if err := restored.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Error(err)
+			return
+		}
+		srv.restart(t, restored)
+	}()
+	got, err := chaos.QueryBatchN(ws, 4)
+	<-killed
+	if err != nil {
+		t.Fatalf("QueryBatch across the kill: %v", err)
+	}
+	for i := range ws {
+		if !reflect.DeepEqual(relation.IDs(got[i]), relation.IDs(want[i])) {
+			t.Errorf("query %d (%v): chaos IDs %v != reference %v",
+				i, ws[i], relation.IDs(got[i]), relation.IDs(want[i]))
+		}
+	}
+	// And the pooled client keeps working after the dust settles.
+	gotQ, err := chaos.Query(ws[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantQ, err := ref.Query(ws[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(relation.IDs(gotQ), relation.IDs(wantQ)) {
+		t.Errorf("post-recovery Query = %v, want %v", relation.IDs(gotQ), relation.IDs(wantQ))
 	}
 }
