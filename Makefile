@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-remote fuzz-smoke docs smoke-remote smoke-chaos ci
+# Pinned third-party linter versions; CI installs exactly these.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test vet race bench bench-remote fuzz-smoke docs smoke-remote smoke-chaos lint audit ci
 
 build:
 	$(GO) build ./...
@@ -64,4 +68,30 @@ smoke-chaos:
 	$(GO) build -o bin/qbadmin ./cmd/qbadmin
 	$(GO) run ./cmd/qbsmoke -phase chaos -qbcloud bin/qbcloud -qbadmin bin/qbadmin
 
-ci: build test race docs fuzz-smoke smoke-remote smoke-chaos
+# Static analysis. qbvet (the repo's own go/analysis-style suite: sensleak,
+# lockdiscipline, pooldiscipline, cmpconst, nakedclock) is stdlib-only and
+# always runs. staticcheck and govulncheck run when installed — CI installs
+# the pinned versions above; offline sandboxes skip them with a notice.
+lint:
+	$(GO) build -o bin/qbvet ./cmd/qbvet
+	bin/qbvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+# Audit report: qbvet findings + per-package statement coverage, written to
+# docs/AUDIT.md. COVER_FLOOR makes the run fail when total coverage drops
+# below the recorded baseline (see .github/workflows/ci.yml).
+COVER_FLOOR ?= 0
+audit:
+	$(GO) build -o bin/qbaudit ./cmd/qbaudit
+	bin/qbaudit -floor $(COVER_FLOOR)
+
+ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos

@@ -1,0 +1,97 @@
+// Command qbvet is the multichecker driver for the repository's
+// domain-specific static-analysis suite (internal/analysis): it loads the
+// requested packages, runs every registered analyzer, and exits non-zero
+// if any invariant violation is found.
+//
+// Usage:
+//
+//	qbvet [-run name[,name]] [-list] [packages]
+//
+// With no package arguments it checks ./.... The suite machine-checks
+// the security and concurrency conventions docs/ARCHITECTURE.md states
+// in prose; `make lint` runs it on every CI build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+// Suite is the registered analyzer set, in reporting order.
+var Suite = suite.Analyzers
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qbvet [-run name[,name]] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range Suite {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range Suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := Suite
+	if *run != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		analyzers = nil
+		for _, a := range Suite {
+			if want[a.Name] {
+				analyzers = append(analyzers, a)
+			}
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintf(os.Stderr, "qbvet: no analyzer matches -run %q\n", *run)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader("")
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbvet:", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbvet:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qbvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

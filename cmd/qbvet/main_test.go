@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuiteCleanOnRepo runs the full qbvet suite over the repository's
+// own tree: the codebase must satisfy every invariant it preaches.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+	pkgs, err := analysis.NewLoader(root).Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, Suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,107 @@
+// Package analysis is a self-contained static-analysis framework for the
+// qbvet suite: a minimal mirror of the golang.org/x/tools/go/analysis API
+// built entirely on the standard library (go/ast, go/types, go/importer
+// and the go command), so the repository's domain-specific invariants can
+// be machine-checked without any external module dependency.
+//
+// The shape intentionally matches x/tools so that, should the dependency
+// ever become available, the analyzers port by changing imports only: an
+// Analyzer bundles a name, a doc string and a Run function; Run receives
+// a Pass holding one type-checked package and reports Diagnostics.
+//
+// The suite's analyzers live in subpackages (sensleak, lockdiscipline,
+// pooldiscipline, cmpconst, nakedclock); cmd/qbvet is the multichecker
+// driver and analysistest is the fixture harness that proves each rule
+// fires.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// Run checks one package. It reports findings through pass.Report
+	// and returns an error only for internal failures (a broken
+	// analyzer, not broken code under analysis).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  msg,
+	})
+}
+
+// Reportf records a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// Run applies each analyzer to each package and returns every finding,
+// sorted by file position. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

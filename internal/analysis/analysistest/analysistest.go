@@ -1,0 +1,150 @@
+// Package analysistest is the fixture harness for the qbvet suite: it
+// type-checks a testdata package under a caller-chosen import path, runs
+// one analyzer over it, and compares the diagnostics against the
+// fixture's `// want "regexp"` comments, x/tools-analysistest style.
+//
+// The chosen import path is what makes path-scoped rules testable: a
+// fixture directory can be checked as if it were
+// repro/internal/storage/... or repro/internal/wire/..., so the rules
+// that only apply inside those trees fire on testdata the go tool
+// otherwise ignores. Fixture imports (stdlib and repro packages alike)
+// resolve through the same build-cache export data qbvet itself uses.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts expectation patterns from fixture comments:
+// `// want "regexp"`, possibly several per line.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+var (
+	once      sync.Once
+	sharedLdr *analysis.Loader
+	sharedImp types.Importer
+	loadErr   error
+)
+
+// importerFor returns the process-shared loader and export-data importer,
+// priming them on first use from the module root (fixtures run with the
+// test binary's working directory deep inside the module).
+func importerFor(t *testing.T) (*analysis.Loader, types.Importer) {
+	t.Helper()
+	once.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		root := filepath.Dir(strings.TrimSpace(string(out)))
+		sharedLdr = analysis.NewLoader(root)
+		sharedImp, loadErr = sharedLdr.Importer()
+	})
+	if loadErr != nil {
+		t.Fatalf("analysistest: preparing importer: %v", loadErr)
+	}
+	return sharedLdr, sharedImp
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks every .go file in dir as one package named by
+// importPath, applies a, and fails t unless the diagnostics and the
+// fixture's want comments match one-to-one.
+func Run(t *testing.T, a *analysis.Analyzer, importPath, dir string) {
+	t.Helper()
+	ldr, imp := importerFor(t)
+	fset := ldr.Fset()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no fixture files in %s", dir)
+	}
+
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking fixture %s as %q: %v", dir, importPath, err)
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, w.file, w.line, w.re)
+		}
+	}
+}

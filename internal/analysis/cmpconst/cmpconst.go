@@ -1,0 +1,171 @@
+// Package cmpconst machine-checks the constant-time comparison rule: an
+// owner token, a stored owner-token hash, or any other authentication
+// secret must be compared with crypto/subtle.ConstantTimeCompare or
+// crypto/hmac.Equal (crypto.Equal in this repo), never with ==, !=,
+// bytes.Equal, bytes.Compare or reflect.DeepEqual — short-circuiting
+// comparisons leak how many leading bytes matched through timing, which
+// is exactly the oracle an adversarial cloud needs to forge admin tokens
+// byte by byte.
+//
+// Detection is name- and provenance-based: an operand is secret-like when
+// its identifier or field name is token-flavored (tok, token, adminToken,
+// ownerToken, ownerHash, tokenHash, secret, masterKey, ...) or when it is
+// directly the result of wire.OwnerToken or wire.hashToken. Length
+// checks (len(tok) == 0) are allowed: lengths are public.
+package cmpconst
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the cmpconst pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cmpconst",
+	Doc:  "token and owner-hash comparisons must be constant-time (crypto/subtle or hmac.Equal), never == or bytes.Equal",
+	Run:  run,
+}
+
+// secretNames are case-insensitive identifier/field names treated as
+// authentication secrets.
+var secretNames = map[string]bool{
+	"tok": true, "token": true, "admintoken": true, "ownertoken": true,
+	"ownerhash": true, "tokenhash": true, "hashedtoken": true,
+	"secret": true, "masterkey": true, "mastersecret": true,
+}
+
+// secretFuncs are functions whose results are authentication secrets, as
+// pkgPath:name.
+var secretFuncs = map[string]bool{
+	"repro/internal/wire:OwnerToken": true,
+	"repro/internal/wire:hashToken":  true,
+}
+
+// variableTimeCmps are pkgPath:name of comparison helpers that are not
+// constant-time.
+var variableTimeCmps = map[string]bool{
+	"bytes:Equal":       true,
+	"bytes:Compare":     true,
+	"reflect:DeepEqual": true,
+	"strings:EqualFold": true,
+	"strings:Compare":   true,
+	"slices:Equal":      true,
+	"maps:Equal":        true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				// Nil checks are presence tests, not equality oracles, and
+				// only byte/string-shaped operands can leak through a
+				// short-circuiting comparison.
+				if isNil(pass, x.X) || isNil(pass, x.Y) {
+					return true
+				}
+				if !bytesShaped(pass, x.X) && !bytesShaped(pass, x.Y) {
+					return true
+				}
+				if name, ok := secretOperand(pass, x.X); ok {
+					report(pass, x.Pos(), name, x.Op.String())
+				} else if name, ok := secretOperand(pass, x.Y); ok {
+					report(pass, x.Pos(), name, x.Op.String())
+				}
+			case *ast.CallExpr:
+				obj := analysis.CalleeObj(pass.TypesInfo, x)
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if !variableTimeCmps[obj.Pkg().Path()+":"+obj.Name()] {
+					return true
+				}
+				for _, a := range x.Args {
+					if name, ok := secretOperand(pass, a); ok {
+						report(pass, x.Pos(), name, obj.Pkg().Name()+"."+obj.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, operand, how string) {
+	pass.Reportf(pos,
+		"%s is compared with %s, which is not constant-time; use crypto/subtle.ConstantTimeCompare or hmac.Equal (crypto.Equal)",
+		operand, how)
+}
+
+// secretOperand reports whether e names an authentication secret and, if
+// so, returns its display name. Conversions (string(tok)) are looked
+// through; len()/cap() calls are not secret (lengths are public).
+func secretOperand(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if isSecretName(x.Name) {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isSecretName(x.Sel.Name) {
+			return x.Sel.Name, true
+		}
+	case *ast.IndexExpr:
+		return secretOperand(pass, x.X)
+	case *ast.SliceExpr:
+		return secretOperand(pass, x.X)
+	case *ast.CallExpr:
+		if analysis.IsConversion(pass.TypesInfo, x) && len(x.Args) == 1 {
+			return secretOperand(pass, x.Args[0])
+		}
+		if obj := analysis.CalleeObj(pass.TypesInfo, x); obj != nil && obj.Pkg() != nil {
+			key := obj.Pkg().Path() + ":" + obj.Name()
+			if secretFuncs[key] {
+				return obj.Name() + "(...)", true
+			}
+		}
+	}
+	return "", false
+}
+
+func isSecretName(name string) bool {
+	return secretNames[strings.ToLower(name)]
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// bytesShaped reports string, []byte, or [N]byte — the shapes a
+// short-circuiting comparison can leak prefix-match length for.
+func bytesShaped(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Slice:
+		b, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case *types.Array:
+		b, ok := t.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package cmpconst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cmpconst"
+)
+
+func TestCmpConst(t *testing.T) {
+	analysistest.Run(t, cmpconst.Analyzer, "repro/example/cmpfix", "../testdata/src/cmpconst")
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// This file loads type-checked packages without golang.org/x/tools:
+// `go list -export -json -deps` names every package's source files and its
+// compiled export data in the build cache, and go/importer's lookup hook
+// feeds that export data to the gc importer. Only the packages under
+// analysis are parsed from source; their dependencies (stdlib included)
+// come from fast binary export data, exactly like the real go vet driver.
+
+// Package is one source package parsed and type-checked for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Loader loads packages of the module rooted at Dir ("" means the
+// process working directory).
+type Loader struct {
+	Dir string
+
+	fset     *token.FileSet
+	exportOf map[string]string // import path -> export data file
+	imp      types.Importer
+}
+
+// NewLoader returns a loader with a fresh FileSet shared by every package
+// it loads (so positions from different packages compare cleanly).
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, fset: token.NewFileSet()}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list -export -json -deps patterns...` and decodes the
+// stream of package objects.
+func (l *Loader) goList(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// prime records the export-data location of every package matching
+// patterns (plus dependencies) and readies the shared importer.
+func (l *Loader) prime(patterns []string) ([]*listedPkg, error) {
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if l.exportOf == nil {
+		l.exportOf = make(map[string]string)
+	}
+	for _, p := range listed {
+		if p.Export != "" {
+			l.exportOf[p.ImportPath] = p.Export
+		}
+	}
+	if l.imp == nil {
+		l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := l.exportOf[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	}
+	return listed, nil
+}
+
+// Load lists the packages matching patterns, type-checks every non-stdlib
+// one from source (imports resolved through build-cache export data) and
+// returns them in listing order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.prime(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// -deps lists dependencies too; analyze only the module's own
+	// packages (the ones the patterns matched, not stdlib).
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one listed package.
+func (l *Loader) check(p *listedPkg) (*Package, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(p.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Importer exposes the loader's export-data importer so the analysistest
+// harness can type-check fixture packages against the real module's
+// packages (e.g. a fixture importing repro/internal/crypto).
+func (l *Loader) Importer() (types.Importer, error) {
+	if l.imp == nil {
+		// Prime the export map with the module and its full dependency
+		// closure so fixture imports resolve.
+		if _, err := l.prime([]string{"./..."}); err != nil {
+			return nil, err
+		}
+	}
+	return l.imp, nil
+}

@@ -1,0 +1,14 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockdiscipline"
+)
+
+// The fixture is checked under repro/internal/storage/fixture so the
+// storage-scoped unlocked-mutation rule applies to it.
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lockdiscipline.Analyzer, "repro/internal/storage/fixture", "../testdata/src/lockdiscipline")
+}

@@ -1,0 +1,69 @@
+// Package nakedclock forbids naked wall-clock calls (time.Now,
+// time.Sleep, time.After, time.Tick, time.NewTimer, time.NewTicker,
+// time.AfterFunc) inside internal/wire, outside the clock implementation
+// file (clock.go).
+//
+// The wire package's reconnect backoff is timing-sensitive logic that
+// must be testable without sleeping wall-clock time: every delay goes
+// through the injectable wire.Clock so tests substitute a fake. A naked
+// time.After buried in a retry loop silently reintroduces real sleeps
+// into the test suite and makes backoff behavior unobservable.
+package nakedclock
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nakedclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nakedclock",
+	Doc:  "internal/wire must route time through the injectable Clock; naked time.Now/Sleep/After calls are allowed only in clock.go",
+	Run:  run,
+}
+
+// scopePkg is the package the rule applies to.
+const scopePkg = "repro/internal/wire"
+
+// allowedFiles may touch the real clock: they implement it.
+var allowedFiles = map[string]bool{"clock.go": true}
+
+// forbidden are the time package functions that read or wait on the real
+// clock. Pure arithmetic (time.Duration, time.Since is Now-based so it IS
+// forbidden) stays allowed.
+var forbidden = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true, "Since": true, "Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != scopePkg && !strings.HasPrefix(pass.Pkg.Path(), scopePkg+"/") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if allowedFiles[name] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := analysis.CalleeObj(pass.TypesInfo, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[obj.Name()] {
+				pass.Reportf(call.Pos(),
+					"naked time.%s in internal/wire; route it through the injectable Clock (see clock.go) so backoff tests do not sleep wall-time",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

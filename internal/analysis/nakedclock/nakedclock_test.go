@@ -1,0 +1,15 @@
+package nakedclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nakedclock"
+)
+
+// The fixture is checked under repro/internal/wire/clockfix so the
+// wire-scoped naked-clock rule applies; its clock.go file exercises the
+// allowlist.
+func TestNakedClock(t *testing.T) {
+	analysistest.Run(t, nakedclock.Analyzer, "repro/internal/wire/clockfix", "../testdata/src/nakedclock")
+}

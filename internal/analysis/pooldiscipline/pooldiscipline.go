@@ -1,0 +1,432 @@
+// Package pooldiscipline machine-checks the sync.Pool frame-buffer
+// convention from docs/ARCHITECTURE.md: every buffer taken from a pool
+// (sync.Pool.Get or the wire package's getFrameBuf wrapper) must be
+// returned (Put / putFrameBuf) on every exit path — including early error
+// returns — unless ownership is explicitly transferred (the pointer is
+// returned, stored, sent, or handed to another function), and a buffer
+// must never be used after it has been returned to the pool (the next
+// Get may already be mutating it on another goroutine).
+//
+// The checker walks each function that acquires a pool value and
+// simulates the paths through its body: branch bodies are checked with a
+// copy of the acquisition state, so a `if err != nil { return err }`
+// before the Put is reported at that return. A deferred Put (or a
+// deferred closure containing one) satisfies every path.
+package pooldiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the pooldiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "every sync.Pool Get must be Put on all exit paths, with no use after Put",
+	Run:  run,
+}
+
+// getWrappers names in-repo functions that wrap sync.Pool.Get.
+var getWrappers = map[string]bool{"getFrameBuf": true}
+
+// putWrappers names in-repo functions that wrap sync.Pool.Put.
+var putWrappers = map[string]bool{"putFrameBuf": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					check(pass, fn.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				check(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pooled is the tracked state of one acquired buffer variable.
+type pooled struct {
+	obj       types.Object
+	name      string
+	getPos    ast.Node
+	putNow    bool // Put executed on the current path
+	deferred  bool // a deferred Put covers every path
+	escaped   bool // ownership transferred; no Put required
+	misuseRep bool // use-after-put already reported (once per var)
+	missRep   bool // at most one missing-Put report per acquisition
+}
+
+type checker struct {
+	pass *analysis.Pass
+	vars []*pooled
+	// reported dedupes missing-Put findings across forked branch states:
+	// one finding per Get site, however many paths leak it.
+	reported map[ast.Node]bool
+}
+
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &checker{pass: pass, reported: make(map[ast.Node]bool)}
+	c.block(body)
+	// Implicit return at the end of the function body.
+	c.atReturn()
+}
+
+func (c *checker) lookup(obj types.Object) *pooled {
+	for _, v := range c.vars {
+		if v.obj == obj {
+			return v
+		}
+	}
+	return nil
+}
+
+// isPoolGet reports whether call acquires from a pool.
+func (c *checker) isPoolGet(call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+		if tv, ok := c.pass.TypesInfo.Types[sel.X]; ok && analysis.IsNamed(tv.Type, "sync", "Pool") {
+			return true
+		}
+	}
+	if obj := analysis.CalleeObj(c.pass.TypesInfo, call); obj != nil && getWrappers[obj.Name()] {
+		return true
+	}
+	return false
+}
+
+// poolPutArg returns the argument expression if call is a Put.
+func (c *checker) poolPutArg(call *ast.CallExpr) ast.Expr {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+		if tv, ok := c.pass.TypesInfo.Types[sel.X]; ok && analysis.IsNamed(tv.Type, "sync", "Pool") && len(call.Args) == 1 {
+			return call.Args[0]
+		}
+	}
+	if obj := analysis.CalleeObj(c.pass.TypesInfo, call); obj != nil && putWrappers[obj.Name()] && len(call.Args) >= 1 {
+		return call.Args[0]
+	}
+	return nil
+}
+
+func (c *checker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(st)
+	case *ast.ExprStmt:
+		c.expr(st.X)
+	case *ast.DeferStmt:
+		c.deferStmt(st)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c.noteEscapes(r) // returning the buffer transfers ownership
+			c.noteUses(r)
+		}
+		c.atReturn()
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		c.noteUses(st.Cond)
+		thenC := c.fork()
+		thenC.block(st.Body)
+		var elseTerm bool
+		if st.Else != nil {
+			elseC := c.fork()
+			elseC.stmt(st.Else)
+			elseTerm = terminates(st.Else)
+			if !elseTerm {
+				c.join(elseC)
+			}
+		}
+		if !terminates(st.Body) {
+			c.join(thenC)
+		}
+	case *ast.BlockStmt:
+		c.block(st)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.noteUses(st.Cond)
+		}
+		loopC := c.fork()
+		loopC.block(st.Body)
+		c.join(loopC)
+	case *ast.RangeStmt:
+		c.noteUses(st.X)
+		loopC := c.fork()
+		loopC.block(st.Body)
+		c.join(loopC)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch cl := n.(type) {
+			case *ast.CaseClause:
+				cc := c.fork()
+				for _, cs := range cl.Body {
+					cc.stmt(cs)
+				}
+				return false
+			case *ast.CommClause:
+				cc := c.fork()
+				for _, cs := range cl.Body {
+					cc.stmt(cs)
+				}
+				return false
+			}
+			return true
+		})
+	case *ast.GoStmt:
+		// The goroutine takes its own responsibility; treat args/closure
+		// captures as escapes.
+		c.noteEscapes(st.Call)
+	case *ast.SendStmt:
+		c.noteEscapes(st.Value)
+	case *ast.IncDecStmt:
+		c.noteUses(st.X)
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.noteUses(e)
+			}
+			return true
+		})
+	case *ast.LabeledStmt:
+		c.stmt(st.Stmt)
+	}
+}
+
+// assign handles acquisition (v := pool.Get()), release-order uses, and
+// aliasing.
+func (c *checker) assign(as *ast.AssignStmt) {
+	for _, r := range as.Rhs {
+		c.noteUses(r)
+	}
+	// LHS like *bp = buf is a use of bp.
+	for _, l := range as.Lhs {
+		if _, ok := l.(*ast.Ident); !ok {
+			c.noteUses(l)
+		}
+	}
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && c.isPoolGet(call) {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if obj := analysis.ObjOf(c.pass.TypesInfo, id); obj != nil {
+					if prev := c.lookup(obj); prev != nil {
+						// Re-acquired into the same variable: reset.
+						prev.putNow, prev.escaped = false, false
+						prev.getPos = call
+					} else {
+						c.vars = append(c.vars, &pooled{obj: obj, name: id.Name, getPos: call})
+					}
+					return
+				}
+			}
+		}
+	}
+	// Aliasing a tracked pointer (x := bp) moves responsibility in ways
+	// this linear checker cannot follow; treat as escape.
+	for _, r := range as.Rhs {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+			if v := c.trackedIdent(id); v != nil {
+				v.escaped = true
+			}
+		}
+	}
+}
+
+func (c *checker) deferStmt(st *ast.DeferStmt) {
+	if arg := c.poolPutArg(st.Call); arg != nil {
+		if v := c.trackedExpr(arg); v != nil {
+			v.deferred = true
+		}
+		return
+	}
+	// defer func() { ...; pool.Put(bp); ... }()
+	if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if arg := c.poolPutArg(call); arg != nil {
+					if v := c.trackedExpr(arg); v != nil {
+						v.deferred = true
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	c.noteEscapes(st.Call)
+}
+
+// expr processes one expression statement: Put calls release, other calls
+// may use or escape tracked vars.
+func (c *checker) expr(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		c.noteUses(e)
+		return
+	}
+	if arg := c.poolPutArg(call); arg != nil {
+		if v := c.trackedExpr(arg); v != nil {
+			if v.putNow && !v.misuseRep {
+				v.misuseRep = true
+				c.pass.Reportf(call.Pos(), "%s is returned to the pool twice on this path", v.name)
+			}
+			v.putNow = true
+		}
+		return
+	}
+	if c.isPoolGet(call) {
+		// Get with discarded result: immediately leaked.
+		c.pass.Reportf(call.Pos(), "pool Get result is discarded; the buffer can never be returned")
+		return
+	}
+	c.noteUses(e)
+	// Passing the tracked pointer itself to another function transfers
+	// ownership (e.g. handing the buffer to a writer goroutine's queue).
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			if v := c.trackedIdent(id); v != nil {
+				v.escaped = true
+			}
+		}
+	}
+}
+
+// noteUses reports use-after-put anywhere inside e.
+func (c *checker) noteUses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := c.trackedIdent(id)
+		if v == nil {
+			return true
+		}
+		if v.putNow && !v.misuseRep {
+			v.misuseRep = true
+			c.pass.Reportf(id.Pos(),
+				"%s is used after being returned to the pool; another goroutine's Get may already own it", v.name)
+		}
+		return true
+	})
+}
+
+// noteEscapes marks tracked vars inside e as ownership-transferred.
+func (c *checker) noteEscapes(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := c.trackedIdent(id); v != nil {
+				v.escaped = true
+			}
+		}
+		return true
+	})
+}
+
+// terminates reports whether a statement certainly transfers control out
+// of the enclosing path (so its branch state never falls through).
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	case *ast.BlockStmt:
+		return len(st.List) > 0 && terminates(st.List[len(st.List)-1])
+	case *ast.IfStmt:
+		return st.Else != nil && terminates(st.Body) && terminates(st.Else)
+	}
+	return false
+}
+
+func (c *checker) trackedIdent(id *ast.Ident) *pooled {
+	obj := analysis.ObjOf(c.pass.TypesInfo, id)
+	if obj == nil {
+		return nil
+	}
+	return c.lookup(obj)
+}
+
+func (c *checker) trackedExpr(e ast.Expr) *pooled {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return c.trackedIdent(id)
+	}
+	return nil
+}
+
+// atReturn reports every live acquisition at an exit point.
+func (c *checker) atReturn() {
+	for _, v := range c.vars {
+		if v.putNow || v.deferred || v.escaped || v.missRep || c.reported[v.getPos] {
+			continue
+		}
+		v.missRep = true
+		c.reported[v.getPos] = true
+		c.pass.Reportf(v.getPos.Pos(),
+			"%s acquired from the pool is not returned on every exit path; add Put before each return or defer it", v.name)
+	}
+}
+
+// fork clones the checker state for a branch; tracked vars are shared
+// pointers EXCEPT putNow, which is path-local.
+func (c *checker) fork() *checker {
+	nc := &checker{pass: c.pass, reported: c.reported}
+	for _, v := range c.vars {
+		cp := *v
+		nc.vars = append(nc.vars, &cp)
+	}
+	return nc
+}
+
+// join merges a fallthrough branch back: deferred/escaped/reported flags
+// stick; putNow survives only if the branch put it (conservative towards
+// the main path is fine because a put in only one fallthrough branch is
+// itself suspicious, but reporting there would double-count — the final
+// return still catches a genuinely missing put).
+func (c *checker) join(branch *checker) {
+	for i, v := range c.vars {
+		if i >= len(branch.vars) {
+			break
+		}
+		bv := branch.vars[i]
+		v.deferred = v.deferred || bv.deferred
+		v.escaped = v.escaped || bv.escaped
+		v.misuseRep = v.misuseRep || bv.misuseRep
+		v.missRep = v.missRep || bv.missRep
+		v.putNow = v.putNow || bv.putNow
+	}
+	// Acquisitions made inside the branch are live after it.
+	for i := len(c.vars); i < len(branch.vars); i++ {
+		c.vars = append(c.vars, branch.vars[i])
+	}
+}

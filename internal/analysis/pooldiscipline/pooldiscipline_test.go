@@ -1,0 +1,12 @@
+package pooldiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pooldiscipline"
+)
+
+func TestPoolDiscipline(t *testing.T) {
+	analysistest.Run(t, pooldiscipline.Analyzer, "repro/example/poolfix", "../testdata/src/pooldiscipline")
+}

@@ -1,0 +1,398 @@
+// Package sensleak enforces the repository's core partitioned-security
+// invariant at the source level: values derived from key material or from
+// decrypted sensitive data must never flow into error strings, log
+// output, or serialization encoders outside the approved packages.
+//
+// The paper's guarantee is that sensitive data leaves the owner only in
+// encrypted form. A fmt.Errorf("%v", secret) breaks that guarantee the
+// moment the error crosses a trust boundary (a wire response, a log file
+// shipped to the cloud provider), and the compiler cannot see it. This
+// analyzer can.
+//
+// Taint sources (tracked intra-procedurally, flow-insensitively to a
+// fixpoint over assignments, range statements and value-propagating
+// expressions):
+//
+//   - sub-key selectors on crypto.KeySet (ks.Enc, ks.Admin, ...)
+//   - results of crypto.DeriveKeys, crypto.PRF, crypto.PRF2,
+//     crypto.SplitSecret, crypto.Reconstruct, wire.OwnerToken,
+//     wire.hashToken and the crypto Decrypt/DecryptAppend methods
+//   - parameters named secret, master, masterKey, adminToken or
+//     ownerToken anywhere, plus alpha inside internal/crypto (the DPF
+//     secret point)
+//   - parameters of type relation.Value / []relation.Value inside
+//     internal/technique (sensitive-side query values — DPF-PIR's whole
+//     point is that nobody learns which value was searched)
+//
+// Sinks:
+//
+//   - fmt/log print and format functions, errors.New, and panic
+//   - gob/json encoders outside internal/crypto and internal/wire (the
+//     allowlisted packages whose encrypt/HMAC/frame call sites are the
+//     approved way for derived bytes to reach a wire)
+//
+// Length and capacity break taint (len(secret) is publishable), as does
+// any call not in the source list (hashing, encryption).
+package sensleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the sensleak pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sensleak",
+	Doc:  "key material and decrypted sensitive values must not reach error strings, logs, or encoders outside internal/crypto and internal/wire",
+	Run:  run,
+}
+
+const (
+	cryptoPkg    = "repro/internal/crypto"
+	wirePkg      = "repro/internal/wire"
+	relationPkg  = "repro/internal/relation"
+	techniquePkg = "repro/internal/technique"
+)
+
+// taintedParamNames taints function parameters by name, tree-wide.
+var taintedParamNames = map[string]bool{
+	"secret":     true,
+	"master":     true,
+	"masterKey":  true,
+	"adminToken": true,
+	"ownerToken": true,
+}
+
+// sourceFuncs lists functions/methods whose results are tainted, as
+// pkgPath:name.
+var sourceFuncs = map[string]bool{
+	cryptoPkg + ":DeriveKeys":    true,
+	cryptoPkg + ":PRF":           true,
+	cryptoPkg + ":PRF2":          true,
+	cryptoPkg + ":SplitSecret":   true,
+	cryptoPkg + ":Reconstruct":   true,
+	cryptoPkg + ":Decrypt":       true,
+	cryptoPkg + ":DecryptAppend": true,
+	wirePkg + ":OwnerToken":      true,
+	wirePkg + ":hashToken":       true,
+}
+
+// keySetSubkeys are the fields of crypto.KeySet that are key material.
+var keySetSubkeys = map[string]bool{
+	"Enc": true, "Det": true, "Nonce": true, "PRF": true, "Arx": true, "Admin": true,
+}
+
+// printSinks maps pkgPath:name of functions whose arguments must stay
+// untainted. Logger methods are matched separately.
+var printSinks = map[string]bool{
+	"fmt:Errorf": true, "fmt:Sprintf": true, "fmt:Sprint": true, "fmt:Sprintln": true,
+	"fmt:Fprintf": true, "fmt:Fprint": true, "fmt:Fprintln": true,
+	"fmt:Printf": true, "fmt:Print": true, "fmt:Println": true,
+	"fmt:Appendf": true,
+	"errors:New":  true,
+	"log:Print":   true, "log:Printf": true, "log:Println": true,
+	"log:Fatal": true, "log:Fatalf": true, "log:Fatalln": true,
+	"log:Panic": true, "log:Panicf": true, "log:Panicln": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Type, fn.Body)
+				}
+				return false // FuncLits inside are walked by checkFunc
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc runs the per-function taint analysis. Function literals nested
+// inside share the enclosing function's taint state (they close over its
+// variables), so they are analyzed in the same pass.
+func checkFunc(pass *analysis.Pass, ftyp *ast.FuncType, body *ast.BlockStmt) {
+	t := &tainter{pass: pass, tainted: make(map[types.Object]bool)}
+	t.seedParams(ftyp)
+	// Seed nested literals' parameters too.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			t.seedParams(lit.Type)
+		}
+		return true
+	})
+	t.propagate(body)
+	t.checkSinks(body)
+}
+
+type tainter struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+}
+
+func (t *tainter) seedParams(ftyp *ast.FuncType) {
+	if ftyp.Params == nil {
+		return
+	}
+	pkgPath := t.pass.Pkg.Path()
+	for _, field := range ftyp.Params.List {
+		for _, name := range field.Names {
+			obj := analysis.ObjOf(t.pass.TypesInfo, name)
+			if obj == nil {
+				continue
+			}
+			if taintedParamNames[name.Name] {
+				t.tainted[obj] = true
+			}
+			// The DPF secret point, inside the crypto package only.
+			if pkgPath == cryptoPkg && name.Name == "alpha" {
+				t.tainted[obj] = true
+			}
+			// Sensitive-side query values inside the technique package.
+			if pkgPath == techniquePkg && isValueOrValues(obj.Type()) {
+				t.tainted[obj] = true
+			}
+		}
+	}
+}
+
+// isValueOrValues reports relation.Value or a slice of it.
+func isValueOrValues(typ types.Type) bool {
+	if sl, ok := typ.Underlying().(*types.Slice); ok {
+		typ = sl.Elem()
+		if inner, ok := typ.Underlying().(*types.Slice); ok {
+			typ = inner.Elem() // [][]Value (batch shape)
+		}
+	}
+	return analysis.IsNamed(typ, relationPkg, "Value")
+}
+
+// propagate iterates assignment/range propagation to a fixpoint.
+func (t *tainter) propagate(body *ast.BlockStmt) {
+	for i := 0; i < 8; i++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				changed = t.propagateAssign(st) || changed
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					var rhs ast.Expr
+					if len(st.Values) == len(st.Names) {
+						rhs = st.Values[i]
+					} else if len(st.Values) == 1 {
+						rhs = st.Values[0]
+					}
+					if rhs != nil && t.exprTainted(rhs) {
+						changed = t.taintIdent(name) || changed
+					}
+				}
+			case *ast.RangeStmt:
+				if t.exprTainted(st.X) {
+					if id, ok := st.Key.(*ast.Ident); ok {
+						_ = id // index/key of a tainted slice is positional, not secret
+					}
+					if id, ok := st.Value.(*ast.Ident); ok {
+						changed = t.taintIdent(id) || changed
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+func (t *tainter) propagateAssign(st *ast.AssignStmt) bool {
+	changed := false
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			if t.exprTainted(st.Rhs[i]) {
+				changed = t.taintExprTarget(lhs) || changed
+			}
+		}
+		return changed
+	}
+	// Tuple assignment from one call: taint all targets if the call is a
+	// source (or its arguments taint it — conversions etc.).
+	if len(st.Rhs) == 1 && t.exprTainted(st.Rhs[0]) {
+		for _, lhs := range st.Lhs {
+			changed = t.taintExprTarget(lhs) || changed
+		}
+	}
+	return changed
+}
+
+func (t *tainter) taintExprTarget(lhs ast.Expr) bool {
+	if root := analysis.RootIdent(lhs); root != nil && root.Name != "_" {
+		return t.taintIdent(root)
+	}
+	return false
+}
+
+func (t *tainter) taintIdent(id *ast.Ident) bool {
+	obj := analysis.ObjOf(t.pass.TypesInfo, id)
+	if obj == nil || t.tainted[obj] {
+		return false
+	}
+	// Errors returned alongside a sensitive value are not themselves
+	// sensitive: `pt, err := prob.Decrypt(ct)` taints pt, not err —
+	// wrapping err with %w is the normal, safe pattern.
+	if isErrorType(obj.Type()) {
+		return false
+	}
+	t.tainted[obj] = true
+	return true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// exprTainted reports whether e's value derives from a taint source.
+func (t *tainter) exprTainted(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := analysis.ObjOf(t.pass.TypesInfo, x)
+		return obj != nil && t.tainted[obj]
+	case *ast.SelectorExpr:
+		if t.isKeySetSubkey(x) {
+			return true
+		}
+		return t.exprTainted(x.X)
+	case *ast.CallExpr:
+		return t.callTainted(x)
+	case *ast.ParenExpr:
+		return t.exprTainted(x.X)
+	case *ast.StarExpr:
+		return t.exprTainted(x.X)
+	case *ast.UnaryExpr:
+		return t.exprTainted(x.X)
+	case *ast.BinaryExpr:
+		return t.exprTainted(x.X) || t.exprTainted(x.Y)
+	case *ast.IndexExpr:
+		return t.exprTainted(x.X)
+	case *ast.SliceExpr:
+		return t.exprTainted(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if t.exprTainted(kv.Value) {
+					return true
+				}
+			} else if t.exprTainted(elt) {
+				return true
+			}
+		}
+	case *ast.TypeAssertExpr:
+		return t.exprTainted(x.X)
+	}
+	return false
+}
+
+func (t *tainter) isKeySetSubkey(sel *ast.SelectorExpr) bool {
+	if !keySetSubkeys[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := t.pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsNamed(tv.Type, cryptoPkg, "KeySet")
+}
+
+// callTainted: conversions and slice-building builtins propagate taint;
+// listed source functions introduce it; everything else (hashing,
+// encryption, len, cap) breaks it.
+func (t *tainter) callTainted(call *ast.CallExpr) bool {
+	info := t.pass.TypesInfo
+	if analysis.IsConversion(info, call) {
+		return len(call.Args) == 1 && t.exprTainted(call.Args[0])
+	}
+	if analysis.IsBuiltin(info, call, "append") || analysis.IsBuiltin(info, call, "min") || analysis.IsBuiltin(info, call, "max") {
+		for _, a := range call.Args {
+			if t.exprTainted(a) {
+				return true
+			}
+		}
+		return false
+	}
+	obj := analysis.CalleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return sourceFuncs[obj.Pkg().Path()+":"+obj.Name()]
+}
+
+// --- sinks ---------------------------------------------------------------
+
+func (t *tainter) checkSinks(body *ast.BlockStmt) {
+	info := t.pass.TypesInfo
+	pkgPath := t.pass.Pkg.Path()
+	encoderAllowed := pkgPath == cryptoPkg || pkgPath == wirePkg ||
+		strings.HasPrefix(pkgPath, cryptoPkg+"/") || strings.HasPrefix(pkgPath, wirePkg+"/")
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.IsBuiltin(info, call, "panic") {
+			t.reportTaintedArgs(call, "panic")
+			return true
+		}
+		obj := analysis.CalleeObj(info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		key := obj.Pkg().Path() + ":" + obj.Name()
+		switch {
+		case printSinks[key]:
+			t.reportTaintedArgs(call, obj.Pkg().Name()+"."+obj.Name())
+		case obj.Pkg().Path() == "log" && isLoggerMethod(obj):
+			t.reportTaintedArgs(call, "log.Logger."+obj.Name())
+		case !encoderAllowed && isEncoderSink(obj):
+			for _, a := range call.Args {
+				if t.exprTainted(a) {
+					t.pass.Reportf(a.Pos(),
+						"sensitive value reaches %s.%s outside internal/crypto and internal/wire; only the approved encrypt/HMAC call sites may serialize derived bytes",
+						obj.Pkg().Name(), obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isLoggerMethod(obj types.Object) bool {
+	switch obj.Name() {
+	case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln", "Output":
+		return true
+	}
+	return false
+}
+
+// isEncoderSink matches gob/json serialization entry points.
+func isEncoderSink(obj types.Object) bool {
+	switch obj.Pkg().Path() {
+	case "encoding/gob", "encoding/json":
+		return obj.Name() == "Encode" || obj.Name() == "Marshal" || obj.Name() == "MarshalIndent"
+	}
+	return false
+}
+
+func (t *tainter) reportTaintedArgs(call *ast.CallExpr, sink string) {
+	for _, a := range call.Args {
+		if t.exprTainted(a) {
+			t.pass.Reportf(a.Pos(),
+				"sensitive value flows into %s; key material and decrypted sensitive data must never appear in error strings or logs", sink)
+		}
+	}
+}

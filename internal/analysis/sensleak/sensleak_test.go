@@ -1,0 +1,12 @@
+package sensleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sensleak"
+)
+
+func TestSensleak(t *testing.T) {
+	analysistest.Run(t, sensleak.Analyzer, "repro/example/sensleak", "../testdata/src/sensleak")
+}

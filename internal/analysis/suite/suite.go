@@ -1,0 +1,32 @@
+// Package suite registers the qbvet analyzer set in one place, shared by
+// the cmd/qbvet multichecker and the cmd/qbaudit report generator. It
+// lives beside the analyzers (not in package analysis, which they all
+// import) to avoid an import cycle.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/cmpconst"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/nakedclock"
+	"repro/internal/analysis/pooldiscipline"
+	"repro/internal/analysis/sensleak"
+)
+
+// Analyzers is the full qbvet suite, in reporting order:
+//
+//	sensleak        key material / decrypted sensitive values never reach
+//	                error strings, logs, or encoders outside crypto+wire
+//	lockdiscipline  no mutex copies; no writes under RLock; storage
+//	                mutations dominated by the per-store write lock
+//	pooldiscipline  sync.Pool Get/Put balanced on all paths, no
+//	                use-after-Put
+//	cmpconst        token and owner-hash comparisons are constant-time
+//	nakedclock      internal/wire reads time only through wire.Clock
+var Analyzers = []*analysis.Analyzer{
+	sensleak.Analyzer,
+	lockdiscipline.Analyzer,
+	pooldiscipline.Analyzer,
+	cmpconst.Analyzer,
+	nakedclock.Analyzer,
+}

@@ -1,0 +1,14 @@
+// Negative fixtures: hmac.Equal is the approved comparison; nil checks,
+// length checks and non-secret comparisons stay clean.
+package cmpfix
+
+import "crypto/hmac"
+
+func checkTokenConstantTime(token, presented []byte) bool {
+	if token == nil || len(token) != len(presented) {
+		return false
+	}
+	return hmac.Equal(token, presented)
+}
+
+func versionGate(version int) bool { return version == 3 }

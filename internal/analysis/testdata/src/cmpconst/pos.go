@@ -1,0 +1,16 @@
+// Positive fixtures: variable-time comparisons of authentication
+// secrets.
+package cmpfix
+
+import "bytes"
+
+func checkToken(token, presented []byte) bool {
+	if bytes.Equal(token, presented) { // want "not constant-time"
+		return true
+	}
+	return string(token) == string(presented) // want "not constant-time"
+}
+
+func checkHash(ownerHash []byte, got string) bool {
+	return got == string(ownerHash) // want "not constant-time"
+}

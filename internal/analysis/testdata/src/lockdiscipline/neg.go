@@ -1,0 +1,28 @@
+// Negative fixtures: proper locking, the Locked-helper convention, and
+// locally constructed objects must all pass clean.
+package fixture
+
+import "sync"
+
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Gauge) Set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+	g.setLocked(v)
+}
+
+// setLocked applies v to the gauge. The caller holds g.mu.
+func (g *Gauge) setLocked(v int) {
+	g.v = v
+}
+
+func fresh() *Gauge {
+	g := &Gauge{}
+	g.v = 1 // locally constructed: nobody shares it yet
+	return g
+}

@@ -1,0 +1,29 @@
+// Positive fixtures: checked as repro/internal/storage/fixture, so the
+// unlocked-mutation rule is in scope.
+package fixture
+
+import "sync"
+
+type Counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (c *Counter) BumpUnlocked() {
+	c.n++ // want "not dominated by a write lock"
+}
+
+func (c *Counter) BumpUnderRLock() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want "holding only the read lock"
+}
+
+func CopyParam(c Counter) int { // want "parameter carries a lock by value"
+	return 0
+}
+
+func copyValue(c *Counter) {
+	snapshot := *c // want "assignment copies a lock-bearing value"
+	_ = snapshot
+}

@@ -1,0 +1,7 @@
+// Negative fixture: clock.go is the one file allowed to touch the real
+// clock — it implements the injectable Clock.
+package clockfix
+
+import "time"
+
+func now() time.Time { return time.Now() }

@@ -1,0 +1,7 @@
+// Negative fixture: pure duration arithmetic never reads the clock and
+// is allowed anywhere.
+package clockfix
+
+import "time"
+
+func double(d time.Duration) time.Duration { return d * 2 }

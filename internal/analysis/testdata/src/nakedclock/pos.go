@@ -1,0 +1,11 @@
+// Positive fixtures: checked as repro/internal/wire/clockfix, where
+// naked clock reads outside clock.go are forbidden.
+package clockfix
+
+import "time"
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want "naked time.Sleep"
+	_ = time.Now()               // want "naked time.Now"
+	<-time.After(time.Second)    // want "naked time.After"
+}

@@ -1,0 +1,24 @@
+// Negative fixtures: deferred Put, Put on every explicit path, and
+// ownership transfer by returning the buffer are all fine.
+package poolfix
+
+func balancedDefer() {
+	bp := getFrameBuf()
+	defer putFrameBuf(bp)
+	*bp = append((*bp)[:0], 1, 2, 3)
+}
+
+func putOnEveryPath(fail bool) error {
+	bp := getFrameBuf()
+	if fail {
+		putFrameBuf(bp)
+		return errFail
+	}
+	putFrameBuf(bp)
+	return nil
+}
+
+func ownershipTransferred() *[]byte {
+	bp := getFrameBuf()
+	return bp // the caller is now responsible for the Put
+}

@@ -1,0 +1,37 @@
+// Positive fixtures: leaked, reused and double-returned pool buffers.
+// getFrameBuf/putFrameBuf mirror the wire package's wrapper names, which
+// the analyzer recognizes alongside direct sync.Pool calls.
+package poolfix
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+var errFail = errors.New("boom")
+
+func getFrameBuf() *[]byte   { return pool.Get().(*[]byte) }
+func putFrameBuf(bp *[]byte) { pool.Put(bp) }
+
+func leakOnError(fail bool) error {
+	bp := getFrameBuf() // want "not returned on every exit path"
+	if fail {
+		return errFail
+	}
+	putFrameBuf(bp)
+	return nil
+}
+
+func useAfterPut() int {
+	bp := getFrameBuf()
+	putFrameBuf(bp)
+	return len(*bp) // want "used after being returned to the pool"
+}
+
+func doublePut() {
+	bp := getFrameBuf()
+	putFrameBuf(bp)
+	putFrameBuf(bp) // want "returned to the pool twice"
+}

@@ -1,0 +1,29 @@
+// Negative fixtures: nothing in this file may be reported. Lengths are
+// public, hashing breaks taint, and an error returned next to a
+// sensitive value is not itself sensitive.
+package sensleak
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/crypto"
+)
+
+func lengthIsPublic(master []byte) error {
+	ks := crypto.DeriveKeys(master)
+	return fmt.Errorf("unexpected key length %d", len(ks.Enc))
+}
+
+func hashBreaksTaint(secret []byte) string {
+	sum := sha256.Sum256(secret)
+	return fmt.Sprintf("%x", sum)
+}
+
+func wrapSiblingError(masterKey uint64) error {
+	_, err := crypto.SplitSecret(masterKey, 3, 2, nil)
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	return nil
+}

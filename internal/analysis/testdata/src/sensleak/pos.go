@@ -1,0 +1,22 @@
+// Positive fixtures: every line below must be reported by sensleak.
+package sensleak
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+)
+
+func leakSubkey(master []byte) error {
+	ks := crypto.DeriveKeys(master)
+	return fmt.Errorf("bad key %x", ks.Admin) // want "sensitive value flows into fmt.Errorf"
+}
+
+func leakDerived(master []byte) {
+	tok := crypto.PRF(crypto.DeriveKeys(master).Admin, []byte("store"))
+	fmt.Printf("token=%x\n", tok) // want "sensitive value flows into fmt.Printf"
+}
+
+func leakParam(secret []byte) {
+	panic(secret) // want "sensitive value flows into panic"
+}

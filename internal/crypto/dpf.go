@@ -66,7 +66,7 @@ func DPFGen(alpha uint64, bits int, rnd io.Reader) (k0, k1 DPFKey, err error) {
 		return k0, k1, fmt.Errorf("crypto: dpf domain bits %d out of range", bits)
 	}
 	if alpha >= 1<<uint(bits) {
-		return k0, k1, fmt.Errorf("crypto: dpf point %d outside domain 2^%d", alpha, bits)
+		return k0, k1, fmt.Errorf("crypto: dpf point outside domain 2^%d", bits)
 	}
 	if rnd == nil {
 		rnd = rand.Reader

@@ -104,7 +104,7 @@ func randField(r io.Reader) (uint64, error) {
 // from rnd (crypto/rand if nil). Shares are evaluated at x = 1..n.
 func SplitSecret(secret uint64, n, k int, rnd io.Reader) ([]Share, error) {
 	if secret >= ShamirPrime {
-		return nil, fmt.Errorf("crypto: secret %d outside field", secret)
+		return nil, fmt.Errorf("crypto: secret outside field (max 2^61-1)")
 	}
 	if k < 1 || n < k {
 		return nil, fmt.Errorf("crypto: invalid sharing parameters n=%d k=%d", n, k)

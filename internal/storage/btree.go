@@ -67,6 +67,7 @@ func (t *BTree) Insert(v relation.Value, pos int) {
 	t.insertNonFull(t.root, v, pos)
 }
 
+// splitChild splits parent's i-th (full) child. The caller holds t.mu.
 func (t *BTree) splitChild(parent *btreeNode, i int) {
 	deg := t.degree
 	child := parent.children[i]
@@ -99,6 +100,8 @@ func (t *BTree) splitChild(parent *btreeNode, i int) {
 	parent.children[i+1] = sib
 }
 
+// insertNonFull descends from n (known non-full) to a leaf and inserts
+// v's posting there. The caller holds t.mu.
 func (t *BTree) insertNonFull(n *btreeNode, v relation.Value, pos int) {
 	for {
 		i, found := n.findKey(v)

@@ -209,7 +209,7 @@ func (d *DPFPIR) Search(values []relation.Value) ([][]byte, *Stats, error) {
 			}
 			pt, err := d.prob.Decrypt(a0[off+4 : off+4+int(n)])
 			if err != nil {
-				return nil, nil, fmt.Errorf("technique: dpfpir open value %v slot %d: %w", v, s, err)
+				return nil, nil, fmt.Errorf("technique: dpfpir open slot %d: %w", s, err)
 			}
 			st.EncOps++
 			payloads = append(payloads, pt)
@@ -332,7 +332,7 @@ func (d *DPFPIR) SearchBatch(queries [][]relation.Value) ([][][]byte, *Stats, er
 				}
 				pt, err := d.prob.Decrypt(r.a0[off+4 : off+4+int(n)])
 				if err != nil {
-					return nil, nil, fmt.Errorf("technique: dpfpir open value %v slot %d: %w", r.value, s, err)
+					return nil, nil, fmt.Errorf("technique: dpfpir open slot %d: %w", s, err)
 				}
 				per.EncOps++
 				out[r.qi] = append(out[r.qi], pt)

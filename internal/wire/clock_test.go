@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable Clock for backoff tests: it records every
+// After duration and either fires the returned channel immediately
+// (autoFire) or leaves it pending so a test can observe the cycle parked
+// in backoff. Safe for concurrent use — the reconnect cycle sleeps on a
+// different goroutine than the test.
+type fakeClock struct {
+	mu       sync.Mutex
+	now      time.Time
+	delays   []time.Duration
+	autoFire bool
+	asleep   chan time.Duration // one send per After call
+}
+
+func newFakeClock(autoFire bool) *fakeClock {
+	return &fakeClock{
+		now:      time.Unix(0, 0),
+		autoFire: autoFire,
+		asleep:   make(chan time.Duration, 1024),
+	}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	f.delays = append(f.delays, d)
+	f.now = f.now.Add(d)
+	ch := make(chan time.Time, 1)
+	if f.autoFire {
+		ch <- f.now
+	}
+	f.mu.Unlock()
+	select {
+	case f.asleep <- d:
+	default:
+	}
+	return ch
+}
+
+func (f *fakeClock) Delays() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.delays...)
+}
+
+// TestReconnectBackoffSchedule pins the backoff shape — BaseDelay doubling
+// to the MaxDelay cap, one sleep before every attempt after the first —
+// without sleeping any wall time at all.
+func TestReconnectBackoffSchedule(t *testing.T) {
+	fc := newFakeClock(true)
+	rc := NewReconnector(
+		func() (*Client, error) { return nil, errors.New("dial refused") },
+		ReconnectOptions{
+			MaxRetries: 6,
+			BaseDelay:  10 * time.Millisecond,
+			MaxDelay:   40 * time.Millisecond,
+			Clock:      fc,
+		})
+	defer rc.Close()
+
+	if err := rc.Ping(); err == nil || !strings.Contains(err.Error(), "gave up after 6 attempts") {
+		t.Fatalf("Ping against refusing dial: %v", err)
+	}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond,
+	}
+	got := fc.Delays()
+	if len(got) != len(want) {
+		t.Fatalf("backoff slept %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("backoff sleep %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestReconnectBackoffCloseAborts parks the reconnect cycle on a fake
+// After channel that never fires and proves Close unblocks it — the
+// deterministic replacement for sleeping real wall time to "probably" be
+// inside the backoff select.
+func TestReconnectBackoffCloseAborts(t *testing.T) {
+	fc := newFakeClock(false)
+	rc := NewReconnector(
+		func() (*Client, error) { return nil, errors.New("dial refused") },
+		ReconnectOptions{MaxRetries: 1000, BaseDelay: time.Hour, MaxDelay: time.Hour, Clock: fc})
+	done := make(chan error, 1)
+	go func() { done <- rc.Ping() }()
+
+	select {
+	case <-fc.asleep: // the cycle is provably parked in its backoff select
+	case <-time.After(5 * time.Second):
+		t.Fatal("reconnect cycle never reached its backoff sleep")
+	}
+	rc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errReconnClosed) {
+			t.Fatalf("Ping after Close = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the reconnect cycle")
+	}
+}

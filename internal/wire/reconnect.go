@@ -50,6 +50,9 @@ type ReconnectOptions struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff; <= 0 selects 1s.
 	MaxDelay time.Duration
+	// Clock supplies time to the backoff loop; nil selects the real
+	// clock. Tests inject a fake so backoff coverage does not sleep.
+	Clock Clock
 }
 
 func (o ReconnectOptions) maxRetries() int {
@@ -71,6 +74,13 @@ func (o ReconnectOptions) maxDelay() time.Duration {
 		return o.MaxDelay
 	}
 	return time.Second
+}
+
+func (o ReconnectOptions) clock() Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return realClock{}
 }
 
 // Reconnector is a Transport over a dial function instead of a single
@@ -322,7 +332,7 @@ func (rc *Reconnector) reconnect(old *Client) (*Client, error) {
 	for attempt := 0; attempt < rc.opts.maxRetries(); attempt++ {
 		if attempt > 0 {
 			select {
-			case <-time.After(delay):
+			case <-rc.opts.clock().After(delay):
 			case <-rc.closedCh:
 				return nil, errReconnClosed
 			}
