@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet race bench bench-remote fuzz-smoke docs smoke-remote smoke-chaos lint audit ci
+.PHONY: build test vet race bench bench-remote bench-load fuzz-smoke docs smoke-remote smoke-chaos smoke-load lint audit ci
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,17 @@ bench-remote:
 	$(GO) test -bench=BenchmarkRemoteQueryBatch -benchmem -run='^$$' . \
 		| tee /dev/stderr | bin/benchjson -o BENCH_remote.json
 
+# Open-loop load baseline: qbload drives a real qbcloud binary with a
+# Zipf-skewed 90/10 read/write mix across 4 tenants × 4 clients and
+# writes the tracked perf trajectory file BENCH_load.json (committed;
+# regenerate it in any PR that intends a perf change — see
+# docs/BENCHMARKS.md).
+bench-load:
+	$(GO) build -o bin/qbcloud ./cmd/qbcloud
+	$(GO) build -o bin/qbload ./cmd/qbload
+	bin/qbload -qbcloud bin/qbcloud -tenants 4 -clients 4 -rate 300 -duration 10s \
+		-read-frac 0.9 -check -o BENCH_load.json
+
 # Fuzz smoke: run each binary-codec fuzz target's mutation engine briefly
 # (the seed corpora already run as plain tests on every `make test`). The
 # targets cover the framed-protocol attack surface: request/response body
@@ -68,6 +79,22 @@ smoke-chaos:
 	$(GO) build -o bin/qbadmin ./cmd/qbadmin
 	$(GO) run ./cmd/qbsmoke -phase chaos -qbcloud bin/qbcloud -qbadmin bin/qbadmin
 
+# Load smoke: a seconds-long open-loop run of qbload against a real
+# qbcloud binary with a mid-run SIGKILL + snapshot restart, reference
+# checks on every read and the -assert gate (nonzero QPS, zero errors,
+# sane percentiles). Read-only traffic because the snapshot restore is
+# lossy for post-snapshot writes by design. The report goes to an
+# untracked path so CI never churns the committed BENCH_load.json
+# baseline. Set QBLOAD_BUILDFLAGS=-race to run the whole harness (both
+# sides of the wire) under the race detector.
+QBLOAD_BUILDFLAGS ?=
+smoke-load:
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbcloud ./cmd/qbcloud
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbload ./cmd/qbload
+	bin/qbload -qbcloud bin/qbcloud -tenants 2 -clients 3 -rate 300 -duration 4s \
+		-read-frac 1 -kill-at 1500ms -restart-after 400ms -check -assert \
+		-o bin/BENCH_load.json
+
 # Static analysis. qbvet (the repo's own go/analysis-style suite: sensleak,
 # lockdiscipline, pooldiscipline, cmpconst, nakedclock) is stdlib-only and
 # always runs. staticcheck and govulncheck run when installed — CI installs
@@ -94,4 +121,4 @@ audit:
 	$(GO) build -o bin/qbaudit ./cmd/qbaudit
 	bin/qbaudit -floor $(COVER_FLOOR)
 
-ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos
+ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos smoke-load

@@ -1,8 +1,9 @@
-// Command benchjson converts `go test -bench` output into a stable,
-// machine-readable JSON document. It reads the benchmark text from stdin
-// (tee the benchmark run through it to keep the human-readable output),
-// extracts every result line — including custom metrics such as the
-// suites' queries/sec — and writes one JSON object per benchmark:
+// Command benchjson converts `go test -bench` output into the stable,
+// machine-readable JSON document defined by internal/benchfmt. It reads
+// the benchmark text from stdin (tee the benchmark run through it to keep
+// the human-readable output), extracts every result line — including
+// custom metrics such as the suites' queries/sec — and writes one JSON
+// object per benchmark:
 //
 //	go test -bench BenchmarkRemoteQueryBatch -benchmem -run '^$' . \
 //	  | tee /dev/stderr | benchjson -o BENCH_remote.json
@@ -23,99 +24,26 @@
 // Metric keys are normalised (`queries/sec` -> `queries_per_sec`,
 // `B/op` -> `bytes_per_op`, `allocs/op` -> `allocs_per_op`, any other
 // `x/y` unit -> `x_per_y`) so dashboards can index them without parsing.
+// cmd/qbload emits its open-loop load reports (BENCH_load.json) in the
+// same schema; see docs/BENCHMARKS.md for the trajectory convention.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
 )
-
-// Result is one benchmark line.
-type Result struct {
-	Name       string `json:"name"`
-	Iterations int64  `json:"iterations"`
-	// Metrics holds every reported metric keyed by its normalised unit
-	// (ns_per_op, queries_per_sec, bytes_per_op, allocs_per_op, ...).
-	Metrics map[string]float64 `json:"-"`
-}
-
-// MarshalJSON flattens Metrics into the object so consumers read
-// `bench.ns_per_op` instead of `bench.metrics["ns_per_op"]`.
-func (r Result) MarshalJSON() ([]byte, error) {
-	flat := make(map[string]any, len(r.Metrics)+2)
-	flat["name"] = r.Name
-	flat["iterations"] = r.Iterations
-	for k, v := range r.Metrics {
-		flat[k] = v
-	}
-	return json.Marshal(flat)
-}
-
-// Report is the whole document.
-type Report struct {
-	GeneratedUnix int64    `json:"generated_unix"`
-	GoOS          string   `json:"go_os"`
-	GoArch        string   `json:"go_arch"`
-	GoMaxProcs    int      `json:"gomaxprocs"`
-	Benchmarks    []Result `json:"benchmarks"`
-}
-
-// normaliseUnit maps a benchmark unit to a JSON-friendly key.
-func normaliseUnit(unit string) string {
-	switch unit {
-	case "ns/op":
-		return "ns_per_op"
-	case "B/op":
-		return "bytes_per_op"
-	case "allocs/op":
-		return "allocs_per_op"
-	}
-	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
-}
-
-// parseLine parses one `BenchmarkX-N  iters  value unit [value unit]...`
-// line; ok is false for non-benchmark lines.
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
-	// Strip the -GOMAXPROCS suffix go test appends to the name.
-	if i := strings.LastIndex(r.Name, "-"); i > 0 {
-		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
-			r.Name = r.Name[:i]
-		}
-	}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Result{}, false
-		}
-		r.Metrics[normaliseUnit(fields[i+1])] = v
-	}
-	if len(r.Metrics) == 0 {
-		return Result{}, false
-	}
-	return r, true
-}
 
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout)")
 	flag.Parse()
 
-	rep := Report{
+	rep := benchfmt.Report{
 		GeneratedUnix: time.Now().Unix(),
 		GoOS:          runtime.GOOS,
 		GoArch:        runtime.GOARCH,
@@ -124,7 +52,7 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
+		if r, ok := benchfmt.ParseLine(sc.Text()); ok {
 			rep.Benchmarks = append(rep.Benchmarks, r)
 		}
 	}
@@ -137,12 +65,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	enc, err := rep.Encode()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
 		os.Exit(1)
 	}
-	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
 		return

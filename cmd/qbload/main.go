@@ -1,0 +1,306 @@
+// Command qbload is the open-loop load harness: K simulated tenants ×
+// M repro.Clients drive a qbcloud with a Zipf-skewed read/write mix on a
+// paced arrival schedule, and the run reports p50/p95/p99/max latency
+// plus achieved-vs-target QPS per tenant and in aggregate. Latency is
+// measured from each op's *scheduled* arrival time, so queueing delay
+// behind a saturated server (or a chaos outage) lands in the
+// distribution instead of being coordinated-omitted away — see
+// docs/BENCHMARKS.md for the methodology.
+//
+// Three targets, picked by flags:
+//
+//	(neither)         an in-process cloud per tenant — no sockets, the
+//	                  protocol-free upper bound.
+//	-addr HOST:PORT   an already-running qbcloud.
+//	-qbcloud PATH     boot that binary on a loopback port (with -state
+//	                  and -snapshot-every), drive it over TCP, and shut
+//	                  it down after the run. Required for chaos.
+//
+// Chaos: -kill-at D SIGKILLs the booted qbcloud D into the measured
+// window — after waiting for a background snapshot that covers the
+// outsourced data — and -restart-after D' reboots it from the state
+// file on the same address D' later. Reconnecting clients ride through;
+// the outage shows up as a latency spike, not as errors. A lossy
+// snapshot restore cannot reconcile sensitive writes acknowledged after
+// the last snapshot (by design), so chaos runs require -read-frac 1.
+//
+// -check cross-checks every read against the sequential reference
+// bounds; -assert exits non-zero unless the run was clean (nonzero ops,
+// zero errors, zero check failures, sane percentiles) — that pair is
+// what `make smoke-load` runs in CI. -o FILE writes the benchfmt JSON
+// consumed by the perf trajectory (BENCH_load.json).
+//
+// Usage:
+//
+//	qbload -tenants 4 -clients 4 -rate 500 -duration 10s -o BENCH_load.json
+//	qbload -qbcloud bin/qbcloud -read-frac 1 -kill-at 2s -restart-after 500ms -check -assert
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		tenants  = flag.Int("tenants", 2, "simulated tenants (independent namespaces, K)")
+		clients  = flag.Int("clients", 2, "clients per tenant (M; against a remote cloud these resume from the writer's metadata)")
+		rate     = flag.Float64("rate", 200, "target open-loop arrival rate per tenant, ops/sec")
+		duration = flag.Duration("duration", 5*time.Second, "measured window (ignored when -ops > 0)")
+		ops      = flag.Int("ops", 0, "fixed op count per client instead of -duration")
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of ops that are point queries (the rest are inserts)")
+		zipf     = flag.Float64("zipf", 1.2, "Zipf skew for value selection (<= 1 selects uniform)")
+		tuples   = flag.Int("tuples", 2000, "tuples per tenant relation")
+		values   = flag.Int("values", 100, "distinct indexed values per tenant")
+		alpha    = flag.Float64("alpha", 0.4, "sensitive fraction of each relation")
+		assoc    = flag.Float64("assoc", 0.5, "fraction of sensitive values that also keep non-sensitive tuples")
+		techName = flag.String("technique", "noind", "sensitive-search technique: noind, detindex or arx")
+		addr     = flag.String("addr", "", "drive an already-running qbcloud at this address")
+		bin      = flag.String("qbcloud", "", "boot this qbcloud binary and drive it (required for chaos)")
+		conns    = flag.Int("conns", 0, "connection-pool size per client (remote; 0 = library default)")
+		workers  = flag.Int("store-workers", 0, "per-namespace dispatch bound for the booted qbcloud (0 = unbounded)")
+		killAt   = flag.Duration("kill-at", 0, "SIGKILL the booted qbcloud this long into the measured window (0 = no chaos)")
+		restart  = flag.Duration("restart-after", 500*time.Millisecond, "restart the killed qbcloud after this long")
+		snapshot = flag.Duration("snapshot-every", 150*time.Millisecond, "background snapshot interval for the booted qbcloud")
+		state    = flag.String("state", "", "state file for the booted qbcloud (default: a temp file)")
+		maxIF    = flag.Int("max-inflight", 128, "max outstanding ops per client")
+		seed     = flag.Uint64("seed", 1, "seed for datasets, op streams and bin permutations")
+		check    = flag.Bool("check", false, "cross-check every read against the sequential reference bounds")
+		assert   = flag.Bool("assert", false, "exit non-zero unless the run is clean (ops>0, errors=0, checks=0, sane percentiles)")
+		out      = flag.String("o", "", "write the benchfmt JSON report here (e.g. BENCH_load.json)")
+	)
+	flag.Parse()
+
+	tech, err := parseTechnique(*techName)
+	if err == nil {
+		err = run(runOpts{
+			cfg: loadgen.Config{
+				Tenants: *tenants, Clients: *clients, Rate: *rate,
+				Duration: *duration, Ops: *ops,
+				Gen:    loadgen.GenConfig{ReadFraction: *readFrac, ZipfS: *zipf},
+				Tuples: *tuples, DistinctValues: *values,
+				Alpha: *alpha, AssocFraction: *assoc,
+				Technique: tech, CloudAddr: *addr, CloudConns: *conns,
+				Seed: *seed, MaxInFlight: *maxIF, Check: *check,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			},
+			bin: *bin, storeWorkers: *workers,
+			killAt: *killAt, restartAfter: *restart,
+			snapshotEvery: *snapshot, state: *state,
+			assert: *assert, out: *out,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbload: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func parseTechnique(name string) (repro.Technique, error) {
+	switch strings.ToLower(name) {
+	case "noind":
+		return repro.TechNoInd, nil
+	case "detindex":
+		return repro.TechDetIndex, nil
+	case "arx":
+		return repro.TechArx, nil
+	}
+	return 0, fmt.Errorf("unknown -technique %q (want noind, detindex or arx)", name)
+}
+
+type runOpts struct {
+	cfg           loadgen.Config
+	bin           string
+	storeWorkers  int
+	killAt        time.Duration
+	restartAfter  time.Duration
+	snapshotEvery time.Duration
+	state         string
+	assert        bool
+	out           string
+}
+
+func run(o runOpts) error {
+	if o.killAt > 0 {
+		if o.bin == "" {
+			return fmt.Errorf("-kill-at needs -qbcloud (chaos owns the server process)")
+		}
+		if o.cfg.Gen.ReadFraction < 1 {
+			// The snapshot restore is lossy by design: a sensitive write
+			// acknowledged after the last snapshot cannot be reconciled
+			// after the crash, so a write-bearing chaos run would report
+			// client-side failures that are really the harness's fault.
+			return fmt.Errorf("-kill-at requires -read-frac 1 (snapshot restore is lossy for post-snapshot writes)")
+		}
+	}
+	if o.bin != "" && o.cfg.CloudAddr != "" {
+		return fmt.Errorf("-addr and -qbcloud are mutually exclusive")
+	}
+
+	// Boot the binary if asked, always with a state file so a chaos
+	// restart has something to restore.
+	var srv *loadgen.CloudProc
+	if o.bin != "" {
+		if o.state == "" {
+			dir, err := os.MkdirTemp("", "qbload-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			o.state = filepath.Join(dir, "state.gob")
+		}
+		extra := []string{
+			"-state", o.state,
+			"-snapshot-every", o.snapshotEvery.String(),
+		}
+		if o.storeWorkers > 0 {
+			extra = append(extra, "-store-workers", fmt.Sprint(o.storeWorkers))
+		}
+		var err error
+		if srv, err = loadgen.BootCloud(o.bin, extra...); err != nil {
+			return err
+		}
+		defer srv.Kill()
+		o.cfg.CloudAddr = srv.Addr
+		o.cfg.Reconnect = true // survive chaos; free otherwise
+		fmt.Fprintf(os.Stderr, "qbload: qbcloud up on %s (state=%s)\n", srv.Addr, o.state)
+	}
+
+	// The chaos controller needs to know when setup (outsourcing) ends
+	// and the measured window begins; the runner logs one ready line per
+	// tenant, so the Logf wrapper counts them.
+	loadStart := make(chan time.Time, 1)
+	if o.killAt > 0 {
+		innerLogf, ready := o.cfg.Logf, 0
+		o.cfg.Logf = func(format string, args ...any) {
+			innerLogf(format, args...)
+			if strings.Contains(format, "ready") {
+				if ready++; ready == o.cfg.Tenants {
+					loadStart <- time.Now()
+				}
+			}
+		}
+	}
+
+	chaosDone := make(chan chaosResult, 1)
+	if o.killAt > 0 {
+		go func() {
+			srv2, err := chaos(o, srv, loadStart)
+			chaosDone <- chaosResult{srv2, err}
+		}()
+	}
+
+	res, err := loadgen.Run(o.cfg)
+	if err != nil {
+		return err
+	}
+	if o.killAt > 0 {
+		cr := <-chaosDone
+		if cr.srv != nil {
+			defer cr.srv.Kill()
+		}
+		if cr.err != nil {
+			return cr.err
+		}
+	}
+
+	res.WriteTable(os.Stdout)
+	if o.out != "" {
+		rep := res.Report(o.cfg, time.Now().Unix())
+		b, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.out, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "qbload: wrote %s\n", o.out)
+	}
+	if o.assert {
+		return assertClean(res)
+	}
+	return nil
+}
+
+type chaosResult struct {
+	srv *loadgen.CloudProc // the restarted server, for teardown
+	err error
+}
+
+// chaos SIGKILLs the booted qbcloud killAt into the measured window —
+// but never before a background snapshot has covered the outsourced
+// datasets — and reboots it from the state file on the same address.
+func chaos(o runOpts, srv *loadgen.CloudProc, loadStart <-chan time.Time) (*loadgen.CloudProc, error) {
+	var start time.Time
+	select {
+	case start = <-loadStart:
+	case <-time.After(2 * time.Minute):
+		return nil, fmt.Errorf("chaos: tenants not ready within 2m")
+	}
+
+	// A snapshot whose mtime is at least one full interval past the
+	// setup point must have *started* after setup finished, so it
+	// contains every outsourced tuple.
+	covered := start.Add(o.snapshotEvery + 50*time.Millisecond)
+	for {
+		if fi, err := os.Stat(o.state); err == nil && fi.ModTime().After(covered) {
+			break
+		}
+		if time.Since(start) > 30*time.Second {
+			return nil, fmt.Errorf("chaos: no post-setup snapshot of %s within 30s", o.state)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	if d := time.Until(start.Add(o.killAt)); d > 0 {
+		time.Sleep(d)
+	}
+	fmt.Fprintf(os.Stderr, "qbload: chaos: SIGKILL qbcloud %v into the window\n", time.Since(start).Round(time.Millisecond))
+	if err := srv.Kill(); err != nil {
+		return nil, err
+	}
+	if err := srv.WaitExit(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	time.Sleep(o.restartAfter)
+	srv2, err := loadgen.BootCloud(o.bin, "-state", o.state, "-addr", srv.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: restarting qbcloud: %w", err)
+	}
+	if !strings.Contains(srv2.Output(), "restored state") {
+		err := fmt.Errorf("chaos: restarted qbcloud did not restore state:\n%s", srv2.Output())
+		return srv2, err
+	}
+	fmt.Fprintf(os.Stderr, "qbload: chaos: qbcloud restarted on %s from %s\n", srv2.Addr, o.state)
+	return srv2, nil
+}
+
+// assertClean is the -assert gate: the smoke-load CI step fails the
+// build on any op error, any reference-check violation, or a degenerate
+// latency distribution.
+func assertClean(res *loadgen.Result) error {
+	a := res.Aggregate
+	switch {
+	case a.Ops == 0:
+		return fmt.Errorf("assert: no ops completed")
+	case a.Errors != 0:
+		return fmt.Errorf("assert: %d op errors", a.Errors)
+	case a.ChecksFailed != 0:
+		return fmt.Errorf("assert: %d reference-check failures, first: %s", a.ChecksFailed, res.FirstCheckFailure)
+	case a.AchievedQPS <= 0:
+		return fmt.Errorf("assert: achieved QPS = %g", a.AchievedQPS)
+	case a.P50 <= 0 || a.P99 < a.P50 || a.Max < a.P99:
+		return fmt.Errorf("assert: implausible percentiles p50=%v p99=%v max=%v", a.P50, a.P99, a.Max)
+	}
+	return nil
+}

@@ -25,18 +25,16 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
 	"reflect"
 	"strings"
-	"sync"
-	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/loadgen"
 	"repro/internal/workload"
 )
 
@@ -61,73 +59,16 @@ func main() {
 	fmt.Println("qbsmoke: OK")
 }
 
-// cloudOutput collects everything the qbcloud process prints; one reader
-// goroutine owns the pipe, so the address scan and the final stats check
-// never race over the stream.
-type cloudOutput struct {
-	mu   sync.Mutex
-	buf  strings.Builder
-	done chan struct{} // closed at EOF
-}
-
-func (o *cloudOutput) String() string {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.buf.String()
-}
-
-// bootCloud starts the qbcloud binary (by default on an ephemeral port;
-// pass -addr in extra to pin one) and returns the address it reports, the
-// process, and its collected output.
-func bootCloud(bin string, extra ...string) (string, *exec.Cmd, *cloudOutput, error) {
-	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
-	cmd := exec.Command(bin, args...)
-	pipe, err := cmd.StdoutPipe()
-	if err != nil {
-		return "", nil, nil, err
-	}
-	cmd.Stderr = cmd.Stdout
-	if err := cmd.Start(); err != nil {
-		return "", nil, nil, fmt.Errorf("starting %s: %w", bin, err)
-	}
-	// qbcloud prints "qbcloud: serving on 127.0.0.1:PORT" once listening.
-	out := &cloudOutput{done: make(chan struct{})}
-	addrCh := make(chan string, 1)
-	go func() {
-		defer close(out.done)
-		sc := bufio.NewScanner(pipe)
-		for sc.Scan() {
-			line := sc.Text()
-			out.mu.Lock()
-			out.buf.WriteString(line)
-			out.buf.WriteByte('\n')
-			out.mu.Unlock()
-			if rest, ok := strings.CutPrefix(line, "qbcloud: serving on "); ok {
-				select {
-				case addrCh <- strings.TrimSpace(rest):
-				default:
-				}
-			}
-		}
-	}()
-	select {
-	case addr := <-addrCh:
-		return addr, cmd, out, nil
-	case <-out.done:
-		cmd.Process.Kill()
-		return "", nil, nil, fmt.Errorf("%s exited before reporting its address", bin)
-	case <-time.After(10 * time.Second):
-		cmd.Process.Kill()
-		return "", nil, nil, fmt.Errorf("%s did not report an address within 10s", bin)
-	}
-}
-
 func run(bin string) error {
-	addr, cmd, out, err := bootCloud(bin)
+	// loadgen.CloudProc owns the boot-scan/kill/restart machinery; it is
+	// shared with cmd/qbload so the chaos phases of both harnesses drive
+	// the binary the same way.
+	srv, err := loadgen.BootCloud(bin)
 	if err != nil {
 		return err
 	}
-	defer cmd.Process.Kill()
+	defer srv.Kill()
+	addr := srv.Addr
 	fmt.Printf("qbsmoke: qbcloud up on %s\n", addr)
 
 	var s uint64 = 424242
@@ -205,36 +146,18 @@ func run(bin string) error {
 
 	// Shut the server down and check its per-store accounting mentions
 	// all three namespaces.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := srv.Stop(); err != nil {
 		return err
 	}
-	select {
-	case <-out.done:
-	case <-time.After(10 * time.Second):
-		return fmt.Errorf("qbcloud did not exit within 10s of SIGTERM")
-	}
-	if err := cmd.Wait(); err != nil {
-		return fmt.Errorf("qbcloud exit: %w (output: %s)", err, out)
+	if err := srv.WaitExit(10 * time.Second); err != nil {
+		return err
 	}
 	for _, ns := range []string{"smoke-employee", "smoke-employee/columns", "smoke-tenant-b"} {
-		if !strings.Contains(out.String(), ns) {
-			return fmt.Errorf("qbcloud shutdown stats missing namespace %q:\n%s", ns, out)
+		if !strings.Contains(srv.Output(), ns) {
+			return fmt.Errorf("qbcloud shutdown stats missing namespace %q:\n%s", ns, srv.Output())
 		}
 	}
 	fmt.Println("qbsmoke: qbcloud reported per-store stats for all namespaces")
-	return nil
-}
-
-// waitExit waits for the collected output stream to hit EOF and the
-// process to be reaped.
-func waitExit(cmd *exec.Cmd, out *cloudOutput, what string) error {
-	select {
-	case <-out.done:
-	case <-time.After(10 * time.Second):
-		cmd.Process.Kill()
-		return fmt.Errorf("%s did not exit within 10s", what)
-	}
-	cmd.Wait()
 	return nil
 }
 
@@ -263,11 +186,12 @@ func runChaos(bin, adminBin string) error {
 	defer os.RemoveAll(dir)
 	state := dir + "/state.gob"
 
-	addr, cmd, out, err := bootCloud(bin, "-state", state, "-snapshot-every", "150ms")
+	srv, err := loadgen.BootCloud(bin, "-state", state, "-snapshot-every", "150ms")
 	if err != nil {
 		return err
 	}
-	defer cmd.Process.Kill()
+	defer srv.Kill()
+	addr := srv.Addr
 	fmt.Printf("qbsmoke: qbcloud up on %s (state=%s, snapshots every 150ms)\n", addr, state)
 
 	var s uint64 = 535353
@@ -348,23 +272,23 @@ func runChaos(bin, adminBin string) error {
 
 	// The crash: no shutdown save, no warning. Everything after this line
 	// leans on the periodic snapshot and the reconnecting client.
-	if err := cmd.Process.Kill(); err != nil {
+	if err := srv.Kill(); err != nil {
 		return err
 	}
-	if err := waitExit(cmd, out, "killed qbcloud"); err != nil {
+	if err := srv.WaitExit(10 * time.Second); err != nil {
 		return err
 	}
 
-	addr2, cmd2, out2, err := bootCloud(bin, "-state", state, "-addr", addr)
+	srv2, err := loadgen.BootCloud(bin, "-state", state, "-addr", addr)
 	if err != nil {
 		return fmt.Errorf("restarting qbcloud: %w", err)
 	}
-	defer cmd2.Process.Kill()
-	if addr2 != addr {
-		return fmt.Errorf("restarted qbcloud on %s, want %s", addr2, addr)
+	defer srv2.Kill()
+	if srv2.Addr != addr {
+		return fmt.Errorf("restarted qbcloud on %s, want %s", srv2.Addr, addr)
 	}
-	if !strings.Contains(out2.String(), "restored state") {
-		return fmt.Errorf("restarted qbcloud did not restore state:\n%s", out2)
+	if !strings.Contains(srv2.Output(), "restored state") {
+		return fmt.Errorf("restarted qbcloud did not restore state:\n%s", srv2.Output())
 	}
 	fmt.Printf("qbsmoke: qbcloud restarted on %s from %s\n", addr, state)
 
@@ -419,8 +343,8 @@ func runChaos(bin, adminBin string) error {
 	}
 	fmt.Println("qbsmoke: qbadmin ping/list/stats/compact/drop behaved, wrong key refused")
 
-	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := srv2.Stop(); err != nil {
 		return err
 	}
-	return waitExit(cmd2, out2, "qbcloud")
+	return srv2.WaitExit(10 * time.Second)
 }

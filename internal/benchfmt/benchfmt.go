@@ -1,0 +1,131 @@
+// Package benchfmt defines the machine-readable benchmark document the
+// repo's perf trajectory is tracked in (BENCH_remote.json,
+// BENCH_load.json, ...), plus the parser that distils `go test -bench`
+// text into it. Two producers share the schema: cmd/benchjson converts
+// benchmark output piped through stdin, and cmd/qbload writes its
+// open-loop load reports directly. Consumers index every metric by a
+// normalised key (`queries/sec` -> `queries_per_sec`, `B/op` ->
+// `bytes_per_op`), so dashboards read both files identically.
+package benchfmt
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark (or one load-run series, e.g. a tenant).
+type Result struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics holds every reported metric keyed by its normalised unit
+	// (ns_per_op, queries_per_sec, bytes_per_op, allocs_per_op, p99_us, ...).
+	Metrics map[string]float64 `json:"-"`
+}
+
+// MarshalJSON flattens Metrics into the object so consumers read
+// `bench.ns_per_op` instead of `bench.metrics["ns_per_op"]`.
+func (r Result) MarshalJSON() ([]byte, error) {
+	flat := make(map[string]any, len(r.Metrics)+2)
+	flat["name"] = r.Name
+	flat["iterations"] = r.Iterations
+	for k, v := range r.Metrics {
+		flat[k] = v
+	}
+	return json.Marshal(flat)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: unknown keys with numeric
+// values land in Metrics. It exists so trajectory tooling (and tests) can
+// read committed BENCH_*.json files back.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return err
+	}
+	r.Metrics = map[string]float64{}
+	for k, v := range flat {
+		switch k {
+		case "name":
+			if s, ok := v.(string); ok {
+				r.Name = s
+			}
+		case "iterations":
+			if f, ok := v.(float64); ok {
+				r.Iterations = int64(f)
+			}
+		default:
+			if f, ok := v.(float64); ok {
+				r.Metrics[k] = f
+			}
+		}
+	}
+	return nil
+}
+
+// Report is the whole document.
+type Report struct {
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoOS          string `json:"go_os"`
+	GoArch        string `json:"go_arch"`
+	GoMaxProcs    int    `json:"gomaxprocs"`
+	// Config records the parameters the numbers were produced under
+	// (tenants, rates, technique, chaos schedule, ...) so a trajectory
+	// diff can tell a perf change from a config change. Producers that
+	// have no parameters (benchjson) leave it empty.
+	Config     map[string]any `json:"config,omitempty"`
+	Benchmarks []Result       `json:"benchmarks"`
+}
+
+// Encode marshals the report as indented JSON with a trailing newline.
+func (r Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// NormaliseUnit maps a benchmark unit to a JSON-friendly key.
+func NormaliseUnit(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+}
+
+// ParseLine parses one `BenchmarkX-N  iters  value unit [value unit]...`
+// line of `go test -bench` output; ok is false for non-benchmark lines.
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[NormaliseUnit(fields[i+1])] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,96 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkRemoteQueryBatch/pipe/workers=4-8 \t 30\t  1760290 ns/op\t 145444 queries/sec\t 1783708 B/op\t 3710 allocs/op",
+			want: Result{
+				Name:       "BenchmarkRemoteQueryBatch/pipe/workers=4",
+				Iterations: 30,
+				Metrics: map[string]float64{
+					"ns_per_op":       1760290,
+					"queries_per_sec": 145444,
+					"bytes_per_op":    1783708,
+					"allocs_per_op":   3710,
+				},
+			},
+			ok: true,
+		},
+		{
+			// No -N suffix (GOMAXPROCS=1 runs print none).
+			line: "BenchmarkQueryBatch/workers=1 100 500 ns/op",
+			want: Result{
+				Name:       "BenchmarkQueryBatch/workers=1",
+				Iterations: 100,
+				Metrics:    map[string]float64{"ns_per_op": 500},
+			},
+			ok: true,
+		},
+		{line: "goos: linux", ok: false},
+		{line: "PASS", ok: false},
+		{line: "BenchmarkBroken notanumber 5 ns/op", ok: false},
+		{line: "", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := ParseLine(c.line)
+		if ok != c.ok {
+			t.Errorf("ParseLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestNormaliseUnit(t *testing.T) {
+	for unit, want := range map[string]string{
+		"ns/op":     "ns_per_op",
+		"B/op":      "bytes_per_op",
+		"allocs/op": "allocs_per_op",
+		"p99-us":    "p99_us",
+		"foo/bar":   "foo_per_bar",
+	} {
+		if got := NormaliseUnit(unit); got != want {
+			t.Errorf("NormaliseUnit(%q) = %q, want %q", unit, got, want)
+		}
+	}
+}
+
+// TestReportRoundTrip pins the on-disk shape: metrics are flattened into
+// each benchmark object and survive a decode.
+func TestReportRoundTrip(t *testing.T) {
+	rep := Report{
+		GeneratedUnix: 1730000000,
+		GoOS:          "linux", GoArch: "amd64", GoMaxProcs: 1,
+		Config: map[string]any{"tenants": 4.0},
+		Benchmarks: []Result{{
+			Name: "qbload/tenant=t00", Iterations: 1200,
+			Metrics: map[string]float64{"queries_per_sec": 400, "p99_us": 1234},
+		}},
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Benchmarks, rep.Benchmarks) {
+		t.Errorf("round trip benchmarks = %+v, want %+v", back.Benchmarks, rep.Benchmarks)
+	}
+	if back.Config["tenants"] != 4.0 {
+		t.Errorf("round trip config = %+v", back.Config)
+	}
+}

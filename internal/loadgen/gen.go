@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	mrand "math/rand"
+
+	"repro/internal/relation"
+)
+
+// Op is one generated operation of the load stream.
+type Op struct {
+	// Read selects a point query; otherwise the op inserts a fresh tuple.
+	Read bool
+	// Value is the searchable-attribute value queried or inserted.
+	Value relation.Value
+	// Sensitive is the partition of an inserted tuple (ignored for reads).
+	Sensitive bool
+}
+
+// ValueInfo is one domain value with its baseline per-partition tuple
+// counts at Outsource time. The counts drive two decisions: which
+// partition a write may target (see Next), and the reference checker's
+// expected-result bounds.
+type ValueInfo struct {
+	Value relation.Value
+	// Plain and Sens count the value's non-sensitive / sensitive tuples
+	// in the outsourced relation.
+	Plain, Sens int
+}
+
+// GenConfig shapes a client's operation stream.
+type GenConfig struct {
+	// ReadFraction is the probability an op is a point query; the rest
+	// are inserts. 1 means read-only.
+	ReadFraction float64
+	// ZipfS > 1 skews value selection toward low ranks with a Zipf(s)
+	// distribution (the multi-tenant skewed-selection workload of the
+	// PANDA experiments); <= 1 selects uniformly.
+	ZipfS float64
+}
+
+// Generator draws a deterministic operation stream: Zipf- (or uniformly-)
+// distributed value selection over the tenant's domain, a configurable
+// read/write mix, and per-write partition choice. It reuses the
+// math/rand Zipf convention of internal/workload (rank 0 is the heaviest
+// value), so a load stream and a workload.QueryStream with the same skew
+// describe the same distribution. Not safe for concurrent use; each load
+// goroutine owns one.
+type Generator struct {
+	rnd    *mrand.Rand
+	zipf   *mrand.Zipf
+	values []ValueInfo
+	cfg    GenConfig
+}
+
+// NewGenerator builds a generator over the tenant's value domain, ranked
+// by index. The stream is fully determined by (values, cfg, seed).
+func NewGenerator(values []ValueInfo, cfg GenConfig, seed uint64) *Generator {
+	rnd := mrand.New(mrand.NewSource(int64(seed)))
+	g := &Generator{rnd: rnd, values: values, cfg: cfg}
+	if cfg.ZipfS > 1 && len(values) > 1 {
+		g.zipf = mrand.NewZipf(rnd, cfg.ZipfS, 1, uint64(len(values)-1))
+	}
+	return g
+}
+
+// rank draws the next value index.
+func (g *Generator) rank() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.rnd.Intn(len(g.values))
+}
+
+// Next draws the next operation. Writes only target partitions the value
+// already occupies: an owner's query metadata binds each value to the
+// bins it was outsourced into, so a tuple inserted into a partition the
+// value never had would be invisible to reader clients resumed from a
+// pre-insert metadata snapshot (and to nothing else — the checker would
+// flag exactly that as a lost write). Values present in both partitions
+// split their writes evenly.
+func (g *Generator) Next() Op {
+	v := g.values[g.rank()]
+	if g.rnd.Float64() < g.cfg.ReadFraction {
+		return Op{Read: true, Value: v.Value}
+	}
+	var sensitive bool
+	switch {
+	case v.Sens > 0 && v.Plain > 0:
+		sensitive = g.rnd.Intn(2) == 0
+	case v.Sens > 0:
+		sensitive = true
+	default:
+		sensitive = false
+	}
+	return Op{Value: v.Value, Sensitive: sensitive}
+}

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// genValues builds a domain of n values; every third value is
+// plain-only, every third sensitive-only, the rest mixed.
+func genValues(n int) []ValueInfo {
+	vals := make([]ValueInfo, n)
+	for i := range vals {
+		vals[i] = ValueInfo{Value: relation.Int(int64(i))}
+		switch i % 3 {
+		case 0:
+			vals[i].Plain = 4
+		case 1:
+			vals[i].Sens = 4
+		default:
+			vals[i].Plain, vals[i].Sens = 2, 2
+		}
+	}
+	return vals
+}
+
+// TestGeneratorZipfFrequencyRank: under Zipf(1.3) the draw frequency is
+// monotone over well-separated ranks and the head dominates the tail by
+// roughly the theoretical ratio; the uniform stream stays flat.
+func TestGeneratorZipfFrequencyRank(t *testing.T) {
+	const draws = 30000
+	vals := genValues(50)
+
+	g := NewGenerator(vals, GenConfig{ReadFraction: 1, ZipfS: 1.3}, 42)
+	counts := make([]int, len(vals))
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		if !op.Read {
+			t.Fatal("ReadFraction=1 generator produced a write")
+		}
+		counts[op.Value.Int()]++
+	}
+	for _, pair := range [][2]int{{0, 4}, {4, 15}, {15, 40}} {
+		if counts[pair[0]] <= counts[pair[1]] {
+			t.Errorf("Zipf rank %d drawn %d times <= rank %d drawn %d times",
+				pair[0], counts[pair[0]], pair[1], counts[pair[1]])
+		}
+	}
+	// Zipf(1.3): p(0)/p(10) = 11^1.3 ~ 22.6; assert a loose floor.
+	if counts[10] == 0 || counts[0] < 5*counts[10] {
+		t.Errorf("Zipf head/rank-10 ratio %d/%d, want >= 5x", counts[0], counts[10])
+	}
+
+	u := NewGenerator(vals, GenConfig{ReadFraction: 1}, 42)
+	ucounts := make([]int, len(vals))
+	for i := 0; i < draws; i++ {
+		ucounts[u.Next().Value.Int()]++
+	}
+	min, max := draws, 0
+	for _, c := range ucounts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// Expected 600 per value, sigma ~24: a 1.5x spread means skew.
+	if min == 0 || float64(max)/float64(min) > 1.5 {
+		t.Errorf("uniform stream spread min=%d max=%d, want ratio <= 1.5", min, max)
+	}
+}
+
+// TestGeneratorReadWriteMixAndPartitions: the read fraction is honoured
+// and writes only target partitions the value already occupies.
+func TestGeneratorReadWriteMixAndPartitions(t *testing.T) {
+	const draws = 20000
+	vals := genValues(30)
+	g := NewGenerator(vals, GenConfig{ReadFraction: 0.7}, 7)
+	reads, mixedSens, mixedPlain := 0, 0, 0
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		if op.Read {
+			reads++
+			continue
+		}
+		vi := vals[op.Value.Int()]
+		switch {
+		case vi.Sens == 0 && op.Sensitive:
+			t.Fatalf("sensitive write to plain-only value %v", op.Value)
+		case vi.Plain == 0 && !op.Sensitive:
+			t.Fatalf("plain write to sensitive-only value %v", op.Value)
+		case vi.Sens > 0 && vi.Plain > 0:
+			if op.Sensitive {
+				mixedSens++
+			} else {
+				mixedPlain++
+			}
+		}
+	}
+	if frac := float64(reads) / draws; frac < 0.67 || frac > 0.73 {
+		t.Errorf("read fraction %.3f, want ~0.70", frac)
+	}
+	if mixedSens == 0 || mixedPlain == 0 {
+		t.Errorf("mixed values never hit both partitions: sens=%d plain=%d", mixedSens, mixedPlain)
+	}
+}
+
+// TestGeneratorDeterminism: the stream is a pure function of the seed.
+func TestGeneratorDeterminism(t *testing.T) {
+	vals := genValues(20)
+	cfg := GenConfig{ReadFraction: 0.5, ZipfS: 1.2}
+	a := NewGenerator(vals, cfg, 99)
+	b := NewGenerator(vals, cfg, 99)
+	c := NewGenerator(vals, cfg, 100)
+	diverged := false
+	for i := 0; i < 1000; i++ {
+		opA, opB, opC := a.Next(), b.Next(), c.Next()
+		if opA != opB {
+			t.Fatalf("same-seed streams diverged at op %d: %+v vs %+v", i, opA, opB)
+		}
+		if opA != opC {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical 1000-op streams")
+	}
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-size log-linear latency histogram: below
+// 2^subBits ns every bucket is 1ns wide; above that, each power-of-two
+// range is split into 2^subBits linear sub-buckets, bounding the relative
+// quantisation error of any reported percentile by 2^-subBits (~1.6%).
+// The layout is fixed at compile time — no allocation on the record path,
+// and merging two histograms is element-wise addition — and every counter
+// is updated atomically, so any number of load goroutines Record into one
+// Histogram concurrently while a reporter reads percentiles.
+type Histogram struct {
+	counts   [numBuckets]atomic.Int64
+	total    atomic.Int64
+	sum      atomic.Int64 // ns, for Mean
+	overflow atomic.Int64 // samples beyond the last bucket (> ~4.6e18 ns)
+}
+
+const (
+	// subBits fixes the linear resolution: 64 sub-buckets per octave.
+	subBits  = 6
+	subCount = 1 << subBits
+	// Octaves above the linear region: values with floor(log2(v)) in
+	// [subBits, 62], one bucket row of subCount each, plus the linear row.
+	numBuckets = (62 - subBits + 2) * subCount
+)
+
+// bucketIndex maps a non-negative nanosecond count to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2(v)), >= subBits
+	sub := int(v>>(uint(e-subBits))) - subCount
+	idx := (e-subBits+1)*subCount + sub
+	if idx >= numBuckets {
+		return numBuckets // overflow sentinel
+	}
+	return idx
+}
+
+// bucketUpper returns the largest value mapping to bucket idx — the value
+// percentiles report, so quantisation only ever rounds latency up.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	b := idx/subCount - 1 // octave row above the linear region
+	sub := int64(idx % subCount)
+	shift := uint(b)
+	return (subCount+sub+1)<<shift - 1
+}
+
+// Record adds one latency sample. Negative samples (a clock stepping
+// backwards) clamp to zero rather than corrupting a bucket index.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	if idx := bucketIndex(v); idx < numBuckets {
+		h.counts[idx].Add(1)
+	} else {
+		h.overflow.Add(1)
+	}
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean reports the arithmetic mean of all samples (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Percentile reports the latency at quantile p in [0,100]: the upper
+// bound of the bucket holding the ceil(p/100*count)-th smallest sample.
+// Empty histograms report 0. Concurrent Records make the result a
+// snapshot, not an exact cut.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
+	rank := int64(p/100*float64(n) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			seen += c
+			if seen >= rank {
+				return time.Duration(bucketUpper(i))
+			}
+		}
+	}
+	// rank falls into the overflow region: report the largest
+	// representable bound rather than undercounting.
+	return time.Duration(bucketUpper(numBuckets - 1))
+}
+
+// Max reports the upper bound of the highest non-empty bucket.
+func (h *Histogram) Max() time.Duration {
+	if h.overflow.Load() > 0 {
+		return time.Duration(bucketUpper(numBuckets - 1))
+	}
+	for i := numBuckets - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return 0
+}
+
+// Merge adds other's samples into h (element-wise; other should be
+// quiescent).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	h.overflow.Add(other.overflow.Load())
+}
+
+// String summarises the distribution for human-readable reports.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}

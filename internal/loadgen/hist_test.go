@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear layout: indices are monotone,
+// upper bounds are exact inverses, and quantisation error is bounded by
+// one sub-bucket (1/64).
+func TestBucketBoundaries(t *testing.T) {
+	// Linear region: width-1 buckets, exact.
+	for v := int64(0); v < subCount; v++ {
+		if idx := bucketIndex(v); idx != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, idx, v)
+		}
+		if up := bucketUpper(int(v)); up != v {
+			t.Fatalf("bucketUpper(%d) = %d, want %d", v, up, v)
+		}
+	}
+	// Exact boundary cases around octave edges.
+	cases := []struct {
+		v     int64
+		idx   int
+		upper int64
+	}{
+		{63, 63, 63},
+		{64, 64, 64},    // first octave row still width 1
+		{127, 127, 127}, // last width-1 bucket
+		{128, 128, 129}, // width-2 buckets begin
+		{129, 128, 129},
+		{130, 129, 131},
+		{255, 191, 255},
+		{256, 192, 259}, // width-4 buckets begin
+	}
+	for _, c := range cases {
+		if idx := bucketIndex(c.v); idx != c.idx {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, idx, c.idx)
+		}
+		if up := bucketUpper(c.idx); up != c.upper {
+			t.Errorf("bucketUpper(%d) = %d, want %d", c.idx, up, c.upper)
+		}
+	}
+	// Error bound and inversion across the whole range.
+	for _, v := range []int64{1, 65, 1000, 12345, 1_000_000, 123_456_789,
+		int64(time.Hour), 1 << 40, 1 << 55, 1<<62 + 12345, 1<<63 - 1} {
+		idx := bucketIndex(v)
+		if idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) overflowed: %d", v, idx)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Errorf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if v >= subCount && up-v > v/(subCount/2) {
+			t.Errorf("quantisation error for %d: upper %d off by %d (> v/32)", v, up, up-v)
+		}
+		if back := bucketIndex(up); back != idx {
+			t.Errorf("bucketIndex(bucketUpper(%d)) = %d, want %d", idx, back, idx)
+		}
+	}
+}
+
+// TestPercentileGolden checks percentile math against hand-computed
+// values on exactly-representable samples.
+func TestPercentileGolden(t *testing.T) {
+	var h Histogram
+	// 0..63 ns once each: every sample sits in its own width-1 bucket.
+	for v := 0; v < 64; v++ {
+		h.Record(time.Duration(v))
+	}
+	if got := h.Count(); got != 64 {
+		t.Fatalf("Count = %d, want 64", got)
+	}
+	for _, c := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0, 0},     // rank 1 -> smallest sample
+		{50, 31},   // rank 32 -> 32nd smallest = 31ns
+		{75, 47},   // rank 48
+		{98.5, 63}, // rank ceil(63.04) = 64 -> largest sample
+		{100, 63},  // rank 64
+	} {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := h.Max(); got != 63 {
+		t.Errorf("Max = %v, want 63ns", got)
+	}
+	if got := h.Mean(); got != time.Duration(31) { // floor(2016/64) = 31.5 -> 31
+		t.Errorf("Mean = %v, want 31ns", got)
+	}
+}
+
+// TestPercentileKnownDistribution checks p50/p99/p99.9 of a bimodal
+// distribution land in the right mode within the 1/64 error bound.
+func TestPercentileKnownDistribution(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100 * time.Millisecond)
+	}
+	within := func(name string, got, base time.Duration) {
+		t.Helper()
+		if got < base || got > base+base/32 {
+			t.Errorf("%s = %v, want within [%v, %v]", name, got, base, base+base/32)
+		}
+	}
+	within("p50", h.Percentile(50), time.Millisecond)
+	within("p99", h.Percentile(99), time.Millisecond) // rank 1000 of 1010 is still 1ms
+	within("p99.9", h.Percentile(99.9), 100*time.Millisecond)
+	within("max", h.Max(), 100*time.Millisecond)
+}
+
+func TestHistogramMergeAndNegatives(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 500; i++ {
+		d := time.Duration(i) * time.Microsecond
+		a.Record(d)
+		all.Record(d)
+	}
+	for i := 501; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		b.Record(d)
+		all.Record(d)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), all.Count())
+	}
+	for _, p := range []float64{10, 50, 90, 99, 100} {
+		if got, want := a.Percentile(p), all.Percentile(p); got != want {
+			t.Errorf("merged Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if a.Mean() != all.Mean() {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), all.Mean())
+	}
+
+	var h Histogram
+	h.Record(-time.Second) // clamps to 0 instead of corrupting an index
+	if h.Count() != 1 || h.Percentile(100) != 0 {
+		t.Errorf("negative sample: count=%d p100=%v, want 1 and 0", h.Count(), h.Percentile(100))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Errorf("empty histogram not all-zero: %s", h.String())
+	}
+}

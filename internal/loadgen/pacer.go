@@ -1,0 +1,58 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Pacer schedules an open-loop arrival process: the i-th operation is due
+// at start + i/rate seconds, independent of how long earlier operations
+// took. When the caller falls behind (slow ops, a stalled server), Next
+// returns immediately with the original schedule — late arrivals are
+// issued back-to-back, never silently skipped — and latency measured from
+// the *scheduled* time keeps the queueing delay in the numbers instead of
+// coordinated-omission-ing it away (see docs/BENCHMARKS.md).
+//
+// Time comes from an injectable wire.Clock so the schedule is
+// unit-testable tick by tick without wall sleeps.
+type Pacer struct {
+	clock      wire.Clock
+	start      time.Time
+	intervalNs float64
+	n          int64 // arrivals handed out so far
+}
+
+// NewPacer builds a pacer issuing rate arrivals per second, the first one
+// due immediately. A nil clock selects the real one.
+func NewPacer(clock wire.Clock, rate float64) (*Pacer, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("loadgen: pacer rate must be positive, got %g", rate)
+	}
+	if clock == nil {
+		clock = wire.RealClock()
+	}
+	return &Pacer{
+		clock:      clock,
+		start:      clock.Now(),
+		intervalNs: float64(time.Second) / rate,
+	}, nil
+}
+
+// Next blocks until the next scheduled arrival is due and returns its
+// scheduled (not actual) time. The schedule is computed as a multiple of
+// the interval from the start instant, so rounding never accumulates into
+// drift. Not safe for concurrent use; give each load goroutine its own
+// pacer.
+func (p *Pacer) Next() time.Time {
+	due := p.start.Add(time.Duration(float64(p.n) * p.intervalNs))
+	p.n++
+	if wait := due.Sub(p.clock.Now()); wait > 0 {
+		<-p.clock.After(wait)
+	}
+	return due
+}
+
+// Scheduled reports how many arrivals Next has handed out.
+func (p *Pacer) Scheduled() int64 { return p.n }

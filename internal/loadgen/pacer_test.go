@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked wire.Clock: After records the requested
+// wait, advances virtual time by it, and fires immediately, so a pacer's
+// whole schedule runs in microseconds of wall time and every sleep it
+// asked for is asserted exactly.
+type fakeClock struct {
+	now   time.Time
+	waits []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.waits = append(c.waits, d)
+	c.now = c.now.Add(d)
+	ch := make(chan time.Time, 1)
+	ch <- c.now
+	return ch
+}
+
+// TestPacerSchedule asserts the open-loop schedule tick by tick: arrival
+// i is due at start + i*interval, the pacer sleeps exactly the gap to the
+// next due time, and a caller that falls behind gets the late arrivals
+// back-to-back without sleeping — the schedule never shifts to absorb the
+// stall (that shift is exactly coordinated omission).
+func TestPacerSchedule(t *testing.T) {
+	clk := newFakeClock()
+	start := clk.Now()
+	p, err := NewPacer(clk, 100) // 10ms interval
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// On-schedule phase: three arrivals at 0ms, 10ms, 20ms.
+	for i, wantOff := range []time.Duration{0, 10 * time.Millisecond, 20 * time.Millisecond} {
+		if got := p.Next(); got.Sub(start) != wantOff {
+			t.Fatalf("arrival %d due at +%v, want +%v", i, got.Sub(start), wantOff)
+		}
+	}
+	if want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond}; len(clk.waits) != 2 ||
+		clk.waits[0] != want[0] || clk.waits[1] != want[1] {
+		t.Fatalf("sleeps = %v, want %v (none before the first arrival)", clk.waits, want)
+	}
+
+	// The caller stalls 35ms (a slow op at +20ms finishes at +55ms).
+	clk.now = start.Add(55 * time.Millisecond)
+	clk.waits = nil
+
+	// Arrivals 3..5 (due +30/+40/+50ms) are late: handed out immediately,
+	// original due times preserved.
+	for i, wantOff := range []time.Duration{30 * time.Millisecond, 40 * time.Millisecond, 50 * time.Millisecond} {
+		if got := p.Next(); got.Sub(start) != wantOff {
+			t.Fatalf("late arrival %d due at +%v, want +%v", i+3, got.Sub(start), wantOff)
+		}
+	}
+	if len(clk.waits) != 0 {
+		t.Fatalf("pacer slept %v while behind schedule", clk.waits)
+	}
+
+	// Arrival 6 (due +60ms) is 5ms ahead again: exactly one 5ms sleep.
+	if got := p.Next(); got.Sub(start) != 60*time.Millisecond {
+		t.Fatalf("arrival 6 due at +%v, want +60ms", got.Sub(start))
+	}
+	if len(clk.waits) != 1 || clk.waits[0] != 5*time.Millisecond {
+		t.Fatalf("catch-up sleep = %v, want [5ms]", clk.waits)
+	}
+
+	if p.Scheduled() != 7 {
+		t.Fatalf("Scheduled = %d, want 7", p.Scheduled())
+	}
+}
+
+// TestPacerNoDrift: the due time is computed as a multiple of the
+// interval from the start, not by repeated addition, so an awkward rate
+// stays within a nanosecond of the ideal schedule after thousands of
+// ticks.
+func TestPacerNoDrift(t *testing.T) {
+	clk := newFakeClock()
+	start := clk.Now()
+	p, err := NewPacer(clk, 3) // interval 333333333.33...ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Time
+	for i := 0; i < 3000; i++ {
+		last = p.Next()
+	}
+	n := 2999.0
+	ideal := start.Add(time.Duration(n * float64(time.Second) / 3))
+	if diff := last.Sub(ideal); diff < -time.Nanosecond || diff > time.Nanosecond {
+		t.Fatalf("after 3000 ticks schedule drifted %v from ideal", diff)
+	}
+}
+
+func TestPacerRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{0, -5} {
+		if _, err := NewPacer(newFakeClock(), rate); err == nil {
+			t.Errorf("NewPacer(rate=%g) accepted", rate)
+		}
+	}
+}

@@ -14,7 +14,11 @@ import (
 // saturates its per-store bound with ops that park inside dispatch, plus
 // more ops queueing on A's semaphore, all through the SAME connection as
 // tenant B — and B's query still completes, because ops waiting on their
-// own store's bound hold no per-connection capacity.
+// own store's bound hold no per-connection capacity. This pins the
+// mechanism; the canonical end-to-end isolation check (bounded p99 for a
+// paced tenant under a saturating co-tenant, with real clients and
+// measured latency) is TestLoadTenantIsolationUnderSaturation in
+// internal/loadgen.
 func TestStoreAdmissionIsolatesTenants(t *testing.T) {
 	cl := NewCloud()
 	cl.SetConnWorkers(4)
