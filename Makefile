@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet race bench bench-remote bench-load fuzz-smoke docs smoke-remote smoke-chaos smoke-load lint audit ci
+.PHONY: build test vet race bench bench-remote bench-load fuzz-smoke docs smoke-remote smoke-chaos smoke-load smoke-load-nocache lint audit ci
 
 build:
 	$(GO) build ./...
@@ -95,6 +95,18 @@ smoke-load:
 		-read-frac 1 -kill-at 1500ms -restart-after 400ms -check -assert \
 		-o bin/BENCH_load.json
 
+# Cache-disabled control arm of smoke-load: the same chaos run with the
+# owner-side version cache off (-cache=false), so a regression that only
+# the uncached per-query-pull path would hit still fails CI, and the two
+# runs together cover cached-vs-uncached observational equivalence under
+# kill/restart (the -check reference bounds are identical in both).
+smoke-load-nocache:
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbcloud ./cmd/qbcloud
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbload ./cmd/qbload
+	bin/qbload -qbcloud bin/qbcloud -tenants 2 -clients 3 -rate 300 -duration 4s \
+		-read-frac 1 -kill-at 1500ms -restart-after 400ms -check -assert \
+		-cache=false -o bin/BENCH_load_nocache.json
+
 # Static analysis. qbvet (the repo's own go/analysis-style suite: sensleak,
 # lockdiscipline, pooldiscipline, cmpconst, nakedclock) is stdlib-only and
 # always runs. staticcheck and govulncheck run when installed — CI installs
@@ -121,4 +133,4 @@ audit:
 	$(GO) build -o bin/qbaudit ./cmd/qbaudit
 	bin/qbaudit -floor $(COVER_FLOOR)
 
-ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos smoke-load
+ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos smoke-load smoke-load-nocache

@@ -1,0 +1,333 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// empTuple builds an Employee-schema tuple with the given ID and EId.
+func empTuple(id int, eid string) Tuple {
+	return Tuple{ID: id, Values: []Value{
+		Str(eid), Str("N"), Str("A"), Int(30), Int(50_000), Str("Design"),
+	}}
+}
+
+// TestCachedQueriesMatchUncached is the observational-equivalence
+// property of the owner-side version cache: two identically keyed and
+// seeded clients — one caching (the remote default), one with
+// Config.DisableCache — run the same interleaved query/insert workload
+// against their own clouds and must return identical tuples and log
+// identical adversarial views (same plaintext values, same returned
+// addresses). The cached cloud meanwhile serves strictly fewer ops: the
+// server-observed access sequence of the cached run is a subset of the
+// uncached one, never a superset.
+func TestCachedQueriesMatchUncached(t *testing.T) {
+	for _, tech := range []Technique{TechNoInd, TechDetIndex} {
+		t.Run(tech.String(), func(t *testing.T) {
+			mk := func(disable bool) (*Client, *wire.Cloud) {
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				cl := wire.NewCloud()
+				go func() { _ = cl.Serve(lis) }()
+				t.Cleanup(func() { lis.Close() })
+				c, err := NewClient(Config{
+					MasterKey:    []byte("cache equivalence"),
+					Attr:         "EId",
+					Technique:    tech,
+					Seed:         seed(53),
+					CloudAddr:    lis.Addr().String(),
+					DisableCache: disable,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { c.Close() })
+				return c, cl
+			}
+			cached, cachedCloud := mk(false)
+			plain, plainCloud := mk(true)
+
+			emp := workload.Employee()
+			for _, c := range []*Client{cached, plain} {
+				if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Interleave repeated reads (cache hits), inserts (cache
+			// invalidation) and first reads of fresh values (delta pulls).
+			step := 0
+			query := func(w Value) {
+				t.Helper()
+				step++
+				want, err := plain.Query(w)
+				if err != nil {
+					t.Fatalf("step %d: uncached Query(%v): %v", step, w, err)
+				}
+				got, err := cached.Query(w)
+				if err != nil {
+					t.Fatalf("step %d: cached Query(%v): %v", step, w, err)
+				}
+				if !reflect.DeepEqual(relation.IDs(got), relation.IDs(want)) {
+					t.Fatalf("step %d: cached Query(%v) = %v, want %v",
+						step, w, relation.IDs(got), relation.IDs(want))
+				}
+			}
+			insert(t, cached, plain, empTuple(1000, "E900"))
+			for round := 0; round < 3; round++ {
+				for _, eid := range []string{"E101", "E259", "E900", "E199", "E101"} {
+					query(Str(eid))
+				}
+				insert(t, cached, plain, empTuple(1001+round, "E900"))
+				query(Str("E900")) // must include the tuple just inserted
+			}
+
+			// Identical adversarial views, query for query.
+			cv, pv := cached.AdversarialViews(), plain.AdversarialViews()
+			if len(cv) != len(pv) {
+				t.Fatalf("view counts differ: cached %d, uncached %d", len(cv), len(pv))
+			}
+			for i := range cv {
+				if viewKey(cv[i]) != viewKey(pv[i]) {
+					t.Errorf("view %d: cached %s != uncached %s", i, viewKey(cv[i]), viewKey(pv[i]))
+				}
+			}
+
+			// The cache did real work and shrank the server-observed load.
+			cs := cached.CacheStats()
+			if cs.Hits == 0 || cs.Misses == 0 {
+				t.Fatalf("cache stats = %+v, want both hits (revalidations) and misses (invalidations)", cs)
+			}
+			if ps := plain.CacheStats(); ps.Hits+ps.Misses != 0 {
+				t.Fatalf("DisableCache client recorded cache traffic: %+v", ps)
+			}
+			co, po := cloudOps(cachedCloud), cloudOps(plainCloud)
+			if co >= po {
+				t.Fatalf("cached run hit the server %d times, uncached %d — cache saved nothing", co, po)
+			}
+		})
+	}
+}
+
+// insert applies the same sensitive insert to both clients.
+func insert(t *testing.T, a, b *Client, tp Tuple) {
+	t.Helper()
+	if err := a.Insert(tp, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(tp, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cloudOps sums the dispatched-op counters across a cloud's namespaces.
+func cloudOps(cl *wire.Cloud) uint64 {
+	var n uint64
+	for _, s := range cl.Stats() {
+		n += s.Ops
+	}
+	return n
+}
+
+// TestCacheMultiClientReadYourWrites: a second client resumed onto the
+// same namespace (the multi-writer deployment) must never be served a
+// stale cached view — every read issued after a sibling's acknowledged
+// insert sees that insert, because revalidation asks the server for the
+// authoritative version on every query. The concurrent phase runs a
+// writer against two caching readers and fails on any regression of the
+// monotonic read bound; `go test -race` covers the cache's internal
+// locking at the same time.
+func TestCacheMultiClientReadYourWrites(t *testing.T) {
+	addr := startRemoteCloud(t)
+	mk := func() *Client {
+		c, err := NewClient(Config{
+			MasterKey: []byte("multi-writer cache"),
+			Attr:      "EId",
+			Seed:      seed(59),
+			CloudAddr: addr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	writer := mk()
+	emp := workload.Employee()
+	if err := writer.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+	var meta bytes.Buffer
+	if err := writer.SaveMetadata(&meta); err != nil {
+		t.Fatal(err)
+	}
+	reader := mk()
+	if err := reader.Resume(bytes.NewReader(meta.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential: after each acknowledged insert by the writer, the caching
+	// reader must count it — a single stale "not modified" would freeze the
+	// count. The inserts reuse an existing searchable value: the resumed
+	// reader's bin metadata predates them, and only values already binned
+	// at SaveMetadata time are visible to both sessions.
+	baseSeq, err := reader.Query(Str("E259"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := writer.Insert(empTuple(2000+i, "E259"), true); err != nil {
+			t.Fatal(err)
+		}
+		got, err := reader.Query(Str("E259"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := len(baseSeq) + i; len(got) != want {
+			t.Fatalf("after insert %d: reader sees %d tuples, want %d (stale cache)", i, len(got), want)
+		}
+		// A second read with no intervening write revalidates from cache.
+		if got, err = reader.Query(Str("E259")); err != nil || len(got) != len(baseSeq)+i {
+			t.Fatalf("repeat read %d = %d tuples, %v", i, len(got), err)
+		}
+	}
+	if cs := reader.CacheStats(); cs.Hits == 0 {
+		t.Fatalf("reader cache never hit: %+v", cs)
+	}
+
+	// Concurrent: one writer, two caching readers, the acked count as the
+	// staleness bound. acked is loaded BEFORE each query; the result may
+	// only be larger (in-flight insert landed), never smaller.
+	baseCon, err := reader.Query(Str("E101"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 24; i++ {
+			if err := writer.Insert(empTuple(3000+i, "E101"), true); err != nil {
+				t.Error(err)
+				break
+			}
+			acked.Add(1)
+		}
+		close(done)
+	}()
+	readErrs := make(chan error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			check := func() bool {
+				floor := int64(len(baseCon)) + acked.Load()
+				got, err := reader.Query(Str("E101"))
+				if err != nil {
+					readErrs <- err
+					return false
+				}
+				if int64(len(got)) < floor {
+					readErrs <- fmt.Errorf("stale read: %d tuples, %d acked before the query", len(got), floor)
+					return false
+				}
+				return true
+			}
+			for {
+				select {
+				case <-done:
+					check() // one final read past the last ack
+					return
+				default:
+					if !check() {
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(readErrs)
+	for err := range readErrs {
+		t.Error(err)
+	}
+}
+
+// TestCacheSurvivesCloudRestart: a caching reconnect client whose cloud
+// is killed and restored from a snapshot must revalidate rather than
+// trust its pre-crash cache — the restored store's fresh epoch forces a
+// full resend — and must observe writes applied after the restart.
+func TestCacheSurvivesCloudRestart(t *testing.T) {
+	cloud := wire.NewCloud()
+	srv := startChaosCloud(t, cloud)
+	c, err := NewClient(Config{
+		MasterKey: []byte("cache chaos"),
+		Attr:      "EId",
+		Seed:      seed(67),
+		CloudAddr: srv.addr,
+		Reconnect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	emp := workload.Employee()
+	if err := c.Outsource(emp.Clone(), workload.EmployeeSensitive); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache, then snapshot exactly this state.
+	before, err := c.Query(Str("E259"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := cloud.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and restore.
+	srv.kill()
+	restored := wire.NewCloud()
+	if err := restored.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	srv.restart(t, restored)
+
+	// The warm cache must revalidate against the reborn store and still
+	// answer correctly.
+	after, err := c.Query(Str("E259"))
+	if err != nil {
+		t.Fatalf("query across restart: %v", err)
+	}
+	if !reflect.DeepEqual(relation.IDs(after), relation.IDs(before)) {
+		t.Fatalf("post-restart Query = %v, want %v", relation.IDs(after), relation.IDs(before))
+	}
+	// Writes applied to the restored cloud are visible immediately.
+	if err := c.Insert(empTuple(4000, "E960"), true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query(Str("E960"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("insert after restart: reader sees %d tuples, want 1", len(got))
+	}
+	if cs := c.CacheStats(); cs.Hits+cs.Misses == 0 {
+		t.Fatalf("cache never engaged across the restart: %+v", cs)
+	}
+}

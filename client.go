@@ -106,6 +106,18 @@ type Config struct {
 	// reconnects independently, migrating the upload buffers of the
 	// namespaces homed on it.
 	Reconnect bool
+	// DisableCache turns off the owner-side version cache that is on by
+	// default for remote clouds: cross-query reuse of the pulled column,
+	// decrypted payloads and index lookups, revalidated per query against
+	// the server's cheap version counter (never served stale — see
+	// docs/ARCHITECTURE.md). Disable it to reproduce the uncached wire
+	// profile of earlier versions. In-process clouds never cache: their
+	// store reads are free and the paper's cost tables assume the
+	// per-query pull.
+	DisableCache bool
+	// CacheBytes bounds the owner-side cache footprint in bytes
+	// (0 = technique.DefaultCacheBytes). Ignored when the cache is off.
+	CacheBytes int
 	// Store selects the cloud-side namespace this client's relation lives
 	// in when CloudAddr is set. One qbcloud hosts any number of named
 	// store pairs, each with its own address space, token index and
@@ -124,7 +136,8 @@ type Config struct {
 type Client struct {
 	owner  *owner.Owner
 	cfg    Config
-	remote wire.Backend // the Config.Store namespace view; non-nil when CloudAddr is set
+	remote wire.Backend     // the Config.Store namespace view; non-nil when CloudAddr is set
+	cache  *technique.Cache // owner-side version cache; nil when disabled or in-process
 
 	// transport is the shared connection (or pool) remote is a view of.
 	// ownsTransport is false for sub-clients composed over a transport
@@ -240,14 +253,39 @@ func newClientOn(cfg Config, transport wire.Transport, owns bool) (*Client, erro
 			return nil, fmt.Errorf("repro: technique %v does not support a remote cloud", cfg.Technique)
 		}
 	}
+	// The owner-side version cache is on by default against a remote
+	// cloud, where the per-query column pull it kills is a real network
+	// transfer; techniques without a cached path (Arx) simply ignore it.
+	var cache *technique.Cache
+	if remote != nil && !cfg.DisableCache {
+		cache = technique.NewCache(cfg.CacheBytes)
+		if cs, ok := tech.(interface{ SetCache(*technique.Cache) }); ok {
+			cs.SetCache(cache)
+		} else {
+			cache = nil
+		}
+	}
 	o := owner.New(tech, cfg.Attr)
 	if remote != nil {
 		o.SetCloudBackend(remote)
 	}
 	return &Client{
-		owner: o, cfg: cfg, remote: remote,
+		owner: o, cfg: cfg, remote: remote, cache: cache,
 		transport: transport, ownsTransport: owns,
 	}, nil
+}
+
+// CacheStats re-exports the owner-side cache accounting.
+type CacheStats = technique.CacheStats
+
+// CacheStats reports the cumulative effect of the owner-side version
+// cache; the zero value when the cache is off (in-process clouds,
+// Config.DisableCache, or a technique without a cached path).
+func (c *Client) CacheStats() CacheStats {
+	if c.cache == nil {
+		return CacheStats{}
+	}
+	return c.cache.Stats()
 }
 
 // Close releases the remote cloud connections (and their mux goroutines)

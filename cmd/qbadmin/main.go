@@ -13,11 +13,17 @@
 //	qbadmin -addr HOST:PORT -master KEY -store NAME stats
 //	qbadmin -addr HOST:PORT -master KEY -store NAME compact
 //	qbadmin -addr HOST:PORT -master KEY -store NAME drop
+//	qbadmin -addr HOST:PORT -master KEY -store NAME -n N set-workers
 //
-// ping and list need no key (liveness and discovery); stats, compact and
-// drop are per-namespace and owner-authenticated. drop destroys the
-// namespace's clear-text partition, encrypted rows and owner registration
-// irrecoverably (modulo cloud snapshots taken before the drop).
+// ping and list need no key (liveness and discovery); stats, compact,
+// drop and set-workers are per-namespace and owner-authenticated. drop
+// destroys the namespace's clear-text partition, encrypted rows and owner
+// registration irrecoverably (modulo cloud snapshots taken before the
+// drop). set-workers overrides the namespace's admission bound (the
+// server-wide -store-workers default) at runtime: -n N with N > 0 bounds
+// the namespace to N concurrent ops, N = 0 lifts the bound for it, and a
+// negative N clears the override; the override persists across cloud
+// snapshots.
 package main
 
 import (
@@ -30,10 +36,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7040", "qbcloud address")
-	master := flag.String("master", "", "owner master key (required for stats/compact/drop)")
+	master := flag.String("master", "", "owner master key (required for stats/compact/drop/set-workers)")
 	store := flag.String("store", "", "namespace to administer (\"\" = the default store)")
+	workers := flag.Int("n", -1, "set-workers: admission bound (>0 bound, 0 unlimited, <0 clear the override)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: qbadmin -addr HOST:PORT [-master KEY] [-store NAME] ping|list|stats|compact|drop")
+		fmt.Fprintln(os.Stderr, "usage: qbadmin -addr HOST:PORT [-master KEY] [-store NAME] [-n N] ping|list|stats|compact|drop|set-workers")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,13 +48,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *master, *store, flag.Arg(0)); err != nil {
+	if err := run(*addr, *master, *store, flag.Arg(0), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "qbadmin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, master, store, cmd string) error {
+func run(addr, master, store, cmd string, workers int) error {
 	c, err := wire.Dial(addr)
 	if err != nil {
 		return err
@@ -90,8 +97,8 @@ func run(addr, master, store, cmd string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("qbadmin: store %q: ops=%d plain_tuples=%d enc_rows=%d\n",
-			storeLabel(store), s.Ops, s.PlainTuples, s.EncRows)
+		fmt.Printf("qbadmin: store %q: ops=%d plain_tuples=%d enc_rows=%d cond_hits=%d workers=%s\n",
+			storeLabel(store), s.Ops, s.PlainTuples, s.EncRows, s.CondHits, workersLabel(s.Workers))
 	case "compact":
 		tok, err := token()
 		if err != nil {
@@ -111,10 +118,28 @@ func run(addr, master, store, cmd string) error {
 			return err
 		}
 		fmt.Printf("qbadmin: store %q dropped\n", storeLabel(store))
+	case "set-workers":
+		tok, err := token()
+		if err != nil {
+			return err
+		}
+		n, err := c.AdminSetWorkers(store, tok, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("qbadmin: store %q admission bound: %s\n", storeLabel(store), workersLabel(n))
 	default:
-		return fmt.Errorf("unknown command %q (want ping|list|stats|compact|drop)", cmd)
+		return fmt.Errorf("unknown command %q (want ping|list|stats|compact|drop|set-workers)", cmd)
 	}
 	return nil
+}
+
+// workersLabel renders an effective admission bound (0 = unbounded).
+func workersLabel(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // storeLabel names the namespace in output ("" is the default store).

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	qbbench [-exp all|fig5|fig6a|fig6b|fig6c|table2|table4|table6|security|metadata|insert|batch] [-full] [-seed N]
+//
+// -cpuprofile/-memprofile write pprof profiles of the selected experiments
+// (see docs/BENCHMARKS.md for the analysis workflow).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
@@ -20,12 +25,53 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, fig5, fig6a, fig6b, fig6c, table2, table4, table6, security, metadata, insert, batch)")
 	full := flag.Bool("full", false, "use the paper's dataset sizes (slow)")
 	seed := flag.Int64("seed", 1, "seed for data generation and binning")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run here (pprof)")
+	memProf := flag.String("memprofile", "", "write a heap profile at exit here (pprof)")
 	flag.Parse()
 
-	if err := run(*exp, *full, *seed); err != nil {
+	err := withProfiles(*cpuProf, *memProf, func() error {
+		return run(*exp, *full, *seed)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qbbench:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles runs f under an optional CPU profile and writes an optional
+// heap profile once f returns.
+func withProfiles(cpuPath, memPath string, f func() error) error {
+	if cpuPath != "" {
+		cf, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			fmt.Fprintf(os.Stderr, "qbbench: wrote CPU profile %s\n", cpuPath)
+		}()
+	}
+	if memPath != "" {
+		defer func() {
+			mf, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qbbench: memprofile:", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "qbbench: memprofile:", err)
+			}
+			mf.Close()
+			fmt.Fprintf(os.Stderr, "qbbench: wrote heap profile %s\n", memPath)
+		}()
+	}
+	return f()
 }
 
 func run(exp string, full bool, seed int64) error {

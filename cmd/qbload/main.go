@@ -30,6 +30,11 @@
 // what `make smoke-load` runs in CI. -o FILE writes the benchfmt JSON
 // consumed by the perf trajectory (BENCH_load.json).
 //
+// Remote clients enable the owner-side version cache by default;
+// -cache=false runs the pre-cache per-query-pull profile (the control arm
+// `make smoke-load-nocache` exercises). -cpuprofile/-memprofile write
+// pprof profiles of the whole run — see docs/BENCHMARKS.md.
+//
 // Usage:
 //
 //	qbload -tenants 4 -clients 4 -rate 500 -duration 10s -o BENCH_load.json
@@ -41,6 +46,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -75,34 +82,87 @@ func main() {
 		check    = flag.Bool("check", false, "cross-check every read against the sequential reference bounds")
 		assert   = flag.Bool("assert", false, "exit non-zero unless the run is clean (ops>0, errors=0, checks=0, sane percentiles)")
 		out      = flag.String("o", "", "write the benchfmt JSON report here (e.g. BENCH_load.json)")
+		cache    = flag.Bool("cache", true, "owner-side version cache (false = per-query column pull, the pre-cache profile)")
+		cacheMB  = flag.Int("cache-mb", 0, "owner-side cache budget per client in MiB (0 = library default)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run here (pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit here (pprof)")
 	)
 	flag.Parse()
 
-	tech, err := parseTechnique(*techName)
+	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err == nil {
-		err = run(runOpts{
-			cfg: loadgen.Config{
-				Tenants: *tenants, Clients: *clients, Rate: *rate,
-				Duration: *duration, Ops: *ops,
-				Gen:    loadgen.GenConfig{ReadFraction: *readFrac, ZipfS: *zipf},
-				Tuples: *tuples, DistinctValues: *values,
-				Alpha: *alpha, AssocFraction: *assoc,
-				Technique: tech, CloudAddr: *addr, CloudConns: *conns,
-				Seed: *seed, MaxInFlight: *maxIF, Check: *check,
-				Logf: func(format string, args ...any) {
-					fmt.Fprintf(os.Stderr, format+"\n", args...)
+		defer stopProf()
+		var tech repro.Technique
+		tech, err = parseTechnique(*techName)
+		if err == nil {
+			err = run(runOpts{
+				cfg: loadgen.Config{
+					Tenants: *tenants, Clients: *clients, Rate: *rate,
+					Duration: *duration, Ops: *ops,
+					Gen:    loadgen.GenConfig{ReadFraction: *readFrac, ZipfS: *zipf},
+					Tuples: *tuples, DistinctValues: *values,
+					Alpha: *alpha, AssocFraction: *assoc,
+					Technique: tech, CloudAddr: *addr, CloudConns: *conns,
+					DisableCache: !*cache, CacheBytes: *cacheMB << 20,
+					Seed: *seed, MaxInFlight: *maxIF, Check: *check,
+					Logf: func(format string, args ...any) {
+						fmt.Fprintf(os.Stderr, format+"\n", args...)
+					},
 				},
-			},
-			bin: *bin, storeWorkers: *workers,
-			killAt: *killAt, restartAfter: *restart,
-			snapshotEvery: *snapshot, state: *state,
-			assert: *assert, out: *out,
-		})
+				bin: *bin, storeWorkers: *workers,
+				killAt: *killAt, restartAfter: *restart,
+				snapshotEvery: *snapshot, state: *state,
+				assert: *assert, out: *out,
+			})
+		}
+		stopProf()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qbload: FAIL:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles starts a CPU profile and arranges a heap profile, either
+// optional. The returned stop is idempotent so the happy path can flush
+// profiles before exiting and the deferred call stays a no-op.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "qbload: wrote CPU profile %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qbload: memprofile:", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qbload: memprofile:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "qbload: wrote heap profile %s\n", memPath)
+		}
+	}, nil
 }
 
 func parseTechnique(name string) (repro.Technique, error) {

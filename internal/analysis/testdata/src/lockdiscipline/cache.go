@@ -1,0 +1,64 @@
+// Fixtures for the owner-cache mutex discipline (technique.Cache): the
+// snapshot-under-lock / round-trip-unlocked / store-under-lock pattern
+// must pass clean, while mutating cache segments without the write lock —
+// the bug class the pattern exists to prevent — is flagged.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// memoCache mirrors the shape of the owner-side version cache: a mutex
+// over map/slice segments plus lock-free atomic counters.
+type memoCache struct {
+	mu    sync.RWMutex
+	memo  map[string][]int
+	order []string
+
+	hits atomic.Uint64 // atomics need no lock
+}
+
+// snapshot copies the addresses for a key out under the read lock; the
+// caller revalidates over the network without holding mu.
+func (c *memoCache) snapshot(key string) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.hits.Add(1) // atomic: legal under RLock
+	out := make([]int, len(c.memo[key]))
+	copy(out, c.memo[key])
+	return out
+}
+
+// store publishes a revalidated entry last-writer-wins under the write
+// lock.
+func (c *memoCache) store(key string, addrs []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memo[key] = addrs
+	c.order = append(c.order, key)
+	c.evictLocked()
+}
+
+// evictLocked drops the oldest entry. The caller holds c.mu.
+func (c *memoCache) evictLocked() {
+	if len(c.order) > 8 {
+		delete(c.memo, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// storeRacy mutates the memo segment without any lock: the exact write
+// path the snapshot/store discipline forbids.
+func (c *memoCache) storeRacy(key string, addrs []int) {
+	c.memo[key] = addrs            // want "not dominated by a write lock"
+	c.order = append(c.order, key) // want "not dominated by a write lock"
+	_ = addrs
+}
+
+// evictUnderRLock downgrades eviction to the read lock, racing snapshot.
+func (c *memoCache) evictUnderRLock() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.order = c.order[:0] // want "holding only the read lock"
+}

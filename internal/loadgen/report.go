@@ -16,16 +16,19 @@ import (
 func (r TenantResult) metrics() map[string]float64 {
 	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 	return map[string]float64{
-		"queries_per_sec": r.AchievedQPS,
-		"target_qps":      r.TargetQPS,
-		"ops":             float64(r.Ops),
-		"errors":          float64(r.Errors),
-		"checks_failed":   float64(r.ChecksFailed),
-		"mean_us":         us(r.Mean),
-		"p50_us":          us(r.P50),
-		"p95_us":          us(r.P95),
-		"p99_us":          us(r.P99),
-		"max_us":          us(r.Max),
+		"queries_per_sec":   r.AchievedQPS,
+		"target_qps":        r.TargetQPS,
+		"ops":               float64(r.Ops),
+		"errors":            float64(r.Errors),
+		"checks_failed":     float64(r.ChecksFailed),
+		"mean_us":           us(r.Mean),
+		"p50_us":            us(r.P50),
+		"p95_us":            us(r.P95),
+		"p99_us":            us(r.P99),
+		"max_us":            us(r.Max),
+		"cache_hits":        float64(r.CacheHits),
+		"cache_misses":      float64(r.CacheMisses),
+		"cache_bytes_saved": float64(r.CacheBytesSaved),
 	}
 }
 
@@ -50,6 +53,7 @@ func (res *Result) Report(cfg Config, generatedUnix int64) benchfmt.Report {
 			"technique":       cfg.Technique.String(),
 			"remote":          cfg.CloudAddr != "",
 			"reconnect":       cfg.Reconnect,
+			"cache":           cfg.CloudAddr != "" && !cfg.DisableCache,
 			"elapsed_seconds": res.Elapsed.Seconds(),
 		},
 	}
@@ -82,6 +86,10 @@ func (res *Result) WriteTable(w io.Writer) {
 		row(t)
 	}
 	row(res.Aggregate)
+	if a := res.Aggregate; a.CacheHits+a.CacheMisses > 0 {
+		fmt.Fprintf(w, "owner cache: hits=%d misses=%d bytes_saved=%d\n",
+			a.CacheHits, a.CacheMisses, a.CacheBytesSaved)
+	}
 	if res.FirstCheckFailure != "" {
 		fmt.Fprintf(w, "first check failure: %s\n", res.FirstCheckFailure)
 	}

@@ -52,6 +52,12 @@ type Config struct {
 	// Reconnect wraps remote clients in the reconnecting transport so a
 	// chaos kill/restart is measured (as latency) instead of fatal.
 	Reconnect bool
+	// DisableCache turns off the owner-side version cache the remote
+	// clients enable by default (repro.Config.DisableCache) — the control
+	// arm for before/after comparisons.
+	DisableCache bool
+	// CacheBytes bounds each client's cache (0 = library default).
+	CacheBytes int
 	// StorePrefix namespaces this run's stores ("<prefix>/t00", ...).
 	StorePrefix string
 	// Seed makes datasets, op streams and bin permutations deterministic.
@@ -127,6 +133,11 @@ type TenantResult struct {
 	Mean         time.Duration
 	P50, P95     time.Duration
 	P99, Max     time.Duration
+	// Owner-side version-cache totals, summed across the tenant's clients
+	// (zero when the cache is off).
+	CacheHits       uint64
+	CacheMisses     uint64
+	CacheBytesSaved uint64
 }
 
 // Result is the outcome of one Run.
@@ -224,6 +235,8 @@ func setupTenant(cfg *Config, t int) (*tenantState, error) {
 		rcfg.CloudAddr = cfg.CloudAddr
 		rcfg.CloudConns = cfg.CloudConns
 		rcfg.Reconnect = cfg.Reconnect
+		rcfg.DisableCache = cfg.DisableCache
+		rcfg.CacheBytes = cfg.CacheBytes
 		ts.store = fmt.Sprintf("%s/%s", cfg.StorePrefix, ts.name)
 		rcfg.Store = ts.store
 	}
@@ -396,6 +409,12 @@ func (ts *tenantState) result(elapsed time.Duration) TenantResult {
 		P99:          ts.hist.Percentile(99),
 		Max:          ts.hist.Max(),
 	}
+	for _, c := range ts.clients {
+		cs := c.CacheStats()
+		r.CacheHits += cs.Hits
+		r.CacheMisses += cs.Misses
+		r.CacheBytesSaved += cs.BytesSaved
+	}
 	if elapsed > 0 {
 		r.AchievedQPS = float64(r.Ops) / elapsed.Seconds()
 	}
@@ -464,6 +483,9 @@ func Run(cfg Config) (*Result, error) {
 		aggRow.Ops += row.Ops
 		aggRow.Errors += row.Errors
 		aggRow.ChecksFailed += row.ChecksFailed
+		aggRow.CacheHits += row.CacheHits
+		aggRow.CacheMisses += row.CacheMisses
+		aggRow.CacheBytesSaved += row.CacheBytesSaved
 		ts.failMu.Lock()
 		if res.FirstCheckFailure == "" && ts.firstFail != "" {
 			res.FirstCheckFailure = ts.firstFail

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"hash/maphash"
 	"sync"
@@ -16,6 +18,33 @@ type EncRow struct {
 	TupleCT []byte // probabilistic ciphertext of the encoded tuple
 	AttrCT  []byte // probabilistic ciphertext of the searchable attribute value
 	Token   []byte // deterministic/Arx token, nil for non-indexable techniques
+}
+
+// EncVersion identifies a point in an EncryptedStore's write history.
+// Epoch is a random nonzero instance identifier: two stores (or the same
+// namespace before and after a snapshot restore, which can silently drop
+// post-snapshot writes) never share an epoch, so a cache keyed by an old
+// epoch can never be validated against rewritten addresses. N counts
+// writes (Add, Compact) within the epoch. Within one epoch the row column
+// is append-only and rows are immutable, so any state captured at
+// (Epoch, have rows) extends to the present by fetching only rows[have:].
+type EncVersion struct {
+	Epoch uint64
+	N     uint64
+}
+
+// newEpoch draws a random nonzero epoch. The zero epoch is reserved as
+// "client holds no cache" and never matches a live store.
+func newEpoch() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic("storage: epoch randomness unavailable: " + err.Error())
+		}
+		if e := binary.LittleEndian.Uint64(b[:]); e != 0 {
+			return e
+		}
+	}
 }
 
 // tokenShards is the stripe count of the token index. 16 stripes keep the
@@ -55,6 +84,15 @@ type EncryptedStore struct {
 	snap atomic.Pointer[[]EncRow]
 
 	tokens [tokenShards]tokenShard
+
+	// epoch is fixed at construction; ver counts writes. Writers bump ver
+	// only AFTER publishing the new snapshot, and readers load ver BEFORE
+	// the snapshot, so a version observed with some snapshot is never
+	// fresher than that snapshot: a client that caches (rows, version) and
+	// later revalidates can at worst be sent rows it already holds, never
+	// be told "unchanged" while rows it lacks exist under that version.
+	epoch uint64
+	ver   atomic.Uint64
 }
 
 // tokenSeed makes the stripe hash per-process (no cross-store coupling,
@@ -63,7 +101,7 @@ var tokenSeed = maphash.MakeSeed()
 
 // NewEncryptedStore returns an empty store.
 func NewEncryptedStore() *EncryptedStore {
-	s := &EncryptedStore{}
+	s := &EncryptedStore{epoch: newEpoch()}
 	empty := []EncRow(nil)
 	s.snap.Store(&empty)
 	for i := range s.tokens {
@@ -85,6 +123,9 @@ func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
 	// LookupToken is always fetchable from the row snapshot.
 	rows := s.rows
 	s.snap.Store(&rows)
+	// Bump the version only after the row is visible, so Version/
+	// AttrColumnSince callers that see the new N can always fetch the row.
+	s.ver.Add(1)
 	s.writeMu.Unlock()
 
 	if token != nil {
@@ -169,6 +210,7 @@ func (s *EncryptedStore) Compact() int {
 	copy(rows, s.rows)
 	s.rows = rows
 	s.snap.Store(&rows)
+	s.ver.Add(1)
 
 	// Rebuild each stripe's map with exact-size buckets; per-stripe locks
 	// keep concurrent LookupToken calls safe throughout.
@@ -192,4 +234,68 @@ func (s *EncryptedStore) LookupToken(tok []byte) []int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return sh.m[string(tok)]
+}
+
+// EncVersion returns the store's current version. The error is always nil
+// here; the signature matches the remote backends so owner-side caches can
+// treat local and remote stores uniformly. The version is loaded before
+// any snapshot a caller takes afterwards, so pairing this version with a
+// later snapshot is conservative (see the field comment on ver).
+func (s *EncryptedStore) EncVersion() (EncVersion, error) {
+	return EncVersion{Epoch: s.epoch, N: s.ver.Load()}, nil
+}
+
+// AttrColumnSince is the conditional form of AttrColumn. If v carries this
+// store's epoch and the caller already holds the first `have` rows of the
+// column, only the attribute cells of rows[have:] are returned with
+// delta=true (an empty slice means "not modified"). On an epoch mismatch —
+// no cache, a different store, or a post-restore rebirth — the full column
+// is returned with delta=false. The returned version is never fresher than
+// the returned rows, so (cached rows + delta, returned version) is always
+// a sound pair to revalidate with later.
+func (s *EncryptedStore) AttrColumnSince(v EncVersion, have int) ([]EncRow, EncVersion, bool, error) {
+	cur := EncVersion{Epoch: s.epoch, N: s.ver.Load()}
+	rows := s.snapshot()
+	if v.Epoch == s.epoch && have >= 0 && have <= len(rows) {
+		tail := rows[have:]
+		out := make([]EncRow, len(tail))
+		for i, r := range tail {
+			out[i] = EncRow{Addr: r.Addr, AttrCT: r.AttrCT}
+		}
+		return out, cur, true, nil
+	}
+	out := make([]EncRow, len(rows))
+	for i, r := range rows {
+		out[i] = EncRow{Addr: r.Addr, AttrCT: r.AttrCT}
+	}
+	return out, cur, false, nil
+}
+
+// RowsSince is the conditional form of Rows: full rows instead of the
+// attribute column, same delta contract as AttrColumnSince.
+func (s *EncryptedStore) RowsSince(v EncVersion, have int) ([]EncRow, EncVersion, bool, error) {
+	cur := EncVersion{Epoch: s.epoch, N: s.ver.Load()}
+	rows := s.snapshot()
+	if v.Epoch == s.epoch && have >= 0 && have <= len(rows) {
+		tail := rows[have:]
+		out := make([]EncRow, len(tail))
+		copy(out, tail)
+		return out, cur, true, nil
+	}
+	out := make([]EncRow, len(rows))
+	copy(out, rows)
+	return out, cur, false, nil
+}
+
+// SetVersionFloor raises the write counter to at least n. Snapshot restore
+// uses it so a restored namespace never reports a version below the one it
+// was saved at; the epoch is freshly drawn at construction regardless, so
+// caches validated against the pre-restore store can never match.
+func (s *EncryptedStore) SetVersionFloor(n uint64) {
+	for {
+		cur := s.ver.Load()
+		if cur >= n || s.ver.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }

@@ -14,12 +14,20 @@ import (
 // its own, leaks the full frequency histogram of the attribute — the
 // canonical weak-but-indexable technique QB hardens (§VI).
 //
-// DetIndex keeps no mutable owner-side state: concurrent searches are safe
-// because the ciphers are stateless and the store synchronises internally.
+// DetIndex keeps no mutable owner-side state of its own: concurrent
+// searches are safe because the ciphers are stateless, the store
+// synchronises internally, and the optional Cache synchronises internally
+// too.
 type DetIndex struct {
 	prob  *crypto.Probabilistic
 	det   *crypto.Deterministic
 	store EncStore
+
+	// cache/vstore are set together by SetCache when the store supports
+	// version counters: searches then memoise token→address lookups at an
+	// exact store version and reuse cached payload decryptions.
+	cache  *Cache
+	vstore VersionedEncStore
 }
 
 // NewDetIndex builds the technique over the derived key set.
@@ -71,8 +79,23 @@ func (d *DetIndex) Outsource(rows []Row) (*Stats, error) {
 	return st, nil
 }
 
+// SetCache attaches (or, with nil, detaches) an owner-side version cache.
+// It takes effect only when the underlying store supports version counters
+// (VersionedEncStore) and must be called before the technique is shared
+// across goroutines.
+func (d *DetIndex) SetCache(c *Cache) {
+	if vs, ok := d.store.(VersionedEncStore); ok && c != nil {
+		d.cache, d.vstore = c, vs
+		return
+	}
+	d.cache, d.vstore = nil, nil
+}
+
 // Search implements Technique: one index probe per predicate.
 func (d *DetIndex) Search(values []relation.Value) ([][]byte, *Stats, error) {
+	if d.cache != nil {
+		return d.searchCached(values)
+	}
 	st := &Stats{Rounds: 1}
 	var addrs []int
 	for _, v := range values {
@@ -95,6 +118,92 @@ func (d *DetIndex) Search(values []relation.Value) ([][]byte, *Stats, error) {
 		st.EncOps++
 		st.TuplesTransferred++
 		st.BytesTransferred += len(r.TupleCT)
+		payloads = append(payloads, pt)
+	}
+	st.ReturnedAddrs = addrs
+	return payloads, st, nil
+}
+
+// searchCached is Search with the version cache engaged: one cheap version
+// round trip decides whether the memoised token→address lists are still
+// exact (any write may change any posting list, so memos only survive an
+// unchanged version), and round 2 fetches only the addresses whose
+// decryptions are not cached. Results and ReturnedAddrs are identical to
+// the uncached path; the cloud-observed accesses are a subset of it.
+func (d *DetIndex) searchCached(values []relation.Value) ([][]byte, *Stats, error) {
+	st := &Stats{Rounds: 1}
+	cur, err := d.vstore.EncVersion()
+	if err != nil {
+		return nil, nil, err
+	}
+	allMemo := true
+	var addrs []int
+	for _, v := range values {
+		token := d.det.Encrypt(v.Encode())
+		st.EncOps++
+		hits, ok := d.cache.memoGet(cur, string(token))
+		if ok {
+			// One posting-list probe avoided: roughly 8 bytes per address
+			// plus the token that would have travelled.
+			st.CacheBytesSaved += len(token) + 8*len(hits)
+		} else {
+			allMemo = false
+			hits = d.store.LookupToken(token)
+			d.cache.memoPut(cur, string(token), hits)
+		}
+		st.TuplesScanned += len(hits)
+		addrs = append(addrs, hits...)
+	}
+	if allMemo && len(values) > 0 {
+		st.CacheHits++
+		d.cache.recordHit(st.CacheBytesSaved)
+	} else {
+		st.CacheMisses++
+		d.cache.recordMiss()
+		d.cache.recordSaved(st.CacheBytesSaved)
+	}
+
+	found, ctSaved := d.cache.payloadGet(cur.Epoch, addrs)
+	if ctSaved > 0 {
+		st.CacheBytesSaved += ctSaved
+		d.cache.recordSaved(ctSaved)
+	}
+	missing := addrs
+	if len(found) > 0 {
+		missing = make([]int, 0, len(addrs)-len(found))
+		for _, a := range addrs {
+			if _, ok := found[a]; !ok {
+				missing = append(missing, a)
+			}
+		}
+	}
+	var rows []storage.EncRow
+	if len(missing) > 0 {
+		rows, err = d.store.Fetch(missing)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	payloads := make([][]byte, 0, len(addrs))
+	next := 0
+	for _, a := range addrs {
+		if pt, ok := found[a]; ok {
+			payloads = append(payloads, pt)
+			continue
+		}
+		if next >= len(rows) {
+			return nil, nil, fmt.Errorf("technique: detindex fetch returned %d rows for %d addresses", len(rows), len(missing))
+		}
+		r := rows[next]
+		next++
+		pt, err := d.prob.Decrypt(r.TupleCT)
+		if err != nil {
+			return nil, nil, fmt.Errorf("technique: detindex decrypt addr %d: %w", r.Addr, err)
+		}
+		st.EncOps++
+		st.TuplesTransferred++
+		st.BytesTransferred += len(r.TupleCT)
+		d.cache.payloadPut(cur.Epoch, r.Addr, pt, len(r.TupleCT))
 		payloads = append(payloads, pt)
 	}
 	st.ReturnedAddrs = addrs

@@ -32,7 +32,36 @@ type BatchEncStore interface {
 	FetchBatch(addrBatches [][]int) ([][]storage.EncRow, error)
 }
 
+// VersionedEncStore is an EncStore whose contents carry a cheap version
+// counter, enabling owner-side cross-query caching: instead of re-pulling
+// the whole attribute column (or padded table) on every query, a cache-
+// enabled technique asks the store for "everything since the version I
+// hold" and gets back a tiny not-modified answer — or just the appended
+// tail — when nothing (or little) changed. Over the wire protocol this
+// turns the dominant per-query transfer into a constant-size round trip.
+//
+// The version is an (Epoch, N) pair: Epoch identifies one store instance
+// (it changes on restore-from-snapshot, so a cache can never survive into
+// a state that silently lost writes) and N counts writes within the
+// instance. Techniques must treat versions as opaque: only the store
+// decides whether a held version is still serviceable.
+type VersionedEncStore interface {
+	EncStore
+	// EncVersion returns the store's current version.
+	EncVersion() (storage.EncVersion, error)
+	// AttrColumnSince returns the attribute column conditionally: if v is
+	// current-epoch and the caller already holds `have` rows, only the rows
+	// at addresses >= have come back and delta is true (an empty delta
+	// means not modified); otherwise the full column comes back with
+	// delta false. cur is the version the returned data is consistent with.
+	AttrColumnSince(v storage.EncVersion, have int) (rows []storage.EncRow, cur storage.EncVersion, delta bool, err error)
+	// RowsSince is AttrColumnSince for full rows (payload + attribute +
+	// token), serving techniques that cache the whole padded table.
+	RowsSince(v storage.EncVersion, have int) (rows []storage.EncRow, cur storage.EncVersion, delta bool, err error)
+}
+
 var (
-	_ EncStore      = (*storage.EncryptedStore)(nil)
-	_ BatchEncStore = (*storage.EncryptedStore)(nil)
+	_ EncStore          = (*storage.EncryptedStore)(nil)
+	_ BatchEncStore     = (*storage.EncryptedStore)(nil)
+	_ VersionedEncStore = (*storage.EncryptedStore)(nil)
 )

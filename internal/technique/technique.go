@@ -55,6 +55,16 @@ type Stats struct {
 	// SimulatedTime is nonzero only for simulated techniques (Opaque,
 	// Jana): the virtual wall-clock the calibrated cost model charges.
 	SimulatedTime time.Duration
+	// CacheHits / CacheMisses count owner-side version-cache revalidations:
+	// a hit is a query whose cached column/table/memo was confirmed current
+	// (or extended by a delta) by the store's version counter, a miss is a
+	// full re-pull. Zero unless the technique has a cache attached.
+	CacheHits   int
+	CacheMisses int
+	// CacheBytesSaved estimates the wire bytes a cache hit avoided — the
+	// size of the transfer the uncached path would have made minus what the
+	// conditional path actually moved.
+	CacheBytesSaved int
 	// PerQuery is populated by SearchBatch only: entry i is query i's
 	// attributable slice of the batch — its ReturnedAddrs (the per-query
 	// access pattern the owner turns into an adversarial view) and its
@@ -76,6 +86,9 @@ func (s *Stats) Add(o *Stats) {
 	s.BytesTransferred += o.BytesTransferred
 	s.ReturnedAddrs = append(s.ReturnedAddrs, o.ReturnedAddrs...)
 	s.SimulatedTime += o.SimulatedTime
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheBytesSaved += o.CacheBytesSaved
 }
 
 // Technique is a cryptographic mechanism for outsourcing and searching the

@@ -251,6 +251,19 @@ func (c *Client) LookupToken(tok []byte) []int { return c.def.LookupToken(tok) }
 // Rows implements technique.EncStore on the default store.
 func (c *Client) Rows() []storage.EncRow { return c.def.Rows() }
 
+// EncVersion implements technique.VersionedEncStore on the default store.
+func (c *Client) EncVersion() (storage.EncVersion, error) { return c.def.EncVersion() }
+
+// AttrColumnSince implements technique.VersionedEncStore on the default store.
+func (c *Client) AttrColumnSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	return c.def.AttrColumnSince(v, have)
+}
+
+// RowsSince implements technique.VersionedEncStore on the default store.
+func (c *Client) RowsSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	return c.def.RowsSince(v, have)
+}
+
 // --- StoreClient --------------------------------------------------------
 
 // StoreClient is one namespace's view of a shared connection. It
@@ -591,6 +604,41 @@ func (s *StoreClient) Rows() []storage.EncRow {
 		return nil
 	}
 	return rows
+}
+
+// --- technique.VersionedEncStore ----------------------------------------
+
+// EncVersion implements technique.VersionedEncStore: the namespace's
+// current version in one tiny round trip.
+func (s *StoreClient) EncVersion() (storage.EncVersion, error) {
+	resp, err := s.call(&request{Op: opEncVersion})
+	if err != nil {
+		return storage.EncVersion{}, err
+	}
+	return storage.EncVersion{Epoch: resp.VerEpoch, N: resp.VerN}, nil
+}
+
+// AttrColumnSince implements technique.VersionedEncStore: the conditional
+// column pull. When the cache version v still matches the namespace's
+// epoch, the response carries only the rows past have (delta=true; empty
+// on a clean hit — a not-modified frame of a few bytes instead of the
+// whole column); otherwise the full column comes back with delta=false.
+func (s *StoreClient) AttrColumnSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	resp, err := s.call(&request{Op: opEncAttrColumnIf, CondEpoch: v.Epoch, CondN: v.N, Have: have})
+	if err != nil {
+		return nil, storage.EncVersion{}, false, err
+	}
+	return resp.Rows, storage.EncVersion{Epoch: resp.VerEpoch, N: resp.VerN}, resp.Delta, nil
+}
+
+// RowsSince implements technique.VersionedEncStore: the conditional full-
+// row pull, same delta contract as AttrColumnSince.
+func (s *StoreClient) RowsSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	resp, err := s.call(&request{Op: opEncRowsIf, CondEpoch: v.Epoch, CondN: v.N, Have: have})
+	if err != nil {
+		return nil, storage.EncVersion{}, false, err
+	}
+	return resp.Rows, storage.EncVersion{Epoch: resp.VerEpoch, N: resp.VerN}, resp.Delta, nil
 }
 
 func cloneBytes(b []byte) []byte {

@@ -47,7 +47,8 @@ func binaryOp(o op) bool {
 	switch o {
 	case opPing, opPlainSearch, opPlainSearchRange, opPlainInsert,
 		opEncAdd, opEncAddBatch, opEncLen, opEncAttrColumn, opEncFetch,
-		opEncLookupToken, opEncRows, opEncFetchBatch:
+		opEncLookupToken, opEncRows, opEncFetchBatch,
+		opEncVersion, opEncAttrColumnIf, opEncRowsIf:
 		return true
 	}
 	return false
@@ -92,8 +93,12 @@ func appendBinRequest(buf []byte, req *request) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(req.Store)))
 	buf = append(buf, req.Store...)
 	switch req.Op {
-	case opPing, opEncLen, opEncAttrColumn, opEncRows:
+	case opPing, opEncLen, opEncAttrColumn, opEncRows, opEncVersion:
 		// No payload.
+	case opEncAttrColumnIf, opEncRowsIf:
+		buf = binary.AppendUvarint(buf, req.CondEpoch)
+		buf = binary.AppendUvarint(buf, req.CondN)
+		buf = binary.AppendUvarint(buf, uint64(req.Have))
 	case opPlainSearch:
 		buf = binary.AppendUvarint(buf, uint64(len(req.Values)))
 		for _, v := range req.Values {
@@ -162,6 +167,18 @@ func appendBinResponse(buf []byte, o op, resp *response, extra byte) []byte {
 	case opEncLookupToken:
 		buf = appendAddrs(buf, resp.Addrs)
 	case opEncAttrColumn, opEncRows, opEncFetch:
+		buf = appendRows(buf, resp.Rows)
+	case opEncVersion:
+		buf = binary.AppendUvarint(buf, resp.VerEpoch)
+		buf = binary.AppendUvarint(buf, resp.VerN)
+	case opEncAttrColumnIf, opEncRowsIf:
+		buf = binary.AppendUvarint(buf, resp.VerEpoch)
+		buf = binary.AppendUvarint(buf, resp.VerN)
+		var d byte
+		if resp.Delta {
+			d = 1
+		}
+		buf = append(buf, d)
 		buf = appendRows(buf, resp.Rows)
 	case opEncFetchBatch:
 		buf = binary.AppendUvarint(buf, uint64(len(resp.RowBatches)))
@@ -377,8 +394,16 @@ func decodeBinRequest(body []byte) (*request, error) {
 	req.Store = r.str()
 	a := arena{size: len(body)}
 	switch req.Op {
-	case opPing, opEncLen, opEncAttrColumn, opEncRows:
+	case opPing, opEncLen, opEncAttrColumn, opEncRows, opEncVersion:
 		// No payload.
+	case opEncAttrColumnIf, opEncRowsIf:
+		req.CondEpoch = r.uvarint()
+		req.CondN = r.uvarint()
+		if have := r.uvarint(); have <= uint64(int(^uint(0)>>1)) {
+			req.Have = int(have)
+		} else {
+			r.fail()
+		}
 	case opPlainSearch:
 		if n := r.count(1); n > 0 {
 			req.Values = make([]relation.Value, 0, n)
@@ -469,6 +494,20 @@ func decodeBinResponse(body []byte) (resp *response, partial bool, err error) {
 		case opEncLookupToken:
 			resp.Addrs = r.addrs()
 		case opEncAttrColumn, opEncRows, opEncFetch:
+			resp.Rows = r.rows(&a)
+		case opEncVersion:
+			resp.VerEpoch = r.uvarint()
+			resp.VerN = r.uvarint()
+		case opEncAttrColumnIf, opEncRowsIf:
+			resp.VerEpoch = r.uvarint()
+			resp.VerN = r.uvarint()
+			switch r.byte() {
+			case 0:
+			case 1:
+				resp.Delta = true
+			default:
+				r.fail() // non-canonical delta byte
+			}
 			resp.Rows = r.rows(&a)
 		case opEncFetchBatch:
 			if n := r.count(1); n > 0 {

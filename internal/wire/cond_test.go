@@ -1,0 +1,329 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// encFill appends n rows with the given attribute-ciphertext size to a
+// store view and flushes them.
+func encFill(t *testing.T, v *StoreClient, n, attrSize int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ct := []byte{byte(i)}
+		attr := bytes.Repeat([]byte{byte(i)}, attrSize)
+		if a := v.Add(ct, attr, nil); a < 0 {
+			t.Fatalf("add %d failed: %v", i, v.Err())
+		}
+	}
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCondPullProtocol drives opEncVersion/opEncAttrColumnIf over a real
+// connection through every branch of the delta contract: first pull from
+// a zero version is a full resend, revalidation at the current version is
+// a tiny not-modified frame, a write turns the next revalidation into a
+// tail-only delta, and a foreign epoch or nonsensical have falls back to
+// a full resend.
+func TestCondPullProtocol(t *testing.T) {
+	_, addr := startCloudListener(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v := c.WithStore("cond")
+	encFill(t, v, 3, 4)
+
+	// Cold client: zero version, nothing held -> full resend.
+	rows, cur, delta, err := v.AttrColumnSince(storage.EncVersion{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta {
+		t.Fatal("zero-version pull answered as a delta")
+	}
+	if len(rows) != 3 || cur.Epoch == 0 || cur.N == 0 {
+		t.Fatalf("full pull = %d rows, version %+v", len(rows), cur)
+	}
+
+	// Revalidation at the current version: not modified, no rows.
+	rows2, cur2, delta, err := v.AttrColumnSince(cur, len(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta || len(rows2) != 0 || cur2 != cur {
+		t.Fatalf("revalidate = %d rows, delta=%v, version %+v (want empty delta at %+v)",
+			len(rows2), delta, cur2, cur)
+	}
+
+	// Two writes later the same revalidation yields exactly the tail.
+	encFill(t, v, 2, 4)
+	tail, cur3, delta, err := v.AttrColumnSince(cur, len(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta || len(tail) != 2 || tail[0].Addr != 3 || tail[1].Addr != 4 {
+		t.Fatalf("delta after 2 adds = %+v (delta=%v)", tail, delta)
+	}
+	if cur3.Epoch != cur.Epoch || cur3.N <= cur.N {
+		t.Fatalf("version after adds = %+v, want same epoch, larger N than %+v", cur3, cur)
+	}
+
+	// A foreign epoch (another store instance, or a restored cloud) can
+	// never validate: full resend, delta=false.
+	alien := storage.EncVersion{Epoch: cur.Epoch + 1, N: cur.N}
+	full, _, delta, err := v.AttrColumnSince(alien, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta || len(full) != 5 {
+		t.Fatalf("foreign-epoch pull = %d rows, delta=%v, want 5-row full resend", len(full), delta)
+	}
+
+	// Claiming more rows than exist is self-correcting, not an error.
+	full, _, delta, err = v.AttrColumnSince(cur3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta || len(full) != 5 {
+		t.Fatalf("overlong have = %d rows, delta=%v, want full resend", len(full), delta)
+	}
+
+	// RowsSince follows the same contract and carries full rows.
+	frows, fcur, delta, err := v.RowsSince(storage.EncVersion{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta || len(frows) != 5 || len(frows[0].TupleCT) == 0 {
+		t.Fatalf("RowsSince full pull = %+v (delta=%v)", frows, delta)
+	}
+	none, _, delta, err := v.RowsSince(fcur, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta || len(none) != 0 {
+		t.Fatalf("RowsSince revalidate = %d rows, delta=%v", len(none), delta)
+	}
+}
+
+// TestCondVersionMatchesEncVersion: the version returned by a conditional
+// pull is the one opEncVersion reports, so a client may interleave cheap
+// version probes with pulls and the two never disagree on epoch.
+func TestCondVersionMatchesEncVersion(t *testing.T) {
+	_, addr := startCloudListener(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v := c.WithStore("probe")
+	encFill(t, v, 2, 4)
+
+	probe, err := v.EncVersion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cur, _, err := v.AttrColumnSince(storage.EncVersion{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe != cur {
+		t.Fatalf("EncVersion %+v != pull version %+v", probe, cur)
+	}
+}
+
+// TestCondChunkedDelta: a delta big enough to stream in multiple frames
+// still carries the version fields (the client keeps the first chunk's
+// values) and reassembles the tail exactly.
+func TestCondChunkedDelta(t *testing.T) {
+	_, addr := startCloudListener(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v := c.WithStore("chunky")
+
+	// Base rows, then a tail well above chunkTarget (256 KiB): 12 rows of
+	// 40 KiB attribute ciphertext stream as at least two frames.
+	encFill(t, v, 2, 8)
+	base, cur, _, err := v.AttrColumnSince(storage.EncVersion{}, 0)
+	if err != nil || len(base) != 2 {
+		t.Fatalf("base pull = %d rows, %v", len(base), err)
+	}
+	const tailRows, attrSize = 12, 40 << 10
+	encFill(t, v, tailRows, attrSize)
+
+	tail, cur2, delta, err := v.AttrColumnSince(cur, len(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta || len(tail) != tailRows {
+		t.Fatalf("chunked delta = %d rows, delta=%v, want %d-row delta", len(tail), delta, tailRows)
+	}
+	if cur2.Epoch != cur.Epoch || cur2.N != cur.N+tailRows {
+		t.Fatalf("chunked delta version = %+v, want epoch %d, N %d", cur2, cur.Epoch, cur.N+tailRows)
+	}
+	for i, r := range tail {
+		if r.Addr != 2+i || len(r.AttrCT) != attrSize {
+			t.Fatalf("tail row %d = addr %d, %d attr bytes", i, r.Addr, len(r.AttrCT))
+		}
+	}
+}
+
+// TestCondAcrossRestore: a snapshot restore rebirths every namespace
+// under a fresh epoch, so a client cache validated against the old cloud
+// gets a full resend — never a bogus "not modified" — and the restored
+// version floor keeps N from regressing below the saved value.
+func TestCondAcrossRestore(t *testing.T) {
+	cl1 := NewCloud()
+	c1 := startCloudOn(t, cl1)
+	v1 := c1.WithStore("persist")
+	encFill(t, v1, 4, 4)
+	_, old, _, err := v1.AttrColumnSince(storage.EncVersion{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := cl1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := NewCloud()
+	if err := cl2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	c2 := startCloudOn(t, cl2)
+	v2 := c2.WithStore("persist")
+
+	rows, cur, delta, err := v2.AttrColumnSince(old, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta {
+		t.Fatal("restored cloud validated a pre-restore cache")
+	}
+	if len(rows) != 4 {
+		t.Fatalf("post-restore full resend = %d rows, want 4", len(rows))
+	}
+	if cur.Epoch == old.Epoch || cur.Epoch == 0 {
+		t.Fatalf("restored epoch %d not fresh (old %d)", cur.Epoch, old.Epoch)
+	}
+	if cur.N < old.N {
+		t.Fatalf("restored version N=%d regressed below saved N=%d", cur.N, old.N)
+	}
+}
+
+// TestCondHitsCounted: delta-served conditional pulls increment the
+// namespace's CondHits stat (surfaced through qbadmin), full resends do
+// not.
+func TestCondHitsCounted(t *testing.T) {
+	c := startCloudOn(t, NewCloud())
+	master := []byte("cond stats master")
+	loadTenant(t, c, "tenant", master)
+	tok := OwnerToken(master, "tenant")
+	v := c.WithStore("tenant")
+
+	s0, err := c.AdminStats("tenant", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cur, _, err := v.AttrColumnSince(storage.EncVersion{}, 0) // full resend
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.AdminStats("tenant", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CondHits != s0.CondHits {
+		t.Fatalf("full resend counted as a cond hit: %d -> %d", s0.CondHits, s1.CondHits)
+	}
+	for i := 0; i < 3; i++ { // three not-modified revalidations
+		if _, _, delta, err := v.AttrColumnSince(cur, 5); err != nil || !delta {
+			t.Fatalf("revalidate %d: delta=%v, %v", i, delta, err)
+		}
+	}
+	s2, err := c.AdminStats("tenant", tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CondHits != s1.CondHits+3 {
+		t.Fatalf("CondHits = %d after 3 delta pulls, want %d", s2.CondHits, s1.CondHits+3)
+	}
+}
+
+// TestAdminSetWorkers: the runtime admission override is owner-gated and
+// follows the documented semantics — n > 0 bounds the namespace, 0 lifts
+// the bound, n < 0 clears the override back to the server default — with
+// the effective cap echoed back and visible in stats.
+func TestAdminSetWorkers(t *testing.T) {
+	cl := NewCloud()
+	cl.SetStoreWorkers(6) // server-wide default
+	c := startCloudOn(t, cl)
+	master := []byte("workers master")
+	loadTenant(t, c, "tenant", master)
+	good := OwnerToken(master, "tenant")
+	bad := OwnerToken([]byte("attacker"), "tenant")
+
+	if _, err := c.AdminSetWorkers("tenant", bad, 1); err == nil || !strings.Contains(err.Error(), "token mismatch") {
+		t.Fatalf("set-workers with wrong token: %v", err)
+	}
+	if n := cl.StoreWorkersFor("tenant"); n != 6 {
+		t.Fatalf("refused set-workers changed the cap to %d", n)
+	}
+
+	if n, err := c.AdminSetWorkers("tenant", good, 2); err != nil || n != 2 {
+		t.Fatalf("set-workers 2 = %d, %v", n, err)
+	}
+	if s, err := c.AdminStats("tenant", good); err != nil || s.Workers != 2 {
+		t.Fatalf("stats after bound = %+v, %v", s, err)
+	}
+	// 0 lifts the bound for this namespace only.
+	if n, err := c.AdminSetWorkers("tenant", good, 0); err != nil || n != 0 {
+		t.Fatalf("set-workers 0 = %d, %v", n, err)
+	}
+	if n := cl.StoreWorkersFor("other"); n != 6 {
+		t.Fatalf("lifting one namespace's bound changed another's: %d", n)
+	}
+	// Negative clears the override: back to the server default.
+	if n, err := c.AdminSetWorkers("tenant", good, -1); err != nil || n != 6 {
+		t.Fatalf("set-workers -1 = %d, %v; want server default 6", n, err)
+	}
+}
+
+// TestWorkerOverrideSurvivesRestore: per-namespace admission overrides are
+// part of the snapshot, so a crash-restart does not silently forget an
+// operator's runtime bound.
+func TestWorkerOverrideSurvivesRestore(t *testing.T) {
+	cl1 := NewCloud()
+	c1 := startCloudOn(t, cl1)
+	master := []byte("persisted workers")
+	loadTenant(t, c1, "bounded", master)
+	tok := OwnerToken(master, "bounded")
+	if n, err := c1.AdminSetWorkers("bounded", tok, 3); err != nil || n != 3 {
+		t.Fatalf("set-workers = %d, %v", n, err)
+	}
+
+	var buf bytes.Buffer
+	if err := cl1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := NewCloud()
+	if err := cl2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if n := cl2.StoreWorkersFor("bounded"); n != 3 {
+		t.Fatalf("restored cap = %d, want 3", n)
+	}
+	c2 := startCloudOn(t, cl2)
+	if s, err := c2.AdminStats("bounded", tok); err != nil || s.Workers != 3 {
+		t.Fatalf("restored stats = %+v, %v", s, err)
+	}
+}

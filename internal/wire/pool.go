@@ -21,6 +21,7 @@ import (
 type Backend interface {
 	cloud.PlainBackend
 	technique.BatchEncStore
+	technique.VersionedEncStore
 
 	// Lifecycle and errors.
 	Ping() error
@@ -331,6 +332,19 @@ func (p *Pool) LookupToken(tok []byte) []int { return p.def.LookupToken(tok) }
 // Rows round-robins after flushing pending uploads.
 func (p *Pool) Rows() []storage.EncRow { return p.def.Rows() }
 
+// EncVersion round-robins after flushing pending uploads.
+func (p *Pool) EncVersion() (storage.EncVersion, error) { return p.def.EncVersion() }
+
+// AttrColumnSince round-robins after flushing pending uploads.
+func (p *Pool) AttrColumnSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	return p.def.AttrColumnSince(v, have)
+}
+
+// RowsSince round-robins after flushing pending uploads.
+func (p *Pool) RowsSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	return p.def.RowsSince(v, have)
+}
+
 // --- PoolStore ----------------------------------------------------------
 
 // PoolStore is one namespace's view of a pool: mutations go through the
@@ -475,4 +489,31 @@ func (s *PoolStore) Rows() []storage.EncRow {
 		return nil
 	}
 	return v.Rows()
+}
+
+// EncVersion round-robins after flushing pending uploads.
+func (s *PoolStore) EncVersion() (storage.EncVersion, error) {
+	v, err := s.read()
+	if err != nil {
+		return storage.EncVersion{}, err
+	}
+	return v.EncVersion()
+}
+
+// AttrColumnSince round-robins after flushing pending uploads.
+func (s *PoolStore) AttrColumnSince(ver storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	v, err := s.read()
+	if err != nil {
+		return nil, storage.EncVersion{}, false, err
+	}
+	return v.AttrColumnSince(ver, have)
+}
+
+// RowsSince round-robins after flushing pending uploads.
+func (s *PoolStore) RowsSince(ver storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	v, err := s.read()
+	if err != nil {
+		return nil, storage.EncVersion{}, false, err
+	}
+	return v.RowsSince(ver, have)
 }

@@ -64,15 +64,18 @@ import (
 	"repro/internal/storage"
 )
 
-// ProtocolVersion is the wire protocol generation. Version 3 introduced
-// the framed transport (binary codec for hot ops, chunked row streaming)
-// that both sides switch to after the hello; version 2 introduced store
-// namespaces and the mandatory hello handshake; version 1 (no handshake,
-// single implicit store) is refused with an explicit error. The hello
-// itself stays plain gob across generations, so v2↔v3 skew fails with an
-// explicit version error in both directions rather than unparseable
-// frames.
-const ProtocolVersion = 3
+// ProtocolVersion is the wire protocol generation. Version 4 added
+// namespace version counters and the conditional column/row pulls built
+// on them (opEncVersion, opEncAttrColumnIf, opEncRowsIf) plus the
+// per-namespace admission override (opAdminSetWorkers); version 3
+// introduced the framed transport (binary codec for hot ops, chunked row
+// streaming) that both sides switch to after the hello; version 2
+// introduced store namespaces and the mandatory hello handshake; version
+// 1 (no handshake, single implicit store) is refused with an explicit
+// error. The hello itself stays plain gob across generations, so any
+// cross-generation skew fails with an explicit version error in both
+// directions rather than unparseable frames.
+const ProtocolVersion = 4
 
 // DefaultStore is the namespace used when a request names none — the
 // single implicit store of protocol v1, preserved so one-relation
@@ -115,6 +118,22 @@ const (
 	opAdminStats
 	opAdminDrop
 	opAdminCompact
+
+	// Version-validated caching ops (protocol v4). opEncVersion returns the
+	// namespace's current storage.EncVersion. opEncAttrColumnIf and
+	// opEncRowsIf are the conditional forms of opEncAttrColumn/opEncRows:
+	// the request carries the version the client's cache was validated at
+	// plus how many rows it holds, and the server answers with only the
+	// missing suffix (delta) — an empty delta being a tiny not-modified
+	// frame — or the full set when the epoch does not match.
+	opEncVersion
+	opEncAttrColumnIf
+	opEncRowsIf
+
+	// opAdminSetWorkers overrides the per-namespace admission bound
+	// (-store-workers) for one namespace at runtime; owner-token-guarded
+	// like the other per-namespace admin ops.
+	opAdminSetWorkers
 )
 
 // request is the single wire request envelope; fields are populated
@@ -154,6 +173,18 @@ type request struct {
 	Addrs   []int
 	// AddrBatches is one address list per query (opEncFetchBatch).
 	AddrBatches [][]int
+
+	// Conditional-pull fields (opEncAttrColumnIf/opEncRowsIf): the version
+	// the client's cache was last validated at and how many rows it holds.
+	CondEpoch uint64
+	CondN     uint64
+	Have      int
+
+	// Workers is the per-namespace admission override (opAdminSetWorkers):
+	// n > 0 bounds the namespace to n concurrent ops, 0 lifts the bound for
+	// this namespace, and n < 0 clears the override back to the server-wide
+	// default.
+	Workers int
 }
 
 // EncUpload is one encrypted row in a batched upload.
@@ -182,6 +213,15 @@ type response struct {
 	Names []string
 	// Stats is one namespace's accounting (opAdminStats).
 	Stats StoreStats
+
+	// Version-counter fields (opEncVersion and the conditional pulls): the
+	// namespace's current version, and whether Rows is a suffix delta
+	// relative to request.Have (true) or a full resend (false). On chunked
+	// responses these ride every chunk; the client keeps the first chunk's
+	// values.
+	VerEpoch uint64
+	VerN     uint64
+	Delta    bool
 }
 
 // storeName canonicalises a request's namespace.

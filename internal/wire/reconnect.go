@@ -753,6 +753,43 @@ func (rs *ReconnStore) Rows() []storage.EncRow {
 	return rows
 }
 
+// EncVersion implements technique.VersionedEncStore with transparent
+// retry. An owner-side cache composes with reconnection for free: the
+// cache is keyed by the store's version epoch, which survives a transport
+// blip unchanged (same server process) and changes when the server was
+// rebuilt from a snapshot — exactly the case where cached state must be
+// refetched.
+func (rs *ReconnStore) EncVersion() (storage.EncVersion, error) {
+	var v storage.EncVersion
+	err := rs.withConn(func(sc *StoreClient) error {
+		var err error
+		v, err = sc.EncVersion()
+		return err
+	})
+	return v, err
+}
+
+// AttrColumnSince implements technique.VersionedEncStore with transparent
+// retry.
+func (rs *ReconnStore) AttrColumnSince(ver storage.EncVersion, have int) (rows []storage.EncRow, cur storage.EncVersion, delta bool, err error) {
+	err = rs.withConn(func(sc *StoreClient) error {
+		var e error
+		rows, cur, delta, e = sc.AttrColumnSince(ver, have)
+		return e
+	})
+	return rows, cur, delta, err
+}
+
+// RowsSince implements technique.VersionedEncStore with transparent retry.
+func (rs *ReconnStore) RowsSince(ver storage.EncVersion, have int) (rows []storage.EncRow, cur storage.EncVersion, delta bool, err error) {
+	err = rs.withConn(func(sc *StoreClient) error {
+		var e error
+		rows, cur, delta, e = sc.RowsSince(ver, have)
+		return e
+	})
+	return rows, cur, delta, err
+}
+
 // --- default-store Backend surface ---------------------------------------
 
 // SetAdminToken attaches the default store's owner token.
@@ -803,3 +840,16 @@ func (rc *Reconnector) LookupToken(tok []byte) []int { return rc.def.LookupToken
 
 // Rows implements technique.EncStore on the default store.
 func (rc *Reconnector) Rows() []storage.EncRow { return rc.def.Rows() }
+
+// EncVersion implements technique.VersionedEncStore on the default store.
+func (rc *Reconnector) EncVersion() (storage.EncVersion, error) { return rc.def.EncVersion() }
+
+// AttrColumnSince implements technique.VersionedEncStore on the default store.
+func (rc *Reconnector) AttrColumnSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	return rc.def.AttrColumnSince(v, have)
+}
+
+// RowsSince implements technique.VersionedEncStore on the default store.
+func (rc *Reconnector) RowsSince(v storage.EncVersion, have int) ([]storage.EncRow, storage.EncVersion, bool, error) {
+	return rc.def.RowsSince(v, have)
+}

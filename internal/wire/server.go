@@ -50,14 +50,22 @@ type Cloud struct {
 	// bound caps what one transport can execute at once, the store bound
 	// caps what one tenant can, so tenants multiplexed onto a shared
 	// connection (e.g. behind a proxy) cannot starve each other.
-	storeWorkers int
-	storeSemMu   sync.Mutex
-	storeSems    map[string]chan struct{}
+	// Individual namespaces can override the server-wide default at
+	// runtime through SetStoreWorkersFor (the opAdminSetWorkers control
+	// op); workerOverrides holds those per-namespace caps and
+	// overrideCount mirrors its size so admitStore's fast path stays
+	// lock-free when no bound exists anywhere.
+	storeWorkers    int
+	storeSemMu      sync.Mutex
+	storeSems       map[string]*storeSem
+	workerOverrides map[string]int
+	overrideCount   atomic.Int64
 
 	// statsMu guards the per-store op counters (read-mostly: the fast
 	// path is a shared-lock map hit).
-	statsMu  sync.RWMutex
-	opCounts map[string]*atomic.Uint64
+	statsMu    sync.RWMutex
+	opCounts   map[string]*atomic.Uint64
+	condCounts map[string]*atomic.Uint64
 
 	// testHookDispatch, when set (tests only, before Serve), runs after an
 	// op has passed both admission levels and immediately before dispatch.
@@ -67,10 +75,57 @@ type Cloud struct {
 // NewCloud returns an empty cloud.
 func NewCloud() *Cloud {
 	return &Cloud{
-		stores:    storage.NewStoreSet(),
-		storeSems: make(map[string]chan struct{}),
-		opCounts:  make(map[string]*atomic.Uint64),
+		stores:          storage.NewStoreSet(),
+		storeSems:       make(map[string]*storeSem),
+		workerOverrides: make(map[string]int),
+		opCounts:        make(map[string]*atomic.Uint64),
+		condCounts:      make(map[string]*atomic.Uint64),
 	}
+}
+
+// storeSem is one namespace's admission semaphore. Unlike a buffered
+// channel its capacity is resizable at runtime (opAdminSetWorkers), so an
+// operator can widen or narrow a tenant's bound while ops are queued:
+// raising the cap wakes queued waiters immediately, lowering it lets the
+// excess in-flight ops drain without ever admitting new ones above the
+// new cap. cap == 0 means unbounded.
+type storeSem struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newStoreSem(capacity int) *storeSem {
+	s := &storeSem{cap: capacity}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// acquire blocks until the semaphore has a free slot (or is unbounded).
+func (s *storeSem) acquire() {
+	s.mu.Lock()
+	for s.cap > 0 && s.used >= s.cap {
+		s.cond.Wait()
+	}
+	s.used++
+	s.mu.Unlock()
+}
+
+// release frees a slot taken by acquire.
+func (s *storeSem) release() {
+	s.mu.Lock()
+	s.used--
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// setCap resizes the semaphore; every waiter rechecks against the new cap.
+func (s *storeSem) setCap(n int) {
+	s.mu.Lock()
+	s.cap = n
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // SetConnWorkers bounds how many ops from a single connection may execute
@@ -78,8 +133,9 @@ func NewCloud() *Cloud {
 func (c *Cloud) SetConnWorkers(n int) { c.connWorkers = n }
 
 // SetStoreWorkers bounds how many ops may execute concurrently per
-// namespace, across all connections (<= 0 disables the bound). It must be
-// called before Serve.
+// namespace, across all connections (<= 0 disables the bound). It sets
+// the server-wide default and must be called before Serve; per-namespace
+// runtime adjustments go through SetStoreWorkersFor.
 func (c *Cloud) SetStoreWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -87,38 +143,95 @@ func (c *Cloud) SetStoreWorkers(n int) {
 	c.storeWorkers = n
 }
 
+// SetStoreWorkersFor overrides the admission bound for one namespace at
+// runtime: n > 0 bounds it to n concurrent ops, n == 0 lifts the bound
+// for this namespace, n < 0 clears the override back to the server-wide
+// default. Queued ops see the new cap immediately. It returns the
+// namespace's effective cap.
+func (c *Cloud) SetStoreWorkersFor(name string, n int) int {
+	name = storeName(name)
+	c.storeSemMu.Lock()
+	defer c.storeSemMu.Unlock()
+	if n < 0 {
+		if _, ok := c.workerOverrides[name]; ok {
+			delete(c.workerOverrides, name)
+			c.overrideCount.Add(-1)
+		}
+	} else {
+		if _, ok := c.workerOverrides[name]; !ok {
+			c.overrideCount.Add(1)
+		}
+		c.workerOverrides[name] = n
+	}
+	eff := c.effectiveWorkersLocked(name)
+	if sem, ok := c.storeSems[name]; ok {
+		sem.setCap(eff)
+	}
+	return eff
+}
+
+// StoreWorkersFor reports the namespace's effective admission cap (0 =
+// unbounded).
+func (c *Cloud) StoreWorkersFor(name string) int {
+	c.storeSemMu.Lock()
+	defer c.storeSemMu.Unlock()
+	return c.effectiveWorkersLocked(storeName(name))
+}
+
+// workerOverridesCopy snapshots the per-namespace overrides (for
+// persistence).
+func (c *Cloud) workerOverridesCopy() map[string]int {
+	c.storeSemMu.Lock()
+	defer c.storeSemMu.Unlock()
+	out := make(map[string]int, len(c.workerOverrides))
+	for k, v := range c.workerOverrides {
+		out[k] = v
+	}
+	return out
+}
+
+// effectiveWorkersLocked resolves override-or-default; caller holds
+// storeSemMu.
+func (c *Cloud) effectiveWorkersLocked(name string) int {
+	if o, ok := c.workerOverrides[name]; ok {
+		return o
+	}
+	return c.storeWorkers
+}
+
 // storeSem returns the named namespace's admission semaphore, creating it
 // on first use. Semaphores survive a drop — the bound is a property of
-// the name, and keeping the channel avoids a drop/create race handing out
-// two semaphores for one namespace.
-func (c *Cloud) storeSem(name string) chan struct{} {
+// the name, and keeping the semaphore avoids a drop/create race handing
+// out two semaphores for one namespace.
+func (c *Cloud) storeSem(name string) *storeSem {
 	c.storeSemMu.Lock()
 	defer c.storeSemMu.Unlock()
 	sem, ok := c.storeSems[name]
 	if !ok {
-		sem = make(chan struct{}, c.storeWorkers)
+		sem = newStoreSem(c.effectiveWorkersLocked(name))
 		c.storeSems[name] = sem
 	}
 	return sem
 }
 
 // admitStore takes the per-namespace admission slot for a data-plane op
-// and returns its release, or nil when no slot is needed: the bound is
-// disabled, the op is store-less (ping, hello), or it is a control-plane
-// op — admin ops bypass data-plane admission so an owner can always
-// inspect or drop a namespace that is saturated, and drop/compact do
-// their own quiescing through the per-store lock.
+// and returns its release, or nil when no slot is needed: no bound exists
+// anywhere (neither a default nor any per-namespace override), the op is
+// store-less (ping, hello), or it is a control-plane op — admin ops
+// bypass data-plane admission so an owner can always inspect, drop or
+// re-bound a namespace that is saturated, and drop/compact do their own
+// quiescing through the per-store lock.
 func (c *Cloud) admitStore(req *request) func() {
-	if c.storeWorkers <= 0 {
+	if c.storeWorkers <= 0 && c.overrideCount.Load() == 0 {
 		return nil
 	}
 	switch req.Op {
-	case opPing, opHello, opAdminList, opAdminStats, opAdminDrop, opAdminCompact:
+	case opPing, opHello, opAdminList, opAdminStats, opAdminDrop, opAdminCompact, opAdminSetWorkers:
 		return nil
 	}
 	sem := c.storeSem(storeName(req.Store))
-	sem <- struct{}{}
-	return func() { <-sem }
+	sem.acquire()
+	return sem.release
 }
 
 func (c *Cloud) workersPerConn() int {
@@ -145,11 +258,15 @@ func (c *Cloud) connInflightCap() int {
 func (c *Cloud) StoreNames() []string { return c.stores.Names() }
 
 // StoreStats is the per-namespace accounting a multi-tenant operator
-// watches: ops dispatched, clear-text tuples and encrypted rows held.
+// watches: ops dispatched, clear-text tuples and encrypted rows held,
+// conditional pulls served as a delta (the client cache was valid and the
+// full column transfer was skipped), and the effective admission cap.
 type StoreStats struct {
 	Ops         uint64
 	PlainTuples int
 	EncRows     int
+	CondHits    uint64
+	Workers     int
 }
 
 // Stats reports per-store statistics for every hosted namespace.
@@ -160,7 +277,12 @@ func (c *Cloud) Stats() map[string]StoreStats {
 		if !ok {
 			continue
 		}
-		s := StoreStats{EncRows: st.Enc().Len(), Ops: c.opCounter(name).Load()}
+		s := StoreStats{
+			EncRows:  st.Enc().Len(),
+			Ops:      c.opCounter(name).Load(),
+			CondHits: c.condCounter(name).Load(),
+			Workers:  c.StoreWorkersFor(name),
+		}
 		if ps := st.Plain(); ps != nil {
 			s.PlainTuples = ps.Len()
 		}
@@ -172,19 +294,31 @@ func (c *Cloud) Stats() map[string]StoreStats {
 // opCounter returns the op counter for a namespace, creating it on first
 // use.
 func (c *Cloud) opCounter(name string) *atomic.Uint64 {
-	c.statsMu.RLock()
-	ctr, ok := c.opCounts[name]
-	c.statsMu.RUnlock()
+	return counterIn(&c.statsMu, &c.opCounts, name)
+}
+
+// condCounter returns the conditional-pull hit counter for a namespace,
+// creating it on first use.
+func (c *Cloud) condCounter(name string) *atomic.Uint64 {
+	return counterIn(&c.statsMu, &c.condCounts, name)
+}
+
+// counterIn looks up (or installs) a named counter in a statsMu-guarded
+// map; the fast path is a shared-lock map hit.
+func counterIn(mu *sync.RWMutex, m *map[string]*atomic.Uint64, name string) *atomic.Uint64 {
+	mu.RLock()
+	ctr, ok := (*m)[name]
+	mu.RUnlock()
 	if ok {
 		return ctr
 	}
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	if ctr, ok := c.opCounts[name]; ok {
+	mu.Lock()
+	defer mu.Unlock()
+	if ctr, ok := (*m)[name]; ok {
 		return ctr
 	}
 	ctr = new(atomic.Uint64)
-	c.opCounts[name] = ctr
+	(*m)[name] = ctr
 	return ctr
 }
 
@@ -295,8 +429,11 @@ func (s *serverStream) writeResponse(o op, resp *response) error {
 	if !binaryOp(o) {
 		return s.writeGobFrame(resp)
 	}
-	if (o == opEncAttrColumn || o == opEncRows) && resp.Err == "" && len(resp.Rows) > 0 {
-		return s.writeChunkedRows(o, resp)
+	switch o {
+	case opEncAttrColumn, opEncRows, opEncAttrColumnIf, opEncRowsIf:
+		if resp.Err == "" && len(resp.Rows) > 0 {
+			return s.writeChunkedRows(o, resp)
+		}
 	}
 	return s.writeBinFrame(o, resp, 0)
 }
@@ -344,7 +481,10 @@ func (s *serverStream) writeChunkedRows(o op, resp *response) error {
 			size += 16 + len(r.TupleCT) + len(r.AttrCT) + len(r.Token)
 			n++
 		}
-		chunk := response{ID: resp.ID, Rows: rows[:n]}
+		// Version fields ride every chunk (the client keeps the first
+		// chunk's values); zero for the unconditional ops.
+		chunk := response{ID: resp.ID, Rows: rows[:n],
+			VerEpoch: resp.VerEpoch, VerN: resp.VerN, Delta: resp.Delta}
 		rows = rows[n:]
 		var flags byte
 		if len(rows) > 0 {
@@ -479,7 +619,7 @@ func (c *Cloud) dispatch(req *request) response {
 		// A duplicate hello after the handshake is harmless: echo the
 		// version again.
 		return response{Version: ProtocolVersion}
-	case opAdminList, opAdminStats, opAdminDrop, opAdminCompact:
+	case opAdminList, opAdminStats, opAdminDrop, opAdminCompact, opAdminSetWorkers:
 		// Control plane: resolves (never creates) its namespace itself.
 		return c.dispatchAdmin(req)
 	}
@@ -585,6 +725,23 @@ func (c *Cloud) dispatch(req *request) response {
 		return response{Addrs: encStore.LookupToken(req.Token)}
 	case opEncRows:
 		return response{Rows: encStore.Rows()}
+	case opEncVersion:
+		v, _ := encStore.EncVersion()
+		return response{VerEpoch: v.Epoch, VerN: v.N}
+	case opEncAttrColumnIf:
+		rows, cur, delta, _ := encStore.AttrColumnSince(
+			storage.EncVersion{Epoch: req.CondEpoch, N: req.CondN}, req.Have)
+		if delta {
+			c.condCounter(name).Add(1)
+		}
+		return response{Rows: rows, VerEpoch: cur.Epoch, VerN: cur.N, Delta: delta}
+	case opEncRowsIf:
+		rows, cur, delta, _ := encStore.RowsSince(
+			storage.EncVersion{Epoch: req.CondEpoch, N: req.CondN}, req.Have)
+		if delta {
+			c.condCounter(name).Add(1)
+		}
+		return response{Rows: rows, VerEpoch: cur.Epoch, VerN: cur.N, Delta: delta}
 	default:
 		return response{Err: "wire: unknown op"}
 	}

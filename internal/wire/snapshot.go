@@ -51,6 +51,18 @@ type storeSnapshot struct {
 	// snapshot confers no admin rights. Absent in older snapshots, which
 	// restore as unclaimed (gob leaves the field nil).
 	OwnerHash []byte
+	// EncVersionN is the namespace's write counter at save time; restore
+	// raises the rebuilt store's counter to at least this value so a
+	// restored namespace never reports a version older than one it already
+	// served. The version epoch is deliberately NOT persisted: a restore
+	// can lose post-snapshot writes, so the rebuilt store draws a fresh
+	// epoch and every owner-side cache revalidates from scratch.
+	EncVersionN uint64
+	// HasWorkerCap/WorkerCap persist a per-namespace admission override
+	// (opAdminSetWorkers) across restarts. Absent in older snapshots
+	// (restores with no override).
+	HasWorkerCap bool
+	WorkerCap    int
 }
 
 // Save serialises the state of every hosted namespace.
@@ -58,12 +70,17 @@ func (c *Cloud) Save(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	snap := snapshot{Version: ProtocolVersion}
+	overrides := c.workerOverridesCopy()
 	for _, name := range c.stores.Names() {
 		st, ok := c.stores.Get(name)
 		if !ok {
 			continue
 		}
-		ss := storeSnapshot{Name: name, Enc: st.Enc().Rows(), OwnerHash: st.OwnerHash()}
+		v, _ := st.Enc().EncVersion()
+		ss := storeSnapshot{Name: name, Enc: st.Enc().Rows(), OwnerHash: st.OwnerHash(), EncVersionN: v.N}
+		if w, ok := overrides[name]; ok {
+			ss.HasWorkerCap, ss.WorkerCap = true, w
+		}
 		if ps := st.Plain(); ps != nil {
 			rel := ps.Relation()
 			ss.HasPlain = true
@@ -153,6 +170,9 @@ func (c *Cloud) Restore(r io.Reader) error {
 		for _, row := range ss.Enc {
 			st.Enc().Add(row.TupleCT, row.AttrCT, row.Token)
 		}
+		// The rebuilt store's epoch is fresh (rebirth invalidates every
+		// owner-side cache); only the counter floor carries over.
+		st.Enc().SetVersionFloor(ss.EncVersionN)
 		st.ClaimOwner(ss.OwnerHash)
 		rebuilt[storeName(ss.Name)] = st
 	}
@@ -163,9 +183,28 @@ func (c *Cloud) Restore(r io.Reader) error {
 	for name, st := range rebuilt {
 		c.stores.Set(name, st)
 	}
+	// Admission overrides describe namespaces, which the snapshot just
+	// replaced wholesale: clear them all, then reapply the persisted ones.
+	c.storeSemMu.Lock()
+	for name := range c.workerOverrides {
+		delete(c.workerOverrides, name)
+	}
+	c.overrideCount.Store(0)
+	c.storeSemMu.Unlock()
+	for _, ss := range stores {
+		if ss.HasWorkerCap {
+			c.SetStoreWorkersFor(ss.Name, ss.WorkerCap)
+		}
+	}
+	c.storeSemMu.Lock()
+	for name, sem := range c.storeSems {
+		sem.setCap(c.effectiveWorkersLocked(name))
+	}
+	c.storeSemMu.Unlock()
 	// The op counters describe the replaced state; restart them with it.
 	c.statsMu.Lock()
 	c.opCounts = make(map[string]*atomic.Uint64)
+	c.condCounts = make(map[string]*atomic.Uint64)
 	c.statsMu.Unlock()
 	return nil
 }
