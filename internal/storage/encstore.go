@@ -86,11 +86,15 @@ type EncryptedStore struct {
 	tokens [tokenShards]tokenShard
 
 	// epoch is fixed at construction; ver counts writes. Writers bump ver
-	// only AFTER publishing the new snapshot, and readers load ver BEFORE
-	// the snapshot, so a version observed with some snapshot is never
-	// fresher than that snapshot: a client that caches (rows, version) and
-	// later revalidates can at worst be sent rows it already holds, never
-	// be told "unchanged" while rows it lacks exist under that version.
+	// only AFTER publishing the new snapshot AND indexing the row's token,
+	// and readers load ver BEFORE probing either, so state observed at a
+	// version is never fresher than that version vouches for: a client
+	// that caches (rows, version) and later revalidates can at worst be
+	// sent rows it already holds, never be told "unchanged" while rows it
+	// lacks exist under that version; and a posting list looked up after
+	// loading ver includes every write counted by it, so memoising the
+	// list at that version can never capture a pre-write list under a
+	// post-write version.
 	epoch uint64
 	ver   atomic.Uint64
 }
@@ -123,11 +127,6 @@ func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
 	// LookupToken is always fetchable from the row snapshot.
 	rows := s.rows
 	s.snap.Store(&rows)
-	// Bump the version only after the row is visible, so Version/
-	// AttrColumnSince callers that see the new N can always fetch the row.
-	s.ver.Add(1)
-	s.writeMu.Unlock()
-
 	if token != nil {
 		sh := s.shard(token)
 		k := string(token)
@@ -135,6 +134,15 @@ func (s *EncryptedStore) Add(tupleCT, attrCT, token []byte) int {
 		sh.m[k] = append(sh.m[k], addr)
 		sh.mu.Unlock()
 	}
+	// Bump the version only after BOTH the row snapshot and the token
+	// index include this write. A reader that observes the new N therefore
+	// sees the row (Version/AttrColumnSince can always fetch it) AND the
+	// token (a cached search that pairs this version with a LookupToken
+	// probe can never memoise a pre-write posting list under a post-write
+	// version, which would serve stale results for as long as the version
+	// stayed current).
+	s.ver.Add(1)
+	s.writeMu.Unlock()
 	return addr
 }
 

@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEncStoreVersionNeverFresherThanTokenIndex property-tests the writer
+// ordering the owner-side cache depends on: a reader that loads the
+// version and then probes the token index must see every write the version
+// counts. Every Add below indexes the same token, so the version counter
+// and the posting-list length advance in lockstep — observing N with fewer
+// than N addresses means the version was bumped before the token was
+// indexed, the race that let a cached search memoise a pre-write posting
+// list under a post-write version and serve stale results until the next
+// write.
+func TestEncStoreVersionNeverFresherThanTokenIndex(t *testing.T) {
+	s := NewEncryptedStore()
+	tok := []byte("hot-token")
+	const writes = 20000
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var fails int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := s.EncVersion()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				hits := s.LookupToken(tok)
+				if uint64(len(hits)) < v.N {
+					if fails++; fails <= 3 {
+						t.Errorf("observed version N=%d but only %d indexed addresses: version bumped before token insert", v.N, len(hits))
+					}
+				}
+				// The row snapshot must be at least as fresh as the version
+				// too, so every indexed address is fetchable.
+				if n := s.Len(); uint64(n) < v.N {
+					if fails++; fails <= 3 {
+						t.Errorf("observed version N=%d but only %d published rows", v.N, n)
+					}
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < writes; i++ {
+		s.Add(nil, nil, tok)
+	}
+	close(stop)
+	wg.Wait()
+}

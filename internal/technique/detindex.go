@@ -132,6 +132,12 @@ func (d *DetIndex) Search(values []relation.Value) ([][]byte, *Stats, error) {
 // the uncached path; the cloud-observed accesses are a subset of it.
 func (d *DetIndex) searchCached(values []relation.Value) ([][]byte, *Stats, error) {
 	st := &Stats{Rounds: 1}
+	if len(values) == 0 {
+		// Nothing to look up: answer locally without a version round trip,
+		// and record neither a hit nor a miss — a no-op query says nothing
+		// about the cache.
+		return [][]byte{}, st, nil
+	}
 	cur, err := d.vstore.EncVersion()
 	if err != nil {
 		return nil, nil, err
@@ -154,7 +160,7 @@ func (d *DetIndex) searchCached(values []relation.Value) ([][]byte, *Stats, erro
 		st.TuplesScanned += len(hits)
 		addrs = append(addrs, hits...)
 	}
-	if allMemo && len(values) > 0 {
+	if allMemo {
 		st.CacheHits++
 		d.cache.recordHit(st.CacheBytesSaved)
 	} else {

@@ -1,0 +1,68 @@
+package technique
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestDetIndexCachedReadYourWritesUnderConcurrentSearches is a regression
+// test for a writer-ordering race: Add used to bump the store version
+// before indexing the row's token (and after releasing the writer mutex),
+// so a concurrent cached search could observe the new version, probe the
+// token index before the insert landed, and memoise the pre-write posting
+// list under the post-write version — after which every search through the
+// shared cache served results missing the new row until the next write
+// bumped the version again. The store now indexes the token before bumping
+// the version, so a search issued after Outsource returns must always see
+// the write, no matter how many cached searches race with it.
+func TestDetIndexCachedReadYourWritesUnderConcurrentSearches(t *testing.T) {
+	det, err := NewDetIndex(testKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det.SetCache(NewCache(0))
+
+	attr := relation.Int(42)
+	pred := []relation.Value{attr}
+	const writes = 300
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := det.Search(pred); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	for i := 0; i < writes; i++ {
+		if _, err := det.Outsource([]Row{{Payload: []byte(fmt.Sprintf("row#%d", i)), Attr: attr}}); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := det.Search(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != i+1 {
+			t.Fatalf("after write %d: search returned %d payloads, want %d (stale memo served)", i, len(got), i+1)
+		}
+	}
+}

@@ -221,6 +221,15 @@ func (c *Cloud) storeSem(name string) *storeSem {
 // bypass data-plane admission so an owner can always inspect, drop or
 // re-bound a namespace that is saturated, and drop/compact do their own
 // quiescing through the per-store lock.
+//
+// Caps are eventually enforced, not retroactively: the unbounded fast
+// path admits without touching any semaphore, so ops already in flight
+// when the first override lands (or admitted under a higher previous cap)
+// hold no slot and are not counted against the new bound. A freshly
+// lowered cap can therefore be transiently exceeded by that pre-existing
+// load; every op admitted after the cap is installed honours it. This is
+// the price of keeping the no-bound configuration completely lock-free on
+// the data plane.
 func (c *Cloud) admitStore(req *request) func() {
 	if c.storeWorkers <= 0 && c.overrideCount.Load() == 0 {
 		return nil
