@@ -4,7 +4,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test vet race bench bench-remote bench-load fuzz-smoke docs smoke-remote smoke-chaos smoke-load smoke-load-nocache lint audit ci
+.PHONY: build test vet race bench bench-remote bench-load bench-ring fuzz-smoke docs smoke-remote smoke-chaos smoke-load smoke-load-nocache smoke-ring lint audit ci
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,36 @@ smoke-load-nocache:
 		-read-frac 1 -kill-at 1500ms -restart-after 400ms -check -assert \
 		-cache=false -o bin/BENCH_load_nocache.json
 
+# Multi-node ring smoke: qbload boots three real qbcloud nodes plus the
+# qbring coordinator, drives the ring with reference-checked reads, and
+# SIGKILLs node 0 mid-window — failover must keep every query answering
+# and anti-entropy must bring the restarted node back, with the -assert
+# gate (nonzero QPS, zero errors, zero check failures) enforcing it.
+# Read-only traffic for the same snapshot-lossiness reason as smoke-load.
+# Set QBLOAD_BUILDFLAGS=-race to race-instrument all five processes.
+smoke-ring:
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbcloud ./cmd/qbcloud
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbring ./cmd/qbring
+	$(GO) build $(QBLOAD_BUILDFLAGS) -o bin/qbload ./cmd/qbload
+	bin/qbload -ring 3 -qbcloud bin/qbcloud -qbring bin/qbring -tenants 2 -clients 3 \
+		-rate 300 -duration 4s -read-frac 1 -kill-at 1500ms -restart-after 400ms \
+		-check -assert -o bin/BENCH_ring_smoke.json
+
+# Replication overhead trajectory: the same checked workload against one
+# direct qbcloud and against a 3-node R=2 ring, merged into the committed
+# BENCH_ring.json (single-node arm written first, ring arm appended), so
+# the cost of R-way fan-out and routed reads is a tracked number instead
+# of folklore.
+bench-ring:
+	$(GO) build -o bin/qbcloud ./cmd/qbcloud
+	$(GO) build -o bin/qbring ./cmd/qbring
+	$(GO) build -o bin/qbload ./cmd/qbload
+	bin/qbload -qbcloud bin/qbcloud -tenants 4 -clients 4 -rate 300 -duration 10s \
+		-read-frac 0.9 -check -run-name qbload-1node -o BENCH_ring.json
+	bin/qbload -ring 3 -qbcloud bin/qbcloud -qbring bin/qbring -tenants 4 -clients 4 \
+		-rate 300 -duration 10s -read-frac 0.9 -check -run-name qbload-ring3 \
+		-append -o BENCH_ring.json
+
 # Static analysis. qbvet (the repo's own go/analysis-style suite: sensleak,
 # lockdiscipline, pooldiscipline, cmpconst, nakedclock) is stdlib-only and
 # always runs. staticcheck and govulncheck run when installed — CI installs
@@ -133,4 +163,4 @@ audit:
 	$(GO) build -o bin/qbaudit ./cmd/qbaudit
 	bin/qbaudit -floor $(COVER_FLOOR)
 
-ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos smoke-load smoke-load-nocache
+ci: build lint test race docs fuzz-smoke smoke-remote smoke-chaos smoke-load smoke-load-nocache smoke-ring

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/owner"
+	"repro/internal/ring"
 	"repro/internal/storage"
 	"repro/internal/technique"
 	"repro/internal/wire"
@@ -88,6 +89,15 @@ type Config struct {
 	// this address instead of hosting the cloud stores in-process. Only
 	// store-backed techniques (NoInd, DetIndex, Arx) support remote mode.
 	CloudAddr string
+	// Ring, when non-empty, connects to a qbring coordinator at this
+	// address instead of a single qbcloud: the client pulls the placement
+	// directory once, then routes this namespace's view to its R replicas
+	// directly — writes fan out to every in-sync replica, reads stick to
+	// the nearest live one and fail over instantly when it dies. Mutually
+	// exclusive with CloudAddr; CloudConns and Reconnect are implied by
+	// the ring transport (each node connection self-heals with fast
+	// failover timeouts) and ignored.
+	Ring string
 	// CloudConns is the number of multiplexed connections to CloudAddr
 	// (<= 1 means a single connection). One connection already carries
 	// any number of in-flight calls; a few extra connections additionally
@@ -159,8 +169,18 @@ func checkStoreName(store string) error {
 }
 
 // dialTransport opens the shared connection (or connection pool) to
-// Config.CloudAddr; nil when the cloud is in-process.
+// Config.CloudAddr or the ring transport to Config.Ring; nil when the
+// cloud is in-process.
 func dialTransport(cfg Config) (wire.Transport, error) {
+	if cfg.Ring != "" {
+		if cfg.CloudAddr != "" {
+			return nil, errors.New("repro: Config.Ring and Config.CloudAddr are mutually exclusive")
+		}
+		if err := checkStoreName(cfg.Store); err != nil {
+			return nil, err
+		}
+		return ring.DialRouter(cfg.Ring, ring.RouterOptions{})
+	}
 	if cfg.CloudAddr == "" {
 		return nil, nil
 	}

@@ -14,9 +14,15 @@
 //	qbadmin -addr HOST:PORT -master KEY -store NAME compact
 //	qbadmin -addr HOST:PORT -master KEY -store NAME drop
 //	qbadmin -addr HOST:PORT -master KEY -store NAME -n N set-workers
+//	qbadmin -addr RING_ADDR ring
 //
 // ping and list need no key (liveness and discovery); stats, compact,
-// drop and set-workers are per-namespace and owner-authenticated. drop
+// drop and set-workers are per-namespace and owner-authenticated. ring
+// points -addr at a qbring coordinator instead of a qbcloud and prints
+// the cluster picture: membership with liveness, and for every hosted
+// namespace its replica placement with per-replica row counts and
+// version counters, marking replicas whose row counts diverge (the
+// anti-entropy repair loop's work queue). drop
 // destroys the namespace's clear-text partition, encrypted rows and owner
 // registration irrecoverably (modulo cloud snapshots taken before the
 // drop). set-workers overrides the namespace's admission bound (the
@@ -30,7 +36,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
+	"repro/internal/ring"
 	"repro/internal/wire"
 )
 
@@ -40,7 +48,7 @@ func main() {
 	store := flag.String("store", "", "namespace to administer (\"\" = the default store)")
 	workers := flag.Int("n", -1, "set-workers: admission bound (>0 bound, 0 unlimited, <0 clear the override)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: qbadmin -addr HOST:PORT [-master KEY] [-store NAME] [-n N] ping|list|stats|compact|drop|set-workers")
+		fmt.Fprintln(os.Stderr, "usage: qbadmin -addr HOST:PORT [-master KEY] [-store NAME] [-n N] ping|list|stats|compact|drop|set-workers|ring")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -128,8 +136,104 @@ func run(addr, master, store, cmd string, workers int) error {
 			return err
 		}
 		fmt.Printf("qbadmin: store %q admission bound: %s\n", storeLabel(store), workersLabel(n))
+	case "ring":
+		return ringStatus(c)
 	default:
-		return fmt.Errorf("unknown command %q (want ping|list|stats|compact|drop|set-workers)", cmd)
+		return fmt.Errorf("unknown command %q (want ping|list|stats|compact|drop|set-workers|ring)", cmd)
+	}
+	return nil
+}
+
+// ringStatus renders the cluster picture from a qbring coordinator:
+// membership, and per-namespace replica placement with row counts.
+func ringStatus(c *wire.Client) error {
+	dir, err := ring.FetchDirectory(c)
+	if err != nil {
+		return fmt.Errorf("fetch ring directory (is -addr a qbring coordinator?): %w", err)
+	}
+	fmt.Printf("qbadmin: ring directory v%d: %d node(s), R=%d\n", dir.Version, len(dir.Nodes), dir.Replicas)
+
+	// One control connection per node, tolerating the dead ones.
+	conns := make(map[string]*wire.Client, len(dir.Nodes))
+	defer func() {
+		for _, nc := range conns {
+			nc.Close()
+		}
+	}()
+	for _, n := range dir.Nodes {
+		status := "down"
+		if nc, err := wire.Dial(n.Addr); err == nil {
+			conns[n.ID] = nc
+			status = "up"
+		}
+		coordinatorView := "down"
+		if n.Alive {
+			coordinatorView = "up"
+		}
+		fmt.Printf("qbadmin:   node %-24s %s (coordinator sees %s)\n", n.ID, status, coordinatorView)
+	}
+
+	// Hosted namespaces: union across reachable nodes.
+	names := make(map[string]struct{})
+	for _, nc := range conns {
+		hosted, err := nc.AdminList()
+		if err != nil {
+			continue
+		}
+		for _, ns := range hosted {
+			names[ns] = struct{}{}
+		}
+	}
+	if len(names) == 0 {
+		fmt.Println("qbadmin: no stores hosted anywhere in the ring")
+		return nil
+	}
+	ordered := make([]string, 0, len(names))
+	for ns := range names {
+		ordered = append(ordered, ns)
+	}
+	sort.Strings(ordered)
+
+	r := ring.Build(dir)
+	for _, ns := range ordered {
+		fmt.Printf("qbadmin: store %q:\n", ns)
+		placement := r.Placement(ns)
+		infos := make([]wire.StoreInfo, len(placement))
+		reached := make([]bool, len(placement))
+		maxRows := -1
+		for i, n := range placement {
+			nc, ok := conns[n.ID]
+			if !ok {
+				continue
+			}
+			info, err := nc.StoreInfo(ns)
+			if err != nil {
+				continue
+			}
+			infos[i], reached[i] = info, true
+			if info.Exists && info.EncRows > maxRows {
+				maxRows = info.EncRows
+			}
+		}
+		for i, n := range placement {
+			role := "replica"
+			if i == 0 {
+				role = "primary"
+			}
+			switch {
+			case !reached[i]:
+				fmt.Printf("qbadmin:   %-8s %-24s unreachable\n", role, n.ID)
+			case !infos[i].Exists:
+				fmt.Printf("qbadmin:   %-8s %-24s MISSING\n", role, n.ID)
+			default:
+				mark := ""
+				if infos[i].EncRows != maxRows {
+					mark = "  DIVERGENT"
+				}
+				fmt.Printf("qbadmin:   %-8s %-24s plain_tuples=%-8d enc_rows=%-8d ver=(%d,%d)%s\n",
+					role, n.ID, infos[i].PlainTuples, infos[i].EncRows, infos[i].VerEpoch, infos[i].VerN, mark)
+			}
+		}
 	}
 	return nil
 }

@@ -54,8 +54,9 @@ func main() {
 	storeWorkers := flag.Int("store-workers", 0, "concurrent ops dispatched per namespace across all connections (0 = unbounded)")
 	snapshotEvery := flag.Duration("snapshot-every", 0, "also save -state at this interval, atomically (0 = only on shutdown)")
 	statsEvery := flag.Duration("stats", 0, "print per-store stats at this interval (0 = only on shutdown)")
+	ringToken := flag.String("ring-token", "", "cluster secret authorising intra-ring transfer (snapshot restore, repair append); empty refuses those ops")
 	flag.Parse()
-	if err := run(*addr, *state, *workers, *storeWorkers, *snapshotEvery, *statsEvery); err != nil {
+	if err := run(*addr, *state, *workers, *storeWorkers, *snapshotEvery, *statsEvery, *ringToken); err != nil {
 		fmt.Fprintln(os.Stderr, "qbcloud:", err)
 		os.Exit(1)
 	}
@@ -81,10 +82,13 @@ func printStats(cloud *wire.Cloud) {
 	}
 }
 
-func run(addr, state string, workers, storeWorkers int, snapshotEvery, statsEvery time.Duration) error {
+func run(addr, state string, workers, storeWorkers int, snapshotEvery, statsEvery time.Duration, ringToken string) error {
 	cloud := wire.NewCloud()
 	cloud.SetConnWorkers(workers)
 	cloud.SetStoreWorkers(storeWorkers)
+	if ringToken != "" {
+		cloud.SetRingToken([]byte(ringToken))
+	}
 	if state != "" {
 		f, err := os.Open(state)
 		switch {

@@ -7,7 +7,7 @@
 // distribution instead of being coordinated-omitted away — see
 // docs/BENCHMARKS.md for the methodology.
 //
-// Three targets, picked by flags:
+// Four targets, picked by flags:
 //
 //	(neither)         an in-process cloud per tenant — no sockets, the
 //	                  protocol-free upper bound.
@@ -15,6 +15,11 @@
 //	-qbcloud PATH     boot that binary on a loopback port (with -state
 //	                  and -snapshot-every), drive it over TCP, and shut
 //	                  it down after the run. Required for chaos.
+//	-ring N           boot N qbcloud nodes plus a qbring coordinator
+//	                  (-qbring PATH, -replicas R) and drive the ring:
+//	                  clients route through placement, writes replicate,
+//	                  reads fail over. Requires -qbcloud for the node
+//	                  binary.
 //
 // Chaos: -kill-at D SIGKILLs the booted qbcloud D into the measured
 // window — after waiting for a background snapshot that covers the
@@ -23,6 +28,14 @@
 // the outage shows up as a latency spike, not as errors. A lossy
 // snapshot restore cannot reconcile sensitive writes acknowledged after
 // the last snapshot (by design), so chaos runs require -read-frac 1.
+// In ring mode the victim is the first data node: the surviving
+// replicas keep answering (failover, not reconnect-stall), and after
+// the restart the coordinator's anti-entropy repair brings the victim
+// back to row parity.
+//
+// -run-name NAME prefixes the benchmark names in the -o report and
+// -append merges into an existing report instead of overwriting, so one
+// file can hold several arms (BENCH_ring.json's 1-node vs 3-node).
 //
 // -check cross-checks every read against the sequential reference
 // bounds; -assert exits non-zero unless the run was clean (nonzero ops,
@@ -42,6 +55,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +66,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/benchfmt"
 	"repro/internal/loadgen"
 )
 
@@ -71,6 +86,9 @@ func main() {
 		techName = flag.String("technique", "noind", "sensitive-search technique: noind, detindex or arx")
 		addr     = flag.String("addr", "", "drive an already-running qbcloud at this address")
 		bin      = flag.String("qbcloud", "", "boot this qbcloud binary and drive it (required for chaos)")
+		ringN    = flag.Int("ring", 0, "boot this many qbcloud nodes plus a qbring coordinator and drive the ring (needs -qbcloud and -qbring)")
+		ringBin  = flag.String("qbring", "", "qbring binary for -ring mode")
+		replicas = flag.Int("replicas", 2, "replication factor for -ring mode")
 		conns    = flag.Int("conns", 0, "connection-pool size per client (remote; 0 = library default)")
 		workers  = flag.Int("store-workers", 0, "per-namespace dispatch bound for the booted qbcloud (0 = unbounded)")
 		killAt   = flag.Duration("kill-at", 0, "SIGKILL the booted qbcloud this long into the measured window (0 = no chaos)")
@@ -82,6 +100,8 @@ func main() {
 		check    = flag.Bool("check", false, "cross-check every read against the sequential reference bounds")
 		assert   = flag.Bool("assert", false, "exit non-zero unless the run is clean (ops>0, errors=0, checks=0, sane percentiles)")
 		out      = flag.String("o", "", "write the benchfmt JSON report here (e.g. BENCH_load.json)")
+		runName  = flag.String("run-name", "qbload", "benchmark name prefix in the -o report")
+		appendTo = flag.Bool("append", false, "merge this run's series into an existing -o report instead of overwriting")
 		cache    = flag.Bool("cache", true, "owner-side version cache (false = per-query column pull, the pre-cache profile)")
 		cacheMB  = flag.Int("cache-mb", 0, "owner-side cache budget per client in MiB (0 = library default)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run here (pprof)")
@@ -110,9 +130,11 @@ func main() {
 					},
 				},
 				bin: *bin, storeWorkers: *workers,
+				ringN: *ringN, ringBin: *ringBin, replicas: *replicas,
 				killAt: *killAt, restartAfter: *restart,
 				snapshotEvery: *snapshot, state: *state,
 				assert: *assert, out: *out,
+				runName: *runName, appendTo: *appendTo,
 			})
 		}
 		stopProf()
@@ -181,13 +203,23 @@ type runOpts struct {
 	cfg           loadgen.Config
 	bin           string
 	storeWorkers  int
+	ringN         int
+	ringBin       string
+	replicas      int
 	killAt        time.Duration
 	restartAfter  time.Duration
 	snapshotEvery time.Duration
 	state         string
 	assert        bool
 	out           string
+	runName       string
+	appendTo      bool
 }
+
+// ringToken is the intra-ring transfer secret the harness configures on
+// every booted node and the coordinator; its value is irrelevant as long
+// as they match.
+const ringToken = "qbload-ring-token"
 
 func run(o runOpts) error {
 	if o.killAt > 0 {
@@ -205,11 +237,25 @@ func run(o runOpts) error {
 	if o.bin != "" && o.cfg.CloudAddr != "" {
 		return fmt.Errorf("-addr and -qbcloud are mutually exclusive")
 	}
+	if o.ringN > 0 {
+		if o.bin == "" || o.ringBin == "" {
+			return fmt.Errorf("-ring needs both -qbcloud (node binary) and -qbring (coordinator binary)")
+		}
+		if o.cfg.CloudAddr != "" {
+			return fmt.Errorf("-addr and -ring are mutually exclusive")
+		}
+	}
 
-	// Boot the binary if asked, always with a state file so a chaos
-	// restart has something to restore.
-	var srv *loadgen.CloudProc
-	if o.bin != "" {
+	// Boot the server processes if asked, always with state files so a
+	// chaos restart has something to restore. victim is the process
+	// -kill-at targets; victimState its state file.
+	var (
+		srv         *loadgen.CloudProc
+		victim      *loadgen.CloudProc
+		victimState string
+		restartArgs []string
+	)
+	if o.bin != "" && o.ringN == 0 {
 		if o.state == "" {
 			dir, err := os.MkdirTemp("", "qbload-")
 			if err != nil {
@@ -232,7 +278,62 @@ func run(o runOpts) error {
 		defer srv.Kill()
 		o.cfg.CloudAddr = srv.Addr
 		o.cfg.Reconnect = true // survive chaos; free otherwise
+		victim, victimState = srv, o.state
+		restartArgs = []string{"-state", o.state}
 		fmt.Fprintf(os.Stderr, "qbload: qbcloud up on %s (state=%s)\n", srv.Addr, o.state)
+	}
+	if o.ringN > 0 {
+		dir, err := os.MkdirTemp("", "qbload-ring-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		nodes := make([]*loadgen.CloudProc, 0, o.ringN)
+		addrs := make([]string, 0, o.ringN)
+		for i := 0; i < o.ringN; i++ {
+			state := filepath.Join(dir, fmt.Sprintf("node%d.gob", i))
+			extra := []string{
+				"-state", state,
+				"-snapshot-every", o.snapshotEvery.String(),
+				"-ring-token", ringToken,
+			}
+			if o.storeWorkers > 0 {
+				extra = append(extra, "-store-workers", fmt.Sprint(o.storeWorkers))
+			}
+			n, err := loadgen.BootCloud(o.bin, extra...)
+			if err != nil {
+				for _, up := range nodes {
+					up.Kill()
+				}
+				return err
+			}
+			defer n.Kill()
+			nodes = append(nodes, n)
+			addrs = append(addrs, n.Addr)
+		}
+		ring, err := loadgen.BootRing(o.ringBin,
+			"-nodes", strings.Join(addrs, ","),
+			"-replicas", fmt.Sprint(o.replicas),
+			"-ring-token", ringToken,
+			"-health-every", "100ms",
+			"-repair-every", "250ms",
+		)
+		if err != nil {
+			return err
+		}
+		defer ring.Kill()
+		o.cfg.RingAddr = ring.Addr
+		// Chaos kills the first data node: its replicas answer through
+		// the outage, and repair catches it up after the restart.
+		victim = nodes[0]
+		victimState = filepath.Join(dir, "node0.gob")
+		restartArgs = []string{
+			"-state", victimState,
+			"-snapshot-every", o.snapshotEvery.String(),
+			"-ring-token", ringToken,
+		}
+		fmt.Fprintf(os.Stderr, "qbload: ring up on %s (%d nodes: %s, R=%d)\n",
+			ring.Addr, o.ringN, strings.Join(addrs, " "), o.replicas)
 	}
 
 	// The chaos controller needs to know when setup (outsourcing) ends
@@ -254,7 +355,7 @@ func run(o runOpts) error {
 	chaosDone := make(chan chaosResult, 1)
 	if o.killAt > 0 {
 		go func() {
-			srv2, err := chaos(o, srv, loadStart)
+			srv2, err := chaos(o, victim, victimState, restartArgs, loadStart)
 			chaosDone <- chaosResult{srv2, err}
 		}()
 	}
@@ -275,7 +376,16 @@ func run(o runOpts) error {
 
 	res.WriteTable(os.Stdout)
 	if o.out != "" {
-		rep := res.Report(o.cfg, time.Now().Unix())
+		rep := res.ReportNamed(o.runName, o.cfg, time.Now().Unix())
+		if o.appendTo {
+			if prev, err := os.ReadFile(o.out); err == nil {
+				var existing benchfmt.Report
+				if err := json.Unmarshal(prev, &existing); err != nil {
+					return fmt.Errorf("-append: parsing existing %s: %w", o.out, err)
+				}
+				rep.Benchmarks = append(existing.Benchmarks, rep.Benchmarks...)
+			}
+		}
 		b, err := rep.Encode()
 		if err != nil {
 			return err
@@ -296,10 +406,12 @@ type chaosResult struct {
 	err error
 }
 
-// chaos SIGKILLs the booted qbcloud killAt into the measured window —
+// chaos SIGKILLs the victim qbcloud killAt into the measured window —
 // but never before a background snapshot has covered the outsourced
-// datasets — and reboots it from the state file on the same address.
-func chaos(o runOpts, srv *loadgen.CloudProc, loadStart <-chan time.Time) (*loadgen.CloudProc, error) {
+// datasets — and reboots it from its state file on the same address
+// (with restartArgs carrying the victim's original flags, e.g. the ring
+// token in ring mode).
+func chaos(o runOpts, victim *loadgen.CloudProc, state string, restartArgs []string, loadStart <-chan time.Time) (*loadgen.CloudProc, error) {
 	var start time.Time
 	select {
 	case start = <-loadStart:
@@ -312,11 +424,11 @@ func chaos(o runOpts, srv *loadgen.CloudProc, loadStart <-chan time.Time) (*load
 	// contains every outsourced tuple.
 	covered := start.Add(o.snapshotEvery + 50*time.Millisecond)
 	for {
-		if fi, err := os.Stat(o.state); err == nil && fi.ModTime().After(covered) {
+		if fi, err := os.Stat(state); err == nil && fi.ModTime().After(covered) {
 			break
 		}
 		if time.Since(start) > 30*time.Second {
-			return nil, fmt.Errorf("chaos: no post-setup snapshot of %s within 30s", o.state)
+			return nil, fmt.Errorf("chaos: no post-setup snapshot of %s within 30s", state)
 		}
 		time.Sleep(25 * time.Millisecond)
 	}
@@ -324,16 +436,17 @@ func chaos(o runOpts, srv *loadgen.CloudProc, loadStart <-chan time.Time) (*load
 	if d := time.Until(start.Add(o.killAt)); d > 0 {
 		time.Sleep(d)
 	}
-	fmt.Fprintf(os.Stderr, "qbload: chaos: SIGKILL qbcloud %v into the window\n", time.Since(start).Round(time.Millisecond))
-	if err := srv.Kill(); err != nil {
+	fmt.Fprintf(os.Stderr, "qbload: chaos: SIGKILL qbcloud %s %v into the window\n",
+		victim.Addr, time.Since(start).Round(time.Millisecond))
+	if err := victim.Kill(); err != nil {
 		return nil, err
 	}
-	if err := srv.WaitExit(10 * time.Second); err != nil {
+	if err := victim.WaitExit(10 * time.Second); err != nil {
 		return nil, err
 	}
 
 	time.Sleep(o.restartAfter)
-	srv2, err := loadgen.BootCloud(o.bin, "-state", o.state, "-addr", srv.Addr)
+	srv2, err := loadgen.BootCloud(o.bin, append([]string{"-addr", victim.Addr}, restartArgs...)...)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: restarting qbcloud: %w", err)
 	}
@@ -341,7 +454,7 @@ func chaos(o runOpts, srv *loadgen.CloudProc, loadStart <-chan time.Time) (*load
 		err := fmt.Errorf("chaos: restarted qbcloud did not restore state:\n%s", srv2.Output())
 		return srv2, err
 	}
-	fmt.Fprintf(os.Stderr, "qbload: chaos: qbcloud restarted on %s from %s\n", srv2.Addr, o.state)
+	fmt.Fprintf(os.Stderr, "qbload: chaos: qbcloud restarted on %s from %s\n", srv2.Addr, state)
 	return srv2, nil
 }
 

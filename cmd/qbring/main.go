@@ -1,0 +1,105 @@
+// Command qbring runs the multi-node ring coordinator: the control plane
+// that places namespaces across a fixed set of qbcloud nodes with R-way
+// replication, probes node health, and runs the anti-entropy repair loop
+// that catches lagging or rejoining replicas up to their peers.
+//
+// Usage:
+//
+//	qbring -addr :7050 -nodes host1:7040,host2:7040,host3:7040
+//	       [-replicas 2] [-ring-token SECRET]
+//	       [-health-every 500ms] [-repair-every 1s]
+//
+// Point clients at it with repro.Config{Ring: "host:7050"}: each client
+// pulls the placement directory once (revalidating with a conditional
+// fetch), then talks to the data nodes directly — the coordinator is off
+// the data path, so its own downtime only pauses repair and directory
+// refresh, never queries. -ring-token must match the nodes' -ring-token
+// for repair transfer to be admitted.
+//
+// Placement is a pure function of the -nodes list (consistent hashing
+// with virtual nodes), so every qbring over the same list computes the
+// same placement; run one per ring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", ":7050", "listen address for the directory service")
+	nodes := flag.String("nodes", "", "comma-separated qbcloud addresses forming the ring (required)")
+	replicas := flag.Int("replicas", 2, "replication factor R (clamped to the node count)")
+	ringToken := flag.String("ring-token", "", "cluster secret matching the nodes' -ring-token; authorises repair transfer")
+	healthEvery := flag.Duration("health-every", 500*time.Millisecond, "node liveness probe interval")
+	repairEvery := flag.Duration("repair-every", time.Second, "anti-entropy repair sweep interval")
+	flag.Parse()
+	if err := run(*addr, *nodes, *replicas, *ringToken, *healthEvery, *repairEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "qbring:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, nodes string, replicas int, ringToken string, healthEvery, repairEvery time.Duration) error {
+	var nodeList []string
+	for _, n := range strings.Split(nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodeList = append(nodeList, n)
+		}
+	}
+	if len(nodeList) == 0 {
+		return fmt.Errorf("-nodes is required (comma-separated qbcloud addresses)")
+	}
+
+	cfg := ring.Config{
+		Nodes:       nodeList,
+		Replicas:    replicas,
+		HealthEvery: healthEvery,
+		RepairEvery: repairEvery,
+		Logf:        log.New(os.Stdout, "", log.LstdFlags).Printf,
+	}
+	if ringToken != "" {
+		cfg.RingToken = []byte(ringToken)
+	}
+	co, err := ring.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The directory is served over the ordinary wire protocol by a Cloud
+	// that hosts no stores — clients just call the ring-directory op on it.
+	srv := wire.NewCloud()
+	srv.SetRingDirectory(co.DirectoryBlob)
+	srv.SetRingRepair(func(ns string) error {
+		co.RepairNamespace(ns)
+		return nil
+	})
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("qbring: serving on %s (%d nodes, R=%d)\n", lis.Addr(), len(nodeList), replicas)
+
+	co.Run()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		co.Stop()
+		st := co.Stats()
+		fmt.Printf("qbring: repairs: %d tail(s), %d snapshot(s), %d row(s)\n", st.Tails, st.Snapshots, st.Rows)
+		os.Exit(0)
+	}()
+	return srv.Serve(lis)
+}

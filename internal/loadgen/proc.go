@@ -11,12 +11,12 @@ import (
 	"time"
 )
 
-// CloudProc is a real qbcloud binary running as a child process: the
-// chaos machinery shared by cmd/qbsmoke and cmd/qbload. It owns the
-// process handle and a single reader goroutine over the combined
-// stdout/stderr stream, so the boot-time address scan and later
-// output-content checks (restore lines, shutdown stats) never race on
-// the pipe.
+// CloudProc is a real server binary (qbcloud or qbring) running as a
+// child process: the chaos machinery shared by cmd/qbsmoke and
+// cmd/qbload. It owns the process handle and a single reader goroutine
+// over the combined stdout/stderr stream, so the boot-time address scan
+// and later output-content checks (restore lines, shutdown stats) never
+// race on the pipe.
 type CloudProc struct {
 	// Addr is the listen address the process reported, ready to dial.
 	Addr string
@@ -26,6 +26,13 @@ type CloudProc struct {
 	mu   sync.Mutex
 	buf  strings.Builder
 	done chan struct{} // closed when the output stream hits EOF
+}
+
+// BootRing starts the qbring binary and waits for it to report its
+// listen address, exactly like BootCloud (both servers print the same
+// "serving on" line).
+func BootRing(bin string, extra ...string) (*CloudProc, error) {
+	return BootCloud(bin, extra...)
 }
 
 // BootCloud starts the qbcloud binary and waits (up to 10s) for it to
@@ -44,7 +51,8 @@ func BootCloud(bin string, extra ...string) (*CloudProc, error) {
 		return nil, fmt.Errorf("starting %s: %w", bin, err)
 	}
 	p := &CloudProc{bin: bin, cmd: cmd, done: make(chan struct{})}
-	// qbcloud prints "qbcloud: serving on 127.0.0.1:PORT" once listening.
+	// Both servers print "<name>: serving on 127.0.0.1:PORT" once
+	// listening (qbring appends ring parameters after the address).
 	addrCh := make(chan string, 1)
 	go p.read(pipe, addrCh)
 	select {
@@ -69,10 +77,13 @@ func (p *CloudProc) read(pipe io.Reader, addrCh chan<- string) {
 		p.buf.WriteString(line)
 		p.buf.WriteByte('\n')
 		p.mu.Unlock()
-		if rest, ok := strings.CutPrefix(line, "qbcloud: serving on "); ok {
-			select {
-			case addrCh <- strings.TrimSpace(rest):
-			default:
+		if idx := strings.Index(line, ": serving on "); idx >= 0 {
+			rest := strings.TrimSpace(line[idx+len(": serving on "):])
+			if f := strings.Fields(rest); len(f) > 0 {
+				select {
+				case addrCh <- f[0]:
+				default:
+				}
 			}
 		}
 	}

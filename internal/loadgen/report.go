@@ -36,6 +36,13 @@ func (r TenantResult) metrics() map[string]float64 {
 // BENCH_load.json: one series per tenant plus the aggregate, with the
 // run's parameters recorded under config.
 func (res *Result) Report(cfg Config, generatedUnix int64) benchfmt.Report {
+	return res.ReportNamed("qbload", cfg, generatedUnix)
+}
+
+// ReportNamed is Report with the benchmark name prefix chosen by the
+// caller, so one file can hold several arms of a comparison (e.g.
+// BENCH_ring.json's single-node and 3-node series).
+func (res *Result) ReportNamed(name string, cfg Config, generatedUnix int64) benchfmt.Report {
 	rep := benchfmt.Report{
 		GeneratedUnix: generatedUnix,
 		GoOS:          runtime.GOOS,
@@ -51,21 +58,22 @@ func (res *Result) Report(cfg Config, generatedUnix int64) benchfmt.Report {
 			"distinct_values": cfg.DistinctValues,
 			"sensitive_alpha": cfg.Alpha,
 			"technique":       cfg.Technique.String(),
-			"remote":          cfg.CloudAddr != "",
+			"remote":          cfg.remote(),
+			"ring":            cfg.RingAddr != "",
 			"reconnect":       cfg.Reconnect,
-			"cache":           cfg.CloudAddr != "" && !cfg.DisableCache,
+			"cache":           cfg.remote() && !cfg.DisableCache,
 			"elapsed_seconds": res.Elapsed.Seconds(),
 		},
 	}
 	for _, t := range res.Tenants {
 		rep.Benchmarks = append(rep.Benchmarks, benchfmt.Result{
-			Name:       "qbload/tenant=" + t.Tenant,
+			Name:       name + "/tenant=" + t.Tenant,
 			Iterations: t.Ops,
 			Metrics:    t.metrics(),
 		})
 	}
 	rep.Benchmarks = append(rep.Benchmarks, benchfmt.Result{
-		Name:       "qbload/aggregate",
+		Name:       name + "/aggregate",
 		Iterations: res.Aggregate.Ops,
 		Metrics:    res.Aggregate.metrics(),
 	})

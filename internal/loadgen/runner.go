@@ -47,6 +47,11 @@ type Config struct {
 	// CloudAddr, when set, targets a remote qbcloud; empty hosts one
 	// in-process cloud per tenant.
 	CloudAddr string
+	// RingAddr, when set, targets a qbring coordinator instead of a single
+	// qbcloud: clients route through the ring transport (placement,
+	// replication, failover). Mutually exclusive with CloudAddr;
+	// CloudConns and Reconnect are ignored in ring mode.
+	RingAddr string
 	// CloudConns is the connection-pool size per client (remote only).
 	CloudConns int
 	// Reconnect wraps remote clients in the reconnecting transport so a
@@ -111,7 +116,10 @@ func (c *Config) withDefaults() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
-	if c.CloudAddr != "" && c.Clients > 1 && c.Gen.ReadFraction < 1 && c.Technique == repro.TechArx {
+	if c.CloudAddr != "" && c.RingAddr != "" {
+		return fmt.Errorf("loadgen: CloudAddr and RingAddr are mutually exclusive")
+	}
+	if c.remote() && c.Clients > 1 && c.Gen.ReadFraction < 1 && c.Technique == repro.TechArx {
 		// Arx search walks per-occurrence tokens counted in owner-local
 		// metadata: a reader resumed before a write cannot derive the new
 		// occurrence's token, so multi-client read-your-writes does not
@@ -120,6 +128,10 @@ func (c *Config) withDefaults() error {
 	}
 	return nil
 }
+
+// remote reports whether the run targets out-of-process clouds (single
+// qbcloud or ring).
+func (c *Config) remote() bool { return c.CloudAddr != "" || c.RingAddr != "" }
 
 // TenantResult is one tenant's (or the aggregate) scoreboard.
 type TenantResult struct {
@@ -231,8 +243,9 @@ func setupTenant(cfg *Config, t int) (*tenantState, error) {
 		Technique: cfg.Technique,
 		Seed:      &permSeed,
 	}
-	if cfg.CloudAddr != "" {
+	if cfg.remote() {
 		rcfg.CloudAddr = cfg.CloudAddr
+		rcfg.Ring = cfg.RingAddr
 		rcfg.CloudConns = cfg.CloudConns
 		rcfg.Reconnect = cfg.Reconnect
 		rcfg.DisableCache = cfg.DisableCache
@@ -252,7 +265,7 @@ func setupTenant(cfg *Config, t int) (*tenantState, error) {
 		return nil, fmt.Errorf("tenant %s: outsource: %w", ts.name, err)
 	}
 
-	if cfg.CloudAddr != "" && cfg.Clients > 1 {
+	if cfg.remote() && cfg.Clients > 1 {
 		var meta bytes.Buffer
 		if err := writer.SaveMetadata(&meta); err != nil {
 			ts.close()

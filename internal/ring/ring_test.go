@@ -1,0 +1,112 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testDir(n, r int) *Directory {
+	d := &Directory{Version: 1, Replicas: r}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("node%d:70%02d", i, i)
+		d.Nodes = append(d.Nodes, Node{ID: id, Addr: id, Alive: true})
+	}
+	return d
+}
+
+// TestPlacementDeterministic: placement is a pure function of membership
+// — same directory, same answer, in any process.
+func TestPlacementDeterministic(t *testing.T) {
+	d := testDir(5, 3)
+	a, b := Build(d), Build(d)
+	for i := 0; i < 50; i++ {
+		ns := fmt.Sprintf("tenant-%d", i)
+		pa, pb := a.Placement(ns), b.Placement(ns)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("placement(%s) differs across builds: %v vs %v", ns, pa, pb)
+		}
+		if len(pa) != 3 {
+			t.Fatalf("placement(%s) = %d replicas, want 3", ns, len(pa))
+		}
+		seen := map[string]bool{}
+		for _, n := range pa {
+			if seen[n.ID] {
+				t.Fatalf("placement(%s) repeats node %s", ns, n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+}
+
+// TestPlacementIgnoresLiveness: a node flap must not move data.
+func TestPlacementIgnoresLiveness(t *testing.T) {
+	up := testDir(4, 2)
+	down := testDir(4, 2)
+	down.Nodes[1].Alive = false
+	down.Nodes[3].Alive = false
+	ra, rb := Build(up), Build(down)
+	for i := 0; i < 50; i++ {
+		ns := fmt.Sprintf("ns-%d", i)
+		ids := func(ns []Node) []string {
+			out := make([]string, len(ns))
+			for i, n := range ns {
+				out[i] = n.ID
+			}
+			return out
+		}
+		if a, b := ids(ra.Placement(ns)), ids(rb.Placement(ns)); !reflect.DeepEqual(a, b) {
+			t.Fatalf("liveness moved placement(%s): %v vs %v", ns, a, b)
+		}
+	}
+}
+
+// TestPlacementSpread: with virtual nodes, every node serves as primary
+// for some namespaces (no starved node).
+func TestPlacementSpread(t *testing.T) {
+	r := Build(testDir(3, 2))
+	primaries := map[string]int{}
+	for i := 0; i < 300; i++ {
+		p := r.Placement(fmt.Sprintf("store-%d", i))
+		primaries[p[0].ID]++
+	}
+	if len(primaries) != 3 {
+		t.Fatalf("only %d of 3 nodes ever primary: %v", len(primaries), primaries)
+	}
+	for id, n := range primaries {
+		if n < 30 {
+			t.Errorf("node %s is primary for only %d/300 namespaces (badly skewed ring)", id, n)
+		}
+	}
+}
+
+// TestReplicasClamped: R is clamped to [1, nodes].
+func TestReplicasClamped(t *testing.T) {
+	if got := Build(testDir(2, 5)).Replicas(); got != 2 {
+		t.Fatalf("R=5 over 2 nodes: Replicas() = %d, want 2", got)
+	}
+	if got := Build(testDir(3, 0)).Replicas(); got != 1 {
+		t.Fatalf("R=0: Replicas() = %d, want 1", got)
+	}
+	if got := len(Build(testDir(4, 2)).Placement("x")); got != 2 {
+		t.Fatalf("placement size = %d, want 2", got)
+	}
+}
+
+// TestDirectoryRoundTrip: the wire blob encoding is lossless.
+func TestDirectoryRoundTrip(t *testing.T) {
+	d := testDir(3, 2)
+	d.Version = 42
+	d.Nodes[2].Alive = false
+	blob, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDirectory(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("decode = %+v, want %+v", got, d)
+	}
+}

@@ -295,6 +295,42 @@ func (s *EncryptedStore) RowsSince(v EncVersion, have int) ([]EncRow, EncVersion
 	return out, cur, false, nil
 }
 
+// AppendIfLen appends rows only if the store currently holds exactly
+// expectedLen rows — a compare-and-swap on the row count. It is the
+// replica-repair primitive: an anti-entropy repairer that read a lagging
+// replica at expectedLen rows and fetched the tail delta from a healthy
+// peer can install that tail atomically, and if an owner write landed in
+// between the CAS fails cleanly (the repairer re-probes next round)
+// instead of interleaving repair rows with live writes at wrong
+// addresses. Rows are installed with Add's ordering guarantees — rows
+// published, tokens indexed, then the version bumped once per row — and
+// the incoming Addr fields are ignored: addresses are assigned by append
+// position, which the expectedLen check has just pinned to the source's.
+func (s *EncryptedStore) AppendIfLen(rows []EncRow, expectedLen int) (int, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if len(s.rows) != expectedLen {
+		return len(s.rows), fmt.Errorf("storage: append-if-len: store holds %d rows, caller expected %d", len(s.rows), expectedLen)
+	}
+	for _, r := range rows {
+		addr := len(s.rows)
+		s.rows = append(s.rows, EncRow{Addr: addr, TupleCT: r.TupleCT, AttrCT: r.AttrCT, Token: r.Token})
+	}
+	published := s.rows
+	s.snap.Store(&published)
+	for i := range rows {
+		if tok := rows[i].Token; tok != nil {
+			sh := s.shard(tok)
+			k := string(tok)
+			sh.mu.Lock()
+			sh.m[k] = append(sh.m[k], expectedLen+i)
+			sh.mu.Unlock()
+		}
+	}
+	s.ver.Add(uint64(len(rows)))
+	return len(published), nil
+}
+
 // SetVersionFloor raises the write counter to at least n. Snapshot restore
 // uses it so a restored namespace never reports a version below the one it
 // was saved at; the epoch is freshly drawn at construction regardless, so

@@ -1,11 +1,17 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/relation"
 )
+
+// ErrLenMismatch reports a conditional insert whose expected tuple count
+// no longer matched; nothing was applied. Callers distinguish it from a
+// schema rejection with errors.Is.
+var ErrLenMismatch = errors.New("storage: relation length mismatch")
 
 // PlainStore is the cloud's clear-text store for the non-sensitive relation
 // Rns. It answers selection and range queries over the searchable attribute
@@ -55,6 +61,30 @@ func (s *PlainStore) Insert(t relation.Tuple) error {
 	return nil
 }
 
+// InsertIfLen appends t only if the relation currently holds exactly
+// expectedLen tuples — the clear-text sibling of
+// EncryptedStore.AppendIfLen, and the reason a replicated writer's insert
+// cannot double-apply against anti-entropy repair: if a wholesale restore
+// (or another writer) moved the count between the writer learning it and
+// the insert arriving, the CAS fails cleanly with ErrLenMismatch instead
+// of appending a tuple the restored state may already contain. Returns
+// the relation's current tuple count either way.
+func (s *PlainStore) InsertIfLen(t relation.Tuple, expectedLen int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.rel.Len(); n != expectedLen {
+		return n, fmt.Errorf("%w: relation holds %d tuples, caller expected %d", ErrLenMismatch, n, expectedLen)
+	}
+	if err := s.rel.Append(t); err != nil {
+		return s.rel.Len(), err
+	}
+	pos := s.rel.Len() - 1
+	v := t.Values[s.attrIdx]
+	s.hash.Add(v, pos)
+	s.tree.Insert(v, pos)
+	return s.rel.Len(), nil
+}
+
 // Len returns the number of stored tuples.
 func (s *PlainStore) Len() int {
 	s.mu.RLock()
@@ -101,6 +131,18 @@ func (s *PlainStore) SearchRange(lo, hi relation.Value) []relation.Tuple {
 		return true
 	})
 	return out
+}
+
+// SnapshotTuples returns the schema and a copy of the tuple slice under
+// the read lock — safe against concurrent inserts, unlike Relation. The
+// tuples themselves are never mutated after append, so sharing them is
+// safe; only the slice header must be copied.
+func (s *PlainStore) SnapshotTuples() (relation.Schema, []relation.Tuple) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tuples := make([]relation.Tuple, len(s.rel.Tuples))
+	copy(tuples, s.rel.Tuples)
+	return s.rel.Schema, tuples
 }
 
 // Relation exposes the underlying relation; the adversary is allowed to read

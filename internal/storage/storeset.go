@@ -148,6 +148,23 @@ func (ss *StoreSet) Set(name string, st *Store) {
 	ss.mu.Unlock()
 }
 
+// Replace installs st under name and quiesces the store it displaced,
+// exactly like Drop does: the replacement is published first, then the
+// old store's write lock is taken and released, so by return every
+// operation that was in flight on the displaced store has drained. An op
+// racing past the swap lands in the orphaned store and its effect
+// vanishes with it — the semantics of a ring-ordered replica restore.
+func (ss *StoreSet) Replace(name string, st *Store) {
+	ss.mu.Lock()
+	old := ss.m[name]
+	ss.m[name] = st
+	ss.mu.Unlock()
+	if old != nil {
+		old.mu.Lock()
+		old.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+	}
+}
+
 // Drop removes the named store from the registry and reports whether it
 // existed. The removal is published first — operations arriving after Drop
 // returns (or racing past it) resolve to a fresh empty store on next

@@ -296,6 +296,14 @@ type StoreClient struct {
 	// hand out addresses that collide with existing rows.
 	serverLen int
 	lenSynced bool
+
+	// plainMu guards the clear-text partition's length mirror, held
+	// across the insert round trip so concurrent Inserts CAS against
+	// consecutive lengths instead of racing each other. Lock order:
+	// plainMu before bufMu (Insert holds plainMu while call() flushes).
+	plainMu     sync.Mutex
+	plainLen    int
+	plainSynced bool
 }
 
 // StoreName returns the namespace this view addresses.
@@ -352,14 +360,21 @@ func (s *StoreClient) Close() error { return s.c.Close() }
 // Load implements cloud.PlainBackend: ships the non-sensitive relation to
 // the view's namespace in clear-text.
 func (s *StoreClient) Load(rns *relation.Relation, attr string) error {
-	_, err := s.call(&request{
+	resp, err := s.call(&request{
 		Op:         opPlainLoad,
 		Schema:     rns.Schema,
 		Tuples:     rns.Tuples,
 		Attr:       attr,
 		AdminToken: s.ownerToken(),
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	s.plainMu.Lock()
+	s.plainLen = resp.N
+	s.plainSynced = true
+	s.plainMu.Unlock()
+	return nil
 }
 
 // searchErr is Search with the error surfaced (retrying wrappers need it;
@@ -401,10 +416,36 @@ func (s *StoreClient) SearchRange(lo, hi relation.Value) []relation.Tuple {
 	return ts
 }
 
-// Insert implements cloud.PlainBackend.
+// Insert implements cloud.PlainBackend. Inserts are conditional on the
+// relation's tuple count (protocol v6): the view mirrors the count —
+// seeded by Load, lazily probed via opStoreInfo otherwise, advanced per
+// acknowledged insert — and the server applies the insert only if it
+// still matches, so an insert racing an anti-entropy restore of the same
+// replica cannot land twice. A stale-write refusal (IsStaleWrite) drops
+// the mirror; the next insert re-probes before writing.
 func (s *StoreClient) Insert(t relation.Tuple) error {
-	_, err := s.call(&request{Op: opPlainInsert, Tuple: t, AdminToken: s.ownerToken()})
-	return err
+	s.plainMu.Lock()
+	defer s.plainMu.Unlock()
+	if !s.plainSynced {
+		resp, err := s.call(&request{Op: opStoreInfo})
+		if err != nil {
+			return err
+		}
+		if resp.Info.PlainTuples < 0 {
+			return fmt.Errorf("wire: insert: no relation loaded in store %q", storeName(s.store))
+		}
+		s.plainLen = resp.Info.PlainTuples
+		s.plainSynced = true
+	}
+	_, err := s.call(&request{Op: opPlainInsert, Tuple: t, AdminToken: s.ownerToken(), Have: s.plainLen})
+	if err != nil {
+		if s.c.stickyErr() == nil && IsStaleWrite(err) {
+			s.plainSynced = false
+		}
+		return err
+	}
+	s.plainLen++
+	return nil
 }
 
 // --- technique.EncStore -------------------------------------------------
@@ -452,8 +493,32 @@ func (s *StoreClient) Flush() error {
 		return nil
 	}
 	batch := s.pending
-	resp, err := s.c.roundTrip(&request{Op: opEncAddBatch, Store: s.store, Batch: batch, AdminToken: s.ownerToken()})
+	// The batch is conditional on the row count its addresses were
+	// assigned at (protocol v6): pending is never non-empty without a
+	// synced length (Add probes before buffering, seed records one), and
+	// the server applies the batch only if the store still holds exactly
+	// serverLen rows. A flush racing an anti-entropy repair of this
+	// replica — which can append these very rows, copied from a peer that
+	// acked them — is refused instead of doubling the tail.
+	have := s.serverLen
+	if !s.lenSynced {
+		have = -1
+	}
+	resp, err := s.c.roundTrip(&request{Op: opEncAddBatch, Store: s.store, Batch: batch, AdminToken: s.ownerToken(), Have: have})
 	if err != nil {
+		if s.c.stickyErr() == nil && IsStaleWrite(err) {
+			// Nothing was applied, but the base address moved: the buffered
+			// rows' handed-out addresses can only ever be honoured at the
+			// probed base, so retrying is pointless. Drop them and the
+			// length mirror — in a ring this replica is quarantined on the
+			// error and anti-entropy re-materialises the rows from a
+			// replica that acked; readmission's ResyncLen would refuse
+			// while they were retained.
+			s.pending = nil
+			s.lenSynced = false
+			s.serverLen = 0
+			return fmt.Errorf("wire: flush: store %q: %w", storeName(s.store), err)
+		}
 		// Keep the batch buffered for retry: its addresses were already
 		// handed out by Add, so dropping the rows would silently corrupt
 		// the technique's index. If the server rejected the batch
@@ -507,6 +572,29 @@ func (s *StoreClient) seed(pending []EncUpload, serverLen int) {
 	s.serverLen = serverLen
 	s.lenSynced = true
 	s.bufMu.Unlock()
+}
+
+// ResyncLen drops the view's cached server-length arithmetic — the
+// encrypted row count AND the clear-text tuple count — so the next Add or
+// Insert re-reads the server's. A ring client readmitting a repaired
+// replica uses it: anti-entropy appended rows (or restored tuples)
+// server-side that this view never saw, so its cached lengths would hand
+// out colliding addresses or fail every insert's CAS. It refuses while
+// uploads are retained — those rows carry already-handed-out addresses
+// that resyncing would orphan.
+func (s *StoreClient) ResyncLen() error {
+	s.plainMu.Lock()
+	defer s.plainMu.Unlock()
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	if len(s.pending) > 0 {
+		return fmt.Errorf("wire: resync len: store %q holds %d retained uploads whose addresses were already handed out", s.store, len(s.pending))
+	}
+	s.lenSynced = false
+	s.serverLen = 0
+	s.plainSynced = false
+	s.plainLen = 0
+	return nil
 }
 
 // lenErr is Len with the error surfaced.

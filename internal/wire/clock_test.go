@@ -58,8 +58,12 @@ func (f *fakeClock) Delays() []time.Duration {
 }
 
 // TestReconnectBackoffSchedule pins the backoff shape — BaseDelay doubling
-// to the MaxDelay cap, one sleep before every attempt after the first —
-// without sleeping any wall time at all.
+// to the MaxDelay cap, one sleep before every attempt after the first,
+// each sleep jittered into [nominal/2, nominal] — without sleeping any
+// wall time at all. The jitter generator is seeded from the injected
+// clock, so the schedule is deterministic per fake-clock state; the test
+// asserts the envelope rather than pinning the draws, plus that the draws
+// are not all sitting on the nominal schedule (i.e. jitter is real).
 func TestReconnectBackoffSchedule(t *testing.T) {
 	fc := newFakeClock(true)
 	rc := NewReconnector(
@@ -75,7 +79,7 @@ func TestReconnectBackoffSchedule(t *testing.T) {
 	if err := rc.Ping(); err == nil || !strings.Contains(err.Error(), "gave up after 6 attempts") {
 		t.Fatalf("Ping against refusing dial: %v", err)
 	}
-	want := []time.Duration{
+	nominal := []time.Duration{
 		10 * time.Millisecond,
 		20 * time.Millisecond,
 		40 * time.Millisecond,
@@ -83,14 +87,51 @@ func TestReconnectBackoffSchedule(t *testing.T) {
 		40 * time.Millisecond,
 	}
 	got := fc.Delays()
-	if len(got) != len(want) {
-		t.Fatalf("backoff slept %d times (%v), want %d", len(got), got, len(want))
+	if len(got) != len(nominal) {
+		t.Fatalf("backoff slept %d times (%v), want %d", len(got), got, len(nominal))
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("backoff sleep %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+	jittered := false
+	for i := range nominal {
+		if got[i] < nominal[i]/2 || got[i] > nominal[i] {
+			t.Fatalf("backoff sleep %d = %v outside jitter bounds [%v, %v] (all: %v)",
+				i, got[i], nominal[i]/2, nominal[i], got)
+		}
+		if got[i] != nominal[i] {
+			jittered = true
 		}
 	}
+	if !jittered {
+		t.Fatalf("every backoff sleep landed exactly on the nominal schedule %v — jitter is not being applied", got)
+	}
+}
+
+// TestReconnectBackoffJitterSpread runs two reconnect cycles whose fake
+// clocks start at different instants and checks their schedules diverge —
+// the thundering-herd property: clients that crash at different times do
+// not redial in lockstep.
+func TestReconnectBackoffJitterSpread(t *testing.T) {
+	schedule := func(startNano int64) []time.Duration {
+		fc := newFakeClock(true)
+		fc.now = time.Unix(0, startNano)
+		rc := NewReconnector(
+			func() (*Client, error) { return nil, errors.New("dial refused") },
+			ReconnectOptions{MaxRetries: 8, BaseDelay: 16 * time.Millisecond, MaxDelay: time.Second, Clock: fc})
+		defer rc.Close()
+		if err := rc.Ping(); err == nil {
+			t.Fatal("Ping against refusing dial succeeded")
+		}
+		return fc.Delays()
+	}
+	a, b := schedule(1), schedule(2)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("schedules have different shapes: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return // diverged: different seeds produce different draws
+		}
+	}
+	t.Fatalf("two clients seeded differently produced identical backoff schedules %v", a)
 }
 
 // TestReconnectBackoffCloseAborts parks the reconnect cycle on a fake

@@ -56,6 +56,16 @@ func binaryOp(o op) bool {
 
 // --- encode --------------------------------------------------------------
 
+// appendHave appends a mutation op's length CAS shifted by one, so the
+// unconditional sentinel (-1, and any other negative) rides the wire as a
+// plain zero uvarint.
+func appendHave(buf []byte, have int) []byte {
+	if have < 0 {
+		return append(buf, 0)
+	}
+	return binary.AppendUvarint(buf, uint64(have)+1)
+}
+
 // appendBytes appends a nil-aware length-prefixed byte string.
 func appendBytes(buf, p []byte) []byte {
 	if p == nil {
@@ -109,6 +119,7 @@ func appendBinRequest(buf []byte, req *request) []byte {
 		buf = req.Hi.AppendEncode(buf)
 	case opPlainInsert:
 		buf = appendBytes(buf, req.AdminToken)
+		buf = appendHave(buf, req.Have)
 		buf = relation.AppendEncodeTuple(buf, req.Tuple)
 	case opEncAdd:
 		buf = appendBytes(buf, req.AdminToken)
@@ -117,6 +128,7 @@ func appendBinRequest(buf []byte, req *request) []byte {
 		buf = appendBytes(buf, req.Token)
 	case opEncAddBatch:
 		buf = appendBytes(buf, req.AdminToken)
+		buf = appendHave(buf, req.Have)
 		buf = binary.AppendUvarint(buf, uint64(len(req.Batch)))
 		for i := range req.Batch {
 			u := &req.Batch[i]
@@ -270,6 +282,22 @@ func (r *binReader) varint() int64 {
 	return v
 }
 
+// have reads a mutation op's length CAS: zero on the wire is the
+// unconditional sentinel (-1), anything else is the expected length
+// shifted by one (see appendHave).
+func (r *binReader) have() int {
+	h := r.uvarint()
+	switch {
+	case h == 0:
+		return -1
+	case h-1 <= uint64(int(^uint(0)>>1)):
+		return int(h - 1)
+	default:
+		r.fail()
+		return -1
+	}
+}
+
 // count reads a collection length and bounds it by the bytes left (every
 // element costs at least minBytes), so a lying count cannot force a huge
 // allocation.
@@ -416,6 +444,7 @@ func decodeBinRequest(body []byte) (*request, error) {
 		req.Hi = r.value()
 	case opPlainInsert:
 		req.AdminToken = r.bytes(&a)
+		req.Have = r.have()
 		var slab []relation.Value
 		req.Tuple = r.tuple(&slab)
 	case opEncAdd:
@@ -425,6 +454,7 @@ func decodeBinRequest(body []byte) (*request, error) {
 		req.Token = r.bytes(&a)
 	case opEncAddBatch:
 		req.AdminToken = r.bytes(&a)
+		req.Have = r.have()
 		if n := r.count(3); n > 0 {
 			req.Batch = make([]EncUpload, 0, n)
 			for i := 0; i < n && r.err == nil; i++ {

@@ -60,11 +60,25 @@
 package wire
 
 import (
+	"strings"
+
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
 
-// ProtocolVersion is the wire protocol generation. Version 4 added
+// ProtocolVersion is the wire protocol generation. Version 6 made the
+// client mutation ops conditional: opPlainInsert and opEncAddBatch carry
+// the length the writer expects the partition to hold (request.Have) and
+// the server applies them only if it still does, so a mutation that races
+// anti-entropy repair — a tail copy or snapshot restore landing between
+// the writer learning the length and the write arriving — is refused
+// cleanly instead of appending rows the repaired state already contains.
+// It also added opRingRepair, the targeted repair trigger a writer uses
+// to readmit a quarantined replica without waiting for the next sweep.
+// Version 5 added the ring plane: the directory op a qbring coordinator
+// serves (opRingDirectory) and the replication/repair ops between ring
+// peers (opStoreInfo, opStoreSnapshot, opStoreRestore, opRepairAppend),
+// the latter three guarded by a cluster-wide ring token. Version 4 added
 // namespace version counters and the conditional column/row pulls built
 // on them (opEncVersion, opEncAttrColumnIf, opEncRowsIf) plus the
 // per-namespace admission override (opAdminSetWorkers); version 3
@@ -75,7 +89,7 @@ import (
 // error. The hello itself stays plain gob across generations, so any
 // cross-generation skew fails with an explicit version error in both
 // directions rather than unparseable frames.
-const ProtocolVersion = 4
+const ProtocolVersion = 6
 
 // DefaultStore is the namespace used when a request names none — the
 // single implicit store of protocol v1, preserved so one-relation
@@ -134,6 +148,39 @@ const (
 	// (-store-workers) for one namespace at runtime; owner-token-guarded
 	// like the other per-namespace admin ops.
 	opAdminSetWorkers
+
+	// Ring plane (protocol v5). opRingDirectory asks a qbring coordinator
+	// for the placement directory: the request's CondN carries the version
+	// the client already holds, and the answer is either a tiny
+	// not-modified frame (Delta=true) or the full directory as an opaque
+	// gob blob plus its version. opStoreInfo is the cheap divergence probe
+	// — existence, row counts and the (epoch, N) version of one namespace
+	// on one node; it needs no secret, like opAdminList. The remaining
+	// three move replica state between ring peers and are guarded by the
+	// cluster's ring token (request.RingToken), a secret shared by the
+	// nodes and the coordinator but never by tenants: opStoreSnapshot
+	// exports one namespace as a self-contained snapshot blob,
+	// opStoreRestore installs such a blob wholesale (the fresh/lagging-
+	// node rejoin path), and opRepairAppend appends a tail delta of
+	// encrypted rows with a compare-and-swap on the replica's current
+	// length (the anti-entropy path).
+	opRingDirectory
+	opStoreInfo
+	opStoreSnapshot
+	opStoreRestore
+	opRepairAppend
+
+	// opRingRepair (protocol v6) asks a qbring coordinator to run one
+	// targeted anti-entropy round for the named namespace right now,
+	// bypassing the sweep's divergence grace window. It exists for the
+	// write path: when a writer readmitting a quarantined replica finds it
+	// still short, waiting out the background sweep interval would leave
+	// reads pinned to stale replicas for seconds; a targeted repair closes
+	// the gap in one round trip. Like opStoreInfo it needs no secret — it
+	// can only trigger work the coordinator performs on its own schedule
+	// anyway, and the repair transfer itself is still ring-token-guarded
+	// node-side.
+	opRingRepair
 )
 
 // request is the single wire request envelope; fields are populated
@@ -176,6 +223,10 @@ type request struct {
 
 	// Conditional-pull fields (opEncAttrColumnIf/opEncRowsIf): the version
 	// the client's cache was last validated at and how many rows it holds.
+	// The mutation ops reuse Have as their length CAS: opEncAddBatch and
+	// opPlainInsert apply only if the partition still holds exactly Have
+	// rows/tuples, answering a stale-write error (see IsStaleWrite)
+	// otherwise; Have < 0 applies unconditionally.
 	CondEpoch uint64
 	CondN     uint64
 	Have      int
@@ -185,6 +236,18 @@ type request struct {
 	// this namespace, and n < 0 clears the override back to the server-wide
 	// default.
 	Workers int
+
+	// RingToken authenticates intra-ring repair ops (opStoreRestore,
+	// opRepairAppend): the cluster secret shared by nodes and the
+	// coordinator, independent of any tenant's owner token. Servers not
+	// configured with a ring token refuse these ops outright.
+	RingToken []byte
+
+	// Blob carries an opaque payload: the namespace snapshot installed by
+	// opStoreRestore. (opRepairAppend reuses Batch for its rows and Have
+	// for the length CAS; opRingDirectory reuses CondN for the version the
+	// client already holds.)
+	Blob []byte
 }
 
 // EncUpload is one encrypted row in a batched upload.
@@ -218,10 +281,55 @@ type response struct {
 	// namespace's current version, and whether Rows is a suffix delta
 	// relative to request.Have (true) or a full resend (false). On chunked
 	// responses these ride every chunk; the client keeps the first chunk's
-	// values.
+	// values. opRingDirectory reuses VerN for the directory version and
+	// Delta for "not modified, keep what you hold".
 	VerEpoch uint64
 	VerN     uint64
 	Delta    bool
+
+	// Blob carries an opaque payload out: the directory blob
+	// (opRingDirectory) or a namespace snapshot (opStoreSnapshot).
+	Blob []byte
+	// Info is one namespace's replica state on this node (opStoreInfo).
+	Info StoreInfo
+}
+
+// StoreInfo is the divergence probe's answer: what one node holds for one
+// namespace. Replicas of a namespace never share an epoch (epochs are
+// per-instance random), so divergence detection compares the row counts —
+// within one epoch the encrypted column is append-only, making "same
+// length" equivalent to "same content" for replicas fed the same write
+// stream in the same order.
+type StoreInfo struct {
+	// Exists reports whether the node hosts the namespace at all; the
+	// probe never creates it.
+	Exists bool
+	// PlainTuples counts the clear-text partition's tuples (-1 when no
+	// relation is loaded), EncRows the encrypted partition's rows.
+	PlainTuples int
+	EncRows     int
+	// VerEpoch/VerN is the encrypted store's (epoch, N) version.
+	VerEpoch uint64
+	VerN     uint64
+	// Claimed reports whether the namespace is owner-claimed.
+	Claimed bool
+}
+
+// staleWriteMark prefixes every server-side stale-write rejection so the
+// condition survives the string-typed error channel of the protocol.
+const staleWriteMark = "wire: stale write"
+
+// IsStaleWrite reports whether err is a server's rejection of a
+// conditional mutation (opPlainInsert/opEncAddBatch with Have >= 0) whose
+// expected length no longer matched. Nothing was applied: the server's
+// partition moved underneath the writer — anti-entropy repair caught the
+// replica up, or another writer shares the namespace — so the addresses
+// the writer computed can no longer be honoured and it must re-learn the
+// length before writing again. A ring client treats the refusing replica
+// exactly like one that missed the write: quarantined until repair
+// restores parity.
+func IsStaleWrite(err error) bool {
+	return err != nil && strings.Contains(err.Error(), staleWriteMark)
 }
 
 // storeName canonicalises a request's namespace.

@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -327,12 +328,24 @@ func (rc *Reconnector) reconnect(old *Client) (*Client, error) {
 		}
 	}
 
+	// Jittered capped exponential backoff: each sleep is drawn uniformly
+	// from [delay/2, delay], so N clients orphaned by one node crash
+	// spread their redials across half a backoff window instead of
+	// hammering the restarted node in lockstep. The generator is seeded
+	// from the injected clock, never the wall clock, so tests driving a
+	// fake clock get a deterministic schedule to assert bounds against.
 	delay := rc.opts.baseDelay()
+	seed := uint64(rc.opts.clock().Now().UnixNano())
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 	var lastErr error
 	for attempt := 0; attempt < rc.opts.maxRetries(); attempt++ {
 		if attempt > 0 {
+			sleep := delay
+			if half := int64(delay / 2); half > 0 {
+				sleep = delay/2 + time.Duration(rng.Int64N(half+1))
+			}
 			select {
-			case <-rc.opts.clock().After(delay):
+			case <-rc.opts.clock().After(sleep):
 			case <-rc.closedCh:
 				return nil, errReconnClosed
 			}
@@ -405,6 +418,20 @@ func (rc *Reconnector) restore(c *Client, views []*ReconnStore, kept map[string]
 			sc.seed(k.pending, k.serverLen)
 			if len(k.pending) > 0 {
 				if err := sc.Flush(); err != nil {
+					if IsStaleWrite(err) && c.stickyErr() == nil {
+						// The count moved between the probe and the replay —
+						// in a ring, anti-entropy copying this very batch
+						// from a replica that acked it before the crash. Only
+						// an exact batch-already-present count reconciles;
+						// Flush already dropped the retained rows either way.
+						if n2, err2 := sc.lenErr(); err2 != nil {
+							return classify(rs.name, "re-probing after stale replay", err2)
+						} else if n2 == k.serverLen+len(k.pending) {
+							sc.seed(nil, n2)
+							continue
+						}
+						return fmt.Errorf("wire: reconnect: store %q: retained uploads lost to a concurrent write: %w", rs.name, err), nil
+					}
 					return classify(rs.name, "replaying retained uploads", err)
 				}
 			}
@@ -503,6 +530,28 @@ func (rs *ReconnStore) withConn(f func(sc *StoreClient) error) error {
 		}
 	}
 	return lastErr
+}
+
+// ResyncLen drops the current connection's cached server-length
+// arithmetic for this namespace (see StoreClient.ResyncLen); ring clients
+// call it when readmitting a repaired replica to the write set.
+func (rs *ReconnStore) ResyncLen() error {
+	return rs.withConn(func(sc *StoreClient) error { return sc.ResyncLen() })
+}
+
+// Info probes the namespace's replica state — existence, row counts, the
+// encrypted store's version — on the current connection. Ring clients use
+// it as the readmission parity probe: unlike Len it covers the clear-text
+// partition too, so a replica whose plain tuples still lag repair is not
+// readmitted on encrypted parity alone.
+func (rs *ReconnStore) Info() (StoreInfo, error) {
+	var info StoreInfo
+	err := rs.withConn(func(sc *StoreClient) error {
+		var err error
+		info, err = sc.c.StoreInfo(rs.name)
+		return err
+	})
+	return info, err
 }
 
 // Ping probes the current connection (dialing one if needed).

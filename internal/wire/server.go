@@ -67,6 +67,19 @@ type Cloud struct {
 	opCounts   map[string]*atomic.Uint64
 	condCounts map[string]*atomic.Uint64
 
+	// ringDir, when set (before Serve), makes this server a qbring
+	// coordinator: it serves the placement directory through
+	// opRingDirectory. The wire layer treats the directory as an opaque
+	// blob; the provider synchronises internally.
+	ringDir func(known uint64) (blob []byte, version uint64, changed bool)
+	// ringRepair, when set (before Serve, coordinator only), serves
+	// opRingRepair: a targeted anti-entropy round for one namespace,
+	// requested by a writer trying to readmit a quarantined replica.
+	ringRepair func(store string) error
+	// ringTokenHash is the hash of the cluster's ring token (nil disables
+	// the ring-guarded repair ops); set before Serve.
+	ringTokenHash []byte
+
 	// testHookDispatch, when set (tests only, before Serve), runs after an
 	// op has passed both admission levels and immediately before dispatch.
 	testHookDispatch func(o op, store string)
@@ -235,7 +248,11 @@ func (c *Cloud) admitStore(req *request) func() {
 		return nil
 	}
 	switch req.Op {
-	case opPing, opHello, opAdminList, opAdminStats, opAdminDrop, opAdminCompact, opAdminSetWorkers:
+	case opPing, opHello, opAdminList, opAdminStats, opAdminDrop, opAdminCompact, opAdminSetWorkers,
+		opRingDirectory, opRingRepair, opStoreInfo:
+		// The two read-only ring ops bypass like admin ops: a coordinator's
+		// divergence probe (and qbadmin ring) must see a namespace that is
+		// saturated with data-plane work.
 		return nil
 	}
 	sem := c.storeSem(storeName(req.Store))
@@ -631,6 +648,13 @@ func (c *Cloud) dispatch(req *request) response {
 	case opAdminList, opAdminStats, opAdminDrop, opAdminCompact, opAdminSetWorkers:
 		// Control plane: resolves (never creates) its namespace itself.
 		return c.dispatchAdmin(req)
+	case opRingDirectory:
+		return c.dispatchRingDirectory(req)
+	case opRingRepair:
+		return c.dispatchRingRepair(req)
+	case opStoreInfo, opStoreSnapshot, opStoreRestore, opRepairAppend:
+		// Ring plane: resolves (never creates) its namespace itself.
+		return c.dispatchRing(req)
 	}
 
 	name := storeName(req.Store)
@@ -693,6 +717,21 @@ func (c *Cloud) dispatch(req *request) response {
 		if plain == nil {
 			return response{Err: "wire: no relation loaded in store " + name}
 		}
+		if req.Have >= 0 {
+			// Length CAS (protocol v6): apply only if the relation is still
+			// where the writer last saw it, so an insert racing a repair
+			// restore cannot re-append a tuple the restored state already
+			// contains.
+			if n, err := plain.InsertIfLen(req.Tuple, req.Have); err != nil {
+				if errors.Is(err, storage.ErrLenMismatch) {
+					return response{Err: fmt.Sprintf(
+						"%s: store %q holds %d tuples, writer expected %d (nothing applied)",
+						staleWriteMark, name, n, req.Have)}
+				}
+				return response{Err: err.Error()}
+			}
+			return response{}
+		}
 		if err := plain.Insert(req.Tuple); err != nil {
 			return response{Err: err.Error()}
 		}
@@ -708,6 +747,23 @@ func (c *Cloud) dispatch(req *request) response {
 			if len(u.TupleCT) == 0 {
 				return response{Err: fmt.Sprintf("wire: enc add batch: row %d has empty tuple ciphertext", i)}
 			}
+		}
+		if req.Have >= 0 {
+			// Length CAS (protocol v6): the batch's client-side addresses
+			// were assigned at base Have, so it lands atomically only if the
+			// store is still there — a flush racing an anti-entropy tail
+			// copy of the same rows is refused instead of doubling them.
+			rows := make([]storage.EncRow, len(req.Batch))
+			for i, u := range req.Batch {
+				rows[i] = storage.EncRow{TupleCT: u.TupleCT, AttrCT: u.AttrCT, Token: u.Token}
+			}
+			n, err := encStore.AppendIfLen(rows, req.Have)
+			if err != nil {
+				return response{Err: fmt.Sprintf(
+					"%s: store %q holds %d encrypted rows, writer expected %d (nothing applied)",
+					staleWriteMark, name, n, req.Have)}
+			}
+			return response{Addr: n - 1, N: len(req.Batch)}
 		}
 		last := -1
 		for _, u := range req.Batch {

@@ -126,6 +126,33 @@ func (c *Cloud) SaveFile(path string) error {
 	return nil
 }
 
+// materialiseStore rebuilds one namespace's live store from its
+// serialised form — the shared path of file restore and ring replica
+// restore. The rebuilt store's epoch is fresh (rebirth invalidates every
+// owner-side cache); only the version-counter floor carries over.
+func materialiseStore(ss storeSnapshot) (*storage.Store, error) {
+	st := storage.NewStore()
+	if ss.HasPlain {
+		rel := relation.New(ss.Schema)
+		for _, t := range ss.Tuples {
+			if err := rel.Append(t); err != nil {
+				return nil, err
+			}
+		}
+		ps, err := storage.NewPlainStore(rel, ss.Attr)
+		if err != nil {
+			return nil, err
+		}
+		st.SetPlain(ps)
+	}
+	for _, row := range ss.Enc {
+		st.Enc().Add(row.TupleCT, row.AttrCT, row.Token)
+	}
+	st.Enc().SetVersionFloor(ss.EncVersionN)
+	st.ClaimOwner(ss.OwnerHash)
+	return st, nil
+}
+
 // Restore replaces the entire cloud state — all namespaces — with a
 // previously saved snapshot. Legacy (pre-namespace) snapshots restore
 // into DefaultStore.
@@ -153,27 +180,10 @@ func (c *Cloud) Restore(r io.Reader) error {
 	// snapshot leaves the current state (all namespaces) intact.
 	rebuilt := make(map[string]*storage.Store, len(stores))
 	for _, ss := range stores {
-		st := storage.NewStore()
-		if ss.HasPlain {
-			rel := relation.New(ss.Schema)
-			for _, t := range ss.Tuples {
-				if err := rel.Append(t); err != nil {
-					return fmt.Errorf("wire: snapshot restore: store %q: %w", ss.Name, err)
-				}
-			}
-			ps, err := storage.NewPlainStore(rel, ss.Attr)
-			if err != nil {
-				return fmt.Errorf("wire: snapshot restore: store %q: %w", ss.Name, err)
-			}
-			st.SetPlain(ps)
+		st, err := materialiseStore(ss)
+		if err != nil {
+			return fmt.Errorf("wire: snapshot restore: store %q: %w", ss.Name, err)
 		}
-		for _, row := range ss.Enc {
-			st.Enc().Add(row.TupleCT, row.AttrCT, row.Token)
-		}
-		// The rebuilt store's epoch is fresh (rebirth invalidates every
-		// owner-side cache); only the counter floor carries over.
-		st.Enc().SetVersionFloor(ss.EncVersionN)
-		st.ClaimOwner(ss.OwnerHash)
 		rebuilt[storeName(ss.Name)] = st
 	}
 
